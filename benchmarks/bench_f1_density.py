@@ -1,0 +1,22 @@
+"""Benchmark F1: accuracy versus embedded-data density."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_f1
+
+
+def test_f1_density(benchmark, save_table):
+    table = run_once(benchmark, run_f1,
+                     densities=(0.0, 0.2, 0.4), seeds=(0,),
+                     function_count=30)
+    save_table("f1", table)
+
+    rows = table.rows
+    # Density increases monotonically along the sweep.
+    data_pcts = [row["data_pct"] for row in rows]
+    assert data_pcts == sorted(data_pcts)
+    # Shape: linear sweep degrades with density while we stay flat.
+    ours_drop = rows[0]["repro"] - rows[-1]["repro"]
+    linear_drop = rows[0]["linear-sweep"] - rows[-1]["linear-sweep"]
+    assert linear_drop > ours_drop
+    assert all(row["repro"] > 0.97 for row in rows)

@@ -1,0 +1,24 @@
+"""Benchmark F2: accuracy per compiler style."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_f2
+
+
+def test_f2_styles(benchmark, save_table):
+    table = run_once(benchmark, run_f2, seeds=(0,), function_count=30)
+    save_table("f2", table)
+
+    by_style = {row["style"]: row for row in table.rows}
+    assert set(by_style) == {"gcc-like", "clang-like", "msvc-like"}
+    # We dominate every baseline in every style.
+    for style, row in by_style.items():
+        baselines = [row[name] for name in
+                     ("linear-sweep", "recursive-descent",
+                      "rd-heuristic", "probabilistic")]
+        assert row["repro"] >= max(baselines), style
+    # Linear sweep is near-perfect on clean gcc-like binaries but
+    # clearly worse on msvc-like ones.
+    assert by_style["gcc-like"]["linear-sweep"] > 0.99
+    assert (by_style["msvc-like"]["linear-sweep"]
+            < by_style["gcc-like"]["linear-sweep"])

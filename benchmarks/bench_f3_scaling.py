@@ -1,0 +1,35 @@
+"""Benchmark F3: disassembly runtime versus binary size.
+
+This is the one experiment where pytest-benchmark's timing *is* the
+reported quantity: per-size wall times come from the experiment runner,
+and the benchmark fixture additionally measures our disassembler's
+steady-state throughput on a mid-sized binary.
+"""
+
+from conftest import run_once
+
+from repro.core import Disassembler
+from repro.eval.experiments import run_f3
+from repro.synth import BinarySpec, MSVC_LIKE, generate_binary
+
+
+def test_f3_scaling_table(benchmark, save_table):
+    table = run_once(benchmark, run_f3, function_counts=(10, 20, 40),
+                     seed=0)
+    save_table("f3", table)
+
+    sizes = [row["text_bytes"] for row in table.rows]
+    ours = [row["repro"] for row in table.rows]
+    assert sizes == sorted(sizes)
+    # Near-linear scaling: time per byte must not blow up with size.
+    per_byte = [t / s for t, s in zip(ours, sizes)]
+    assert per_byte[-1] < per_byte[0] * 4
+
+
+def test_f3_disassembler_throughput(benchmark):
+    case = generate_binary(BinarySpec(name="bench", style=MSVC_LIKE,
+                                      function_count=30, seed=0))
+    disassembler = Disassembler()     # trains/caches models up front
+    result = benchmark.pedantic(disassembler.disassemble, args=(case,),
+                                iterations=1, rounds=3)
+    assert result.instructions

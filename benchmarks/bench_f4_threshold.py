@@ -1,0 +1,20 @@
+"""Benchmark F4: sensitivity to the gap-acceptance threshold."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_f4
+
+
+def test_f4_threshold(benchmark, save_table):
+    table = run_once(benchmark, run_f4,
+                     thresholds=(-2.0, 0.0, 2.0), seeds=(0,),
+                     function_count=30)
+    save_table("f4", table)
+
+    rows = table.rows
+    recalls = [row["recall"] for row in rows]
+    # Raising the threshold can only lower recall.
+    assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    # The default threshold (0.0) stays near the F1 optimum.
+    default_f1 = next(r["f1"] for r in rows if r["threshold"] == 0.0)
+    assert default_f1 >= max(r["f1"] for r in rows) - 0.01

@@ -1,0 +1,18 @@
+"""Benchmark T1: dataset characteristics (and corpus generation cost)."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_t1
+
+
+def test_t1_dataset(benchmark, bench_corpus, save_table):
+    table = run_once(benchmark, run_t1, bench_corpus)
+    save_table("t1", table)
+
+    assert len(table.rows) == len(bench_corpus)
+    msvc_rows = [r for r in table.rows if r["binary"].startswith("msvc")]
+    gcc_rows = [r for r in table.rows if r["binary"].startswith("gcc")]
+    # The defining dataset property: msvc-like binaries embed data in
+    # text, gcc-like binaries do not.
+    assert all(row["data_pct"] > 3.0 for row in msvc_rows)
+    assert all(row["data_pct"] == 0.0 for row in gcc_rows)

@@ -1,0 +1,24 @@
+"""Benchmark T4: ablation of the system's components."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_t4
+
+
+def test_t4_ablation(benchmark, bench_corpus, save_table):
+    table = run_once(benchmark, run_t4, bench_corpus)
+    save_table("t4", table)
+
+    errors = {row["variant"]: row["total_errors"] for row in table.rows}
+    full = errors["full"]
+    # Removing the structural table resolution must hurt badly.
+    assert errors["no-table-resolution"] > 2 * full
+    # Statistics alone (no behavioral veto) admits more data as code.
+    assert errors["stat-only"] >= full
+    # Prioritized correction matters most when anchors are scarce:
+    # dropping it on top of table resolution multiplies the damage.
+    assert (errors["no-priority+no-tables"]
+            > 2 * errors["no-table-resolution"])
+    # No ablation may beat the full system by a wide margin.
+    for variant, count in errors.items():
+        assert full <= count + 60, (variant, errors)

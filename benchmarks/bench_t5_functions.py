@@ -1,0 +1,16 @@
+"""Benchmark T5: function-entry identification accuracy."""
+
+from conftest import run_once
+
+from repro.eval.experiments import run_t5
+
+
+def test_t5_functions(benchmark, bench_corpus, save_table):
+    table = run_once(benchmark, run_t5, bench_corpus)
+    save_table("t5", table)
+
+    by_tool = {row["tool"]: row for row in table.rows}
+    ours = by_tool["repro (this paper)"]
+    assert ours["f1"] >= by_tool["rd-heuristic"]["f1"]
+    assert ours["f1"] > by_tool["recursive-descent"]["f1"]
+    assert ours["precision"] > 0.95

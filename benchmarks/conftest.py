@@ -1,0 +1,48 @@
+"""Benchmark fixtures: shared corpora and a result sink.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+(see DESIGN.md's experiment index).  Rendered tables are written to
+``benchmarks/results/<id>.txt`` and echoed to stdout, so a benchmark run
+leaves the full reproduced evaluation behind as an artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.dataset import evaluation_corpus
+from repro.eval.report import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark corpus: one seed per style, mid-sized binaries.  Chosen so
+#: the full benchmark suite completes in a few minutes while preserving
+#: the accuracy shapes of the full evaluation.
+BENCH_SEEDS = (0,)
+BENCH_FUNCTIONS = 40
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    return evaluation_corpus(seeds=BENCH_SEEDS,
+                             function_count=BENCH_FUNCTIONS)
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(experiment_id: str, table: Table) -> None:
+        rendered = table.render()
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(rendered + "\n")
+        print(f"\n{rendered}")
+
+    return save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

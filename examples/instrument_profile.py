@@ -1,0 +1,58 @@
+"""Static binary instrumentation: function-call profiling.
+
+Run with::
+
+    python examples/instrument_profile.py
+
+This is the application the paper's disassembler exists for: take a
+stripped binary, recover its structure, then *rewrite* it -- relocating
+every instruction, re-encoding branches, retargeting jump/pointer
+tables -- while inserting a call counter at every recovered function
+entry.  Executing the instrumented copy in the emulator shows the same
+behavior as the original, plus a per-function call profile collected at
+runtime.
+"""
+
+from repro import (BinarySpec, Disassembler, Emulator, generate_binary,
+                   rewrite_binary)
+from repro.synth import MSVC_LIKE
+
+
+def main() -> None:
+    case = generate_binary(BinarySpec(name="profiled", style=MSVC_LIKE,
+                                      function_count=25, seed=72))
+    disassembler = Disassembler()
+    rich = disassembler.disassemble_rich(case)
+    rewritten = rewrite_binary(rich, case.binary)
+
+    print(f"original text:  {len(case.text)} bytes")
+    print(f"rewritten text: {len(rewritten.text)} bytes "
+          f"({len(rewritten.counters)} instrumented entries)")
+
+    # Run both and compare behavior.
+    original = Emulator(case).run(0, max_steps=300_000)
+    emulator = Emulator(rewritten.binary)
+    copy = emulator.run(rewritten.binary.entry, max_steps=400_000)
+    print(f"\noriginal run:  stop={original.stop_reason} "
+          f"steps={original.steps} rax={original.return_value}")
+    print(f"rewritten run: stop={copy.stop_reason} "
+          f"steps={copy.steps} rax={copy.return_value}")
+    assert copy.return_value == original.return_value
+    assert copy.stop_reason == original.stop_reason
+
+    # Read the call profile out of the counters section.
+    print("\ncall profile (entry -> calls):")
+    profile = []
+    for entry, counter_addr in sorted(rewritten.counters.items()):
+        count = emulator.memory.read(counter_addr, 8)
+        if count:
+            profile.append((count, entry))
+    for count, entry in sorted(profile, reverse=True):
+        bar = "#" * min(count, 40)
+        print(f"  func_{entry:04x}  {count:6d}  {bar}")
+    print(f"\n{len(profile)} functions executed, "
+          f"{sum(c for c, _ in profile)} calls total")
+
+
+if __name__ == "__main__":
+    main()

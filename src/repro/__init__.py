@@ -1,0 +1,44 @@
+"""repro: accurate disassembly of complex binaries without compiler metadata.
+
+A from-scratch reproduction of Priyadarshan, Nguyen & Sekar (ASPLOS
+2023).  The package contains everything the system needs, all in pure
+Python:
+
+* :mod:`repro.isa` -- an x86-64 decoder/encoder (replaces capstone);
+* :mod:`repro.binary` -- a stripped-binary container with ground truth;
+* :mod:`repro.synth` -- a synthetic compiler producing complex binaries
+  (embedded jump tables, literal pools, indirect-only functions);
+* :mod:`repro.superset`, :mod:`repro.stats`, :mod:`repro.analysis` --
+  superset disassembly, statistical models, behavioral analyses;
+* :mod:`repro.core` -- the prioritized error-correcting disassembler;
+* :mod:`repro.baselines` -- linear sweep, recursive descent (plain and
+  heuristic), probabilistic disassembly;
+* :mod:`repro.eval` -- metrics and the experiment harness.
+
+Quickstart::
+
+    from repro import Disassembler, generate_binary, BinarySpec
+    case = generate_binary(BinarySpec(name="demo"))
+    result = Disassembler().disassemble(case)
+    print(result.summary())
+"""
+
+from .binary import Binary, GroundTruth, Section, TestCase
+from .core import DEFAULT_CONFIG, Disassembler, DisassemblerConfig
+from .emulator import Emulator, validate_dynamically
+from .listing import classify_data_regions, render_listing
+from .result import DisassemblyResult
+from .rewrite import RewrittenBinary, rewrite_binary
+from .synth import (BinarySpec, CompilerStyle, generate_binary,
+                    generate_corpus)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Binary", "GroundTruth", "Section", "TestCase", "DEFAULT_CONFIG",
+    "Disassembler", "DisassemblerConfig", "DisassemblyResult",
+    "Emulator", "validate_dynamically", "classify_data_regions",
+    "render_listing", "RewrittenBinary", "rewrite_binary",
+    "BinarySpec", "CompilerStyle", "generate_binary", "generate_corpus",
+    "__version__",
+]

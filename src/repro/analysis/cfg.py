@@ -1,0 +1,119 @@
+"""Control-flow graph construction over an accepted instruction set.
+
+Once the correction algorithm has settled on a set of instruction
+starts, the CFG organizes them into basic blocks for function-boundary
+identification and for downstream consumers of the library (the same
+structure a binary-rewriting client would use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import FlowKind
+from ..superset.superset import Superset
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of accepted instructions."""
+
+    start: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        last = self.instructions[-1]
+        return last.end
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+
+@dataclass
+class ControlFlowGraph:
+    """Basic blocks plus a networkx digraph over their start offsets."""
+
+    blocks: dict[int, BasicBlock]
+    graph: nx.DiGraph
+
+    def successors(self, start: int) -> list[int]:
+        return sorted(self.graph.successors(start))
+
+    def predecessors(self, start: int) -> list[int]:
+        return sorted(self.graph.predecessors(start))
+
+    def reachable_from(self, roots: list[int]) -> set[int]:
+        """Block starts reachable from any root (intraprocedural edges)."""
+        seen: set[int] = set()
+        stack = [r for r in roots if r in self.blocks]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.graph.successors(node))
+        return seen
+
+
+def build_cfg(superset: Superset, accepted: set[int]) -> ControlFlowGraph:
+    """Partition accepted instruction starts into basic blocks.
+
+    Leaders are: branch targets, fall-through points after
+    control-transfer instructions, and starts with no accepted
+    fall-through predecessor.  Call edges are *not* CFG edges (calls
+    fall through); direct call targets become block leaders but the
+    interprocedural edge lives in the function model instead.
+    """
+    instructions = {o: superset.at(o) for o in accepted
+                    if superset.at(o) is not None}
+
+    leaders: set[int] = set()
+    has_fallthrough_pred: set[int] = set()
+    for offset, ins in instructions.items():
+        if ins.is_direct_branch:
+            target = ins.branch_target
+            if target in instructions:
+                leaders.add(target)
+        if ins.flow in (FlowKind.JUMP, FlowKind.CJUMP, FlowKind.IJUMP,
+                        FlowKind.RET, FlowKind.HALT):
+            if ins.end in instructions:
+                leaders.add(ins.end)
+        elif ins.falls_through and ins.end in instructions:
+            has_fallthrough_pred.add(ins.end)
+    for offset in instructions:
+        if offset not in has_fallthrough_pred:
+            leaders.add(offset)
+
+    blocks: dict[int, BasicBlock] = {}
+    for leader in sorted(leaders):
+        block = BasicBlock(start=leader)
+        current = leader
+        while current in instructions:
+            ins = instructions[current]
+            block.instructions.append(ins)
+            if (not ins.falls_through or ins.end in leaders
+                    or ins.end not in instructions):
+                break
+            current = ins.end
+        if block.instructions:
+            blocks[leader] = block
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(blocks)
+    for start, block in blocks.items():
+        terminator = block.terminator
+        if terminator.falls_through and terminator.flow is not FlowKind.CALL \
+                and terminator.end in blocks:
+            graph.add_edge(start, terminator.end)
+        if terminator.flow is FlowKind.CALL and terminator.end in blocks:
+            graph.add_edge(start, terminator.end)
+        if terminator.flow in (FlowKind.JUMP, FlowKind.CJUMP):
+            target = terminator.branch_target
+            if target in blocks:
+                graph.add_edge(start, target)
+    return ControlFlowGraph(blocks=blocks, graph=graph)

@@ -1,0 +1,112 @@
+"""Code idiom recognition: prologues, epilogues, padding.
+
+Compilers emit highly stereotyped function openings; recognizing them at
+aligned offsets (especially right after padding runs) yields
+medium-priority code evidence for the correction algorithm and seeds
+function-boundary identification.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import FlowKind
+from ..isa.operands import ImmOp, RegOp
+from ..isa.registers import RBP, RSP
+from ..superset.superset import Superset
+
+#: Score threshold above which an offset is treated as a likely prologue.
+PROLOGUE_THRESHOLD = 2
+
+
+def _is_push_rbp(ins: Instruction) -> bool:
+    return (ins.mnemonic == "push" and ins.operands
+            and isinstance(ins.operands[0], RegOp)
+            and ins.operands[0].register.family == RBP)
+
+
+def _is_push_callee_saved(ins: Instruction) -> bool:
+    from ..isa.registers import CALLEE_SAVED
+    return (ins.mnemonic == "push" and ins.operands
+            and isinstance(ins.operands[0], RegOp)
+            and ins.operands[0].register.family in CALLEE_SAVED)
+
+
+def _is_mov_rbp_rsp(ins: Instruction) -> bool:
+    return (ins.mnemonic == "mov" and len(ins.operands) == 2
+            and isinstance(ins.operands[0], RegOp)
+            and isinstance(ins.operands[1], RegOp)
+            and ins.operands[0].register.family == RBP
+            and ins.operands[1].register.family == RSP)
+
+
+def _is_sub_rsp_imm(ins: Instruction) -> bool:
+    return (ins.mnemonic == "sub" and len(ins.operands) == 2
+            and isinstance(ins.operands[0], RegOp)
+            and ins.operands[0].register.family == RSP
+            and isinstance(ins.operands[1], ImmOp)
+            and 0 < ins.operands[1].value < 2 ** 20)
+
+
+def _is_endbr(ins: Instruction) -> bool:
+    return ins.mnemonic == "nop" and ins.raw[:1] == b"\xf3"
+
+
+def prologue_score(superset: Superset, offset: int, *,
+                   lookahead: int = 4) -> int:
+    """How strongly the candidate chain at ``offset`` opens a function.
+
+    0 means "not a prologue"; 2+ is a confident match (canonical
+    push rbp / mov rbp, rsp pairs, endbr landing pads followed by frame
+    setup, or frameless sub rsp openings).
+    """
+    chain = superset.fallthrough_chain(offset, lookahead)
+    if not chain:
+        return 0
+    score = 0
+    first = chain[0]
+    if _is_endbr(first):
+        score += 2
+        chain = chain[1:]
+        if not chain:
+            return score
+        first = chain[0]
+    if _is_push_rbp(first):
+        score += 2
+        if len(chain) > 1 and _is_mov_rbp_rsp(chain[1]):
+            score += 2
+    elif _is_push_callee_saved(first):
+        score += 1
+    elif _is_sub_rsp_imm(first):
+        score += 1
+    for ins in chain[1:3]:
+        if _is_sub_rsp_imm(ins) or _is_push_callee_saved(ins):
+            score += 1
+    return score
+
+
+def is_epilogue_end(ins: Instruction) -> bool:
+    """ret / tail-jump: ends a function body."""
+    return ins.flow in (FlowKind.RET, FlowKind.JUMP, FlowKind.IJUMP)
+
+
+def padding_kind(text: bytes, offset: int) -> str | None:
+    """Classify the byte at ``offset`` as a typical padding byte."""
+    byte = text[offset]
+    if byte == 0xCC:
+        return "int3"
+    if byte == 0x00:
+        return "zero"
+    if byte == 0x90:
+        return "nop"
+    return None
+
+
+def likely_function_starts(superset: Superset, *, alignment: int = 16,
+                           threshold: int = PROLOGUE_THRESHOLD) -> list[int]:
+    """Aligned offsets whose candidate chain looks like a prologue."""
+    starts = []
+    for offset in range(0, len(superset), alignment):
+        if superset.is_valid(offset) and \
+                prologue_score(superset, offset) >= threshold:
+            starts.append(offset)
+    return starts

@@ -1,0 +1,127 @@
+"""Returning-ness analysis: does a called function ever return?
+
+Compilers place data (and padding) directly after calls to noreturn
+functions -- the call's fall-through is *not* code.  A disassembler that
+unconditionally follows call fall-through swallows that data as code,
+so tracing must defer each call's continuation until the callee is known
+to return.
+
+The analysis walks the *superset* control-flow graph from each callee
+entry (candidate instructions exist before tracing confirms them, and
+from a confirmed entry the walk follows exactly the instructions tracing
+would confirm).  A function returns when some path reaches a ``ret``, a
+tail jump out of the section, or flow the analysis cannot follow
+(unresolved indirect jumps); it is noreturn when *every* path dies in
+``hlt``/``ud2``, spins in a cycle, runs into undecodable bytes, or calls
+only other noreturn functions.  Calls inside the walk consult the
+fixpoint, so mutual panic helpers resolve correctly.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import FlowKind
+from ..superset.superset import Superset
+
+
+def compute_returning(superset: Superset, targets: set[int], *,
+                      resolved_jumps: dict[int, tuple[int, ...]]
+                      | None = None,
+                      resolve_dispatch=None,
+                      max_rounds: int = 50) -> dict[int, bool]:
+    """For each target entry, True when some path reaches a return.
+
+    ``resolved_jumps`` maps indirect-jump dispatch offsets to their
+    resolved case targets (so a switch inside a panic handler does not
+    force the conservative "assume it returns" answer).
+
+    This is the *greatest* fixpoint: every target starts out assumed
+    returning and is demoted only when all of its paths provably die
+    under the current assumptions.  Starting optimistic is the sound
+    direction -- mutually recursive functions whose returns depend on
+    the cycle stay returning (never losing real code), while mutually
+    recursive panic helpers still converge to noreturn (each one's
+    paths die regardless of the other's assumed verdict).
+    """
+    resolved_jumps = resolved_jumps or {}
+    returning: dict[int, bool] = {target: True for target in targets}
+    for _ in range(max_rounds):
+        changed = False
+        for target in targets:
+            if not returning[target]:
+                continue
+            if not _reaches_return(superset, target, returning,
+                                   resolved_jumps, resolve_dispatch):
+                returning[target] = False
+                changed = True
+        if not changed:
+            break
+    return returning
+
+
+def _reaches_return(superset: Superset, entry: int,
+                    returning: dict[int, bool],
+                    resolved_jumps: dict[int, tuple[int, ...]],
+                    resolve_dispatch=None) -> bool:
+    """BFS over superset candidates from ``entry``, looking for a way
+    out: a ``ret``, a tail jump out of the section, or any flow the
+    analysis cannot follow."""
+    seen: set[int] = set()
+    stack = [entry]
+    while stack:
+        offset = stack.pop()
+        if offset in seen:
+            continue
+        seen.add(offset)
+        instruction = superset.at(offset)
+        if instruction is None:
+            continue               # undecodable: this path is dead
+        flow = instruction.flow
+
+        if flow is FlowKind.RET:
+            return True
+        if flow in (FlowKind.HALT, FlowKind.TRAP):
+            continue               # dead end on this path
+        if flow is FlowKind.IJUMP:
+            case_targets = resolved_jumps.get(offset)
+            if case_targets is None and resolve_dispatch is not None:
+                case_targets = resolve_dispatch(offset)
+            if case_targets is None:
+                return True        # unresolved tail dispatch: assume ok
+            stack.extend(case_targets)
+            continue
+        if flow is FlowKind.JUMP:
+            target = instruction.branch_target
+            if target is None or not 0 <= target < len(superset):
+                return True        # jump out of section: assume ok
+            if target == entry:
+                continue           # self tail call proves nothing new
+            if target in returning:
+                # Tail call to an analyzed function.
+                if returning[target]:
+                    return True
+                continue
+            stack.append(target)
+            continue
+        if flow is FlowKind.CJUMP:
+            target = instruction.branch_target
+            if target is not None and 0 <= target < len(superset):
+                stack.append(target)
+            stack.append(instruction.end)
+            continue
+        if flow is FlowKind.CALL:
+            target = instruction.branch_target
+            callee_returns = True
+            if target is not None and target in returning:
+                callee_returns = returning[target]
+            if callee_returns:
+                stack.append(instruction.end)
+            continue
+        if flow is FlowKind.ICALL:
+            stack.append(instruction.end)
+            continue
+        # Plain sequential flow.
+        if instruction.end < len(superset):
+            stack.append(instruction.end)
+        else:
+            return True            # falls off the section: assume ok
+    return False

@@ -1,0 +1,10 @@
+"""Baseline disassembly algorithms the paper compares against."""
+
+from .heuristic import heuristic_descent
+from .linear import linear_sweep
+from .oracle import oracle
+from .probabilistic import probabilistic_disassembly
+from .recursive import recursive_descent
+
+__all__ = ["heuristic_descent", "linear_sweep", "oracle",
+           "probabilistic_disassembly", "recursive_descent"]

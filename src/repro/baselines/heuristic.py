@@ -1,0 +1,56 @@
+"""Recursive descent with heuristic gap scanning (the Ghidra approach).
+
+After the conservative pass, unexplored gaps are scanned for function
+prologue idioms at aligned offsets; matches become new entry points and
+the traversal repeats to a fixpoint.  This recovers many
+indirect-only-reachable functions, but still misses jump-table case
+blocks (the indirect jump is never resolved) and can misfire on data
+that happens to look like a prologue.
+"""
+
+from __future__ import annotations
+
+from ..analysis.idioms import PROLOGUE_THRESHOLD, prologue_score
+from ..superset.superset import Superset
+from .recursive import recursive_descent
+
+
+def heuristic_descent(text: bytes, entry: int = 0, *,
+                      alignment: int = 16,
+                      max_rounds: int = 10):
+    """Recursive descent plus prologue scanning over unexplored gaps."""
+    superset = Superset.build(text)
+    extra: set[int] = set()
+
+    result = recursive_descent(text, entry, tool_name="rd-heuristic")
+    for _ in range(max_rounds):
+        found = _scan_gaps(superset, result, alignment)
+        new = found - extra - result.instruction_starts
+        if not new:
+            break
+        extra |= new
+        result = recursive_descent(text, entry,
+                                   extra_entries=tuple(sorted(extra)),
+                                   tool_name="rd-heuristic")
+        result.function_entries |= extra
+    return result
+
+
+def _scan_gaps(superset: Superset, result, alignment: int) -> set[int]:
+    covered = result.code_byte_offsets()
+    found: set[int] = set()
+    size = len(superset)
+    offset = 0
+    while offset < size:
+        if offset in covered:
+            offset += 1
+            continue
+        gap_start = offset
+        while offset < size and offset not in covered:
+            offset += 1
+        gap_end = offset
+        aligned = gap_start + (-gap_start % alignment)
+        for candidate in range(aligned, gap_end, alignment):
+            if prologue_score(superset, candidate) >= PROLOGUE_THRESHOLD:
+                found.add(candidate)
+    return found

@@ -1,0 +1,31 @@
+"""The ground-truth oracle: a perfect 'disassembler' for calibration.
+
+Evaluation code uses the oracle to sanity-check metrics (it must score
+a perfect 1.0) and as the reference upper bound in reports.
+"""
+
+from __future__ import annotations
+
+from ..binary.groundtruth import GroundTruth
+from ..binary.loader import TestCase
+from ..isa.decoder import try_decode
+from ..result import DisassemblyResult
+
+
+def oracle(case: TestCase) -> DisassemblyResult:
+    """Return the ground truth formatted as a tool result."""
+    truth: GroundTruth = case.truth
+    text = case.text
+    instructions = {}
+    for offset in truth.instruction_starts:
+        instruction = try_decode(text, offset)
+        if instruction is None:
+            raise AssertionError(
+                f"ground-truth instruction at {offset:#x} does not decode")
+        instructions[offset] = instruction.length
+    return DisassemblyResult(
+        tool="oracle",
+        instructions=instructions,
+        data_regions=truth.data_regions(),
+        function_entries=truth.function_entries,
+    )

@@ -1,0 +1,170 @@
+"""Probabilistic disassembly (a reimplementation of the Miller et al.
+NDSS'19 algorithmic core).
+
+The algorithm assigns each superset candidate a *data probability*:
+
+1. **Invalid closure** -- candidates that must reach an undecodable
+   offset through forced control flow cannot be code (probability 1).
+2. **Hints** -- independent observations that an offset behaves like
+   code lower its data probability multiplicatively: control-flow
+   convergence (two or more direct branches landing on it), direct call
+   targets, and register def-use chains along its fall-through window.
+3. **Forward propagation** -- if a candidate is likely code, its forced
+   successors are at least as likely.
+4. **Occlusion normalization** -- candidates covering the same byte
+   compete; probability mass is shared within each occlusion set.
+
+Offsets whose final data probability falls below a threshold are
+emitted as code.  Like the original, this over-approximates: it keeps
+high recall but accepts data whose accidental structure produces hints,
+and it does not enforce a single non-overlapping instruction tiling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.defuse import analyze_chain
+from ..isa.opcodes import FlowKind
+from ..result import DisassemblyResult
+from ..superset.superset import Superset
+
+#: Hint strengths from the original paper's formulation.
+HINT_CONVERGENCE = 0.9
+HINT_CALL_TARGET = 0.95
+HINT_DEFUSE = 0.6
+
+DEFAULT_THRESHOLD = 0.5
+
+
+def probabilistic_disassembly(text: bytes, entry: int = 0, *,
+                              threshold: float = DEFAULT_THRESHOLD,
+                              window: int = 6,
+                              superset: Superset | None = None
+                              ) -> DisassemblyResult:
+    """Disassemble with hint-propagated data probabilities."""
+    if superset is None:
+        superset = Superset.build(text)
+    size = len(text)
+
+    dead = _invalid_closure(superset)
+    p_data = np.ones(size)
+
+    # Hint collection.
+    for offset in superset.valid_offsets:
+        if dead[offset]:
+            continue
+        strength = 1.0
+        convergence = len(superset.direct_predecessors.get(offset, ()))
+        if convergence >= 2:
+            strength *= (1 - HINT_CONVERGENCE)
+        if offset in superset.direct_call_targets:
+            strength *= (1 - HINT_CALL_TARGET)
+        chain = superset.fallthrough_chain(offset, window)
+        signals = analyze_chain(chain)
+        strength *= (1 - HINT_DEFUSE) ** min(signals.defuse_pairs, 3)
+        p_data[offset] = strength
+    if 0 <= entry < size and not dead[entry]:
+        p_data[entry] = 0.0
+
+    # Forward propagation along forced flow (a few passes suffice).
+    for _ in range(3):
+        changed = False
+        for offset in superset.valid_offsets:
+            if dead[offset]:
+                continue
+            value = p_data[offset]
+            for successor in superset.successors(offset):
+                if successor < size and not dead[successor] \
+                        and p_data[successor] > value:
+                    p_data[successor] = value
+                    changed = True
+        if not changed:
+            break
+
+    # Occlusion competition: a candidate is kept when its data
+    # probability clears the threshold and no candidate covering the
+    # same first byte is strictly more code-like (local winner-take-all
+    # over the occlusion set).
+    p_code = 1.0 - p_data
+    for offset in superset.valid_offsets:
+        if dead[offset]:
+            p_code[offset] = 0.0
+    accepted = {}
+    for offset in superset.valid_offsets:
+        if dead[offset] or p_data[offset] >= threshold:
+            continue
+        instruction = superset.at(offset)
+        lo = max(0, offset - 14)
+        covering = [o for o in range(lo, offset)
+                    if superset.at(o) is not None and not dead[o]
+                    and superset.at(o).end > offset]
+        if any(p_code[o] > p_code[offset] for o in covering):
+            continue
+        accepted[offset] = instruction.length
+
+    covered = set()
+    for start, length in accepted.items():
+        covered.update(range(start, start + length))
+    data_regions = _uncovered(size, covered)
+
+    return DisassemblyResult(tool="probabilistic",
+                             instructions=accepted,
+                             data_regions=data_regions,
+                             function_entries=set())
+
+
+def _invalid_closure(superset: Superset) -> np.ndarray:
+    """True where a candidate must reach an undecodable offset."""
+    size = len(superset)
+    dead = np.zeros(size, dtype=bool)
+    for offset in range(size):
+        if not superset.is_valid(offset):
+            dead[offset] = True
+    # Iterate to fixpoint: an instruction is dead when *all* of its
+    # execution successors are dead (no successors => terminator, alive).
+    changed = True
+    passes = 0
+    while changed and passes < 50:
+        changed = False
+        passes += 1
+        for offset in range(size - 1, -1, -1):
+            if dead[offset]:
+                continue
+            instruction = superset.at(offset)
+            if instruction is None:
+                continue
+            successors = []
+            if instruction.falls_through:
+                successors.append(instruction.end)
+            target = instruction.branch_target
+            if target is not None and 0 <= target < size:
+                successors.append(target)
+            elif target is not None:
+                # Direct branch outside the section: treat as invalid.
+                dead[offset] = True
+                changed = True
+                continue
+            if instruction.flow in (FlowKind.IJUMP, FlowKind.ICALL,
+                                    FlowKind.RET, FlowKind.HALT):
+                continue
+            in_range = [s for s in successors if s < size]
+            if successors and (len(in_range) < len(successors)
+                               or all(dead[s] for s in in_range)):
+                dead[offset] = True
+                changed = True
+    return dead
+
+
+def _uncovered(size: int, covered: set[int]) -> list[tuple[int, int]]:
+    regions = []
+    start = None
+    for i in range(size):
+        if i not in covered and start is None:
+            start = i
+        elif i in covered and start is not None:
+            regions.append((start, i))
+            start = None
+    if start is not None:
+        regions.append((start, size))
+    return regions

@@ -1,0 +1,8 @@
+"""Binary container, ground-truth labels, and paired I/O."""
+
+from .container import Binary, BinaryFormatError, Section
+from .groundtruth import ByteKind, FunctionInfo, GroundTruth
+from .loader import TestCase
+
+__all__ = ["Binary", "BinaryFormatError", "Section", "ByteKind",
+           "FunctionInfo", "GroundTruth", "TestCase"]

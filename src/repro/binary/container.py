@@ -1,0 +1,120 @@
+"""A minimal stripped-binary container.
+
+Real evaluations in this space run on ELF/PE files; this reproduction
+uses a deliberately simple container with the same essential content: a
+set of named sections (at most one executable text section), an entry
+point, and nothing else -- no symbols, no relocations, no exception
+tables.  That *absence* is the point of the paper: the disassembler gets
+machine code and an entry point only.
+
+The on-disk format is a small little-endian structure (see
+:meth:`Binary.to_bytes`); ground truth travels separately
+(:mod:`repro.binary.groundtruth`) so that a "stripped" binary really
+contains no metadata.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+_MAGIC = b"RPRB"
+_VERSION = 1
+
+
+class BinaryFormatError(ValueError):
+    """Raised when deserializing a malformed container."""
+
+
+@dataclass(frozen=True)
+class Section:
+    """One named section of the binary."""
+
+    name: str
+    addr: int
+    data: bytes
+    executable: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+
+@dataclass
+class Binary:
+    """A loaded binary: sections plus an entry point."""
+
+    sections: list[Section] = field(default_factory=list)
+    entry: int = 0
+
+    @property
+    def text(self) -> Section:
+        """The (single) executable section."""
+        executable = [s for s in self.sections if s.executable]
+        if len(executable) != 1:
+            raise BinaryFormatError(
+                f"expected exactly one executable section, found "
+                f"{len(executable)}")
+        return executable[0]
+
+    def section(self, name: str) -> Section:
+        for s in self.sections:
+            if s.name == name:
+                return s
+        raise KeyError(f"no section named {name!r}")
+
+    def section_at(self, addr: int) -> Section | None:
+        for s in self.sections:
+            if s.contains(addr):
+                return s
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the container format."""
+        out = bytearray()
+        out += _MAGIC
+        out += struct.pack("<HHQ", _VERSION, len(self.sections), self.entry)
+        for s in self.sections:
+            name = s.name.encode("utf-8")
+            out += struct.pack("<H", len(name))
+            out += name
+            out += struct.pack("<QQB", s.addr, len(s.data), int(s.executable))
+            out += s.data
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> Binary:
+        """Deserialize a container produced by :meth:`to_bytes`."""
+        if blob[:4] != _MAGIC:
+            raise BinaryFormatError("bad magic")
+        version, count, entry = struct.unpack_from("<HHQ", blob, 4)
+        if version != _VERSION:
+            raise BinaryFormatError(f"unsupported version {version}")
+        pos = 4 + struct.calcsize("<HHQ")
+        sections = []
+        for _ in range(count):
+            (name_len,) = struct.unpack_from("<H", blob, pos)
+            pos += 2
+            name = blob[pos:pos + name_len].decode("utf-8")
+            pos += name_len
+            addr, size, executable = struct.unpack_from("<QQB", blob, pos)
+            pos += struct.calcsize("<QQB")
+            data = blob[pos:pos + size]
+            if len(data) != size:
+                raise BinaryFormatError("truncated section data")
+            pos += size
+            sections.append(Section(name, addr, data, bool(executable)))
+        if pos != len(blob):
+            raise BinaryFormatError("trailing garbage after sections")
+        return cls(sections=sections, entry=entry)

@@ -1,0 +1,60 @@
+"""A flat read view over all sections of a binary.
+
+Jump-table resolution must read table entries wherever the compiler put
+them -- inside the text section or in a read-only data section.  The
+:class:`MemoryImage` maps absolute addresses to bytes across every
+section of a :class:`~repro.binary.container.Binary`.
+
+Text-section offsets and addresses coincide in this reproduction (text
+is loaded at address 0), so resolved code targets are usable as text
+offsets directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .container import Binary, Section
+
+
+@dataclass
+class MemoryImage:
+    """Address-indexed reads across the sections of a binary."""
+
+    sections: list[Section]
+
+    @classmethod
+    def from_binary(cls, binary: Binary) -> "MemoryImage":
+        return cls(sections=list(binary.sections))
+
+    @classmethod
+    def from_text(cls, text: bytes) -> "MemoryImage":
+        """An image holding only a text section at address 0."""
+        return cls(sections=[Section(".text", 0, text, executable=True)])
+
+    def section_at(self, addr: int) -> Section | None:
+        for section in self.sections:
+            if section.contains(addr):
+                return section
+        return None
+
+    def read(self, addr: int, size: int) -> bytes | None:
+        """Bytes at [addr, addr+size), or None if not fully mapped."""
+        section = self.section_at(addr)
+        if section is None or addr + size > section.end:
+            return None
+        start = addr - section.addr
+        return section.data[start:start + size]
+
+    def read_u64(self, addr: int) -> int | None:
+        raw = self.read(addr, 8)
+        return int.from_bytes(raw, "little") if raw is not None else None
+
+    def read_i32(self, addr: int) -> int | None:
+        raw = self.read(addr, 4)
+        return (int.from_bytes(raw, "little", signed=True)
+                if raw is not None else None)
+
+    def in_text(self, addr: int) -> bool:
+        section = self.section_at(addr)
+        return section is not None and section.executable

@@ -1,0 +1,45 @@
+"""Convenience I/O: save/load a binary together with its ground truth.
+
+A :class:`TestCase` pairs a stripped binary with the labels the
+evaluation needs.  On disk this is two files (``.bin`` container +
+``.gt.json`` sidecar), preserving the fiction that the disassembler under
+test sees a genuinely metadata-free input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .container import Binary
+from .groundtruth import GroundTruth
+
+
+@dataclass
+class TestCase:
+    """A stripped binary plus its (separately stored) ground truth."""
+
+    name: str
+    binary: Binary
+    truth: GroundTruth
+
+    @property
+    def text(self) -> bytes:
+        return self.binary.text.data
+
+    def save(self, directory: str | Path) -> tuple[Path, Path]:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        bin_path = directory / f"{self.name}.bin"
+        gt_path = directory / f"{self.name}.gt.json"
+        bin_path.write_bytes(self.binary.to_bytes())
+        gt_path.write_text(self.truth.to_json())
+        return bin_path, gt_path
+
+    @classmethod
+    def load(cls, directory: str | Path, name: str) -> TestCase:
+        directory = Path(directory)
+        binary = Binary.from_bytes((directory / f"{name}.bin").read_bytes())
+        truth = GroundTruth.from_json(
+            (directory / f"{name}.gt.json").read_text())
+        return cls(name=name, binary=binary, truth=truth)

@@ -1,0 +1,164 @@
+"""Command-line interface: generate, disassemble, evaluate, experiment.
+
+Usage::
+
+    python -m repro generate out/demo --style msvc-like --functions 40
+    python -m repro disasm out/demo.bin
+    python -m repro disasm out/demo.bin --listing | head -50
+    python -m repro evaluate out/demo
+    python -m repro experiments t3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .binary.container import Binary
+from .binary.loader import TestCase
+from .core.disassembler import Disassembler
+from .eval.metrics import evaluate
+from .listing import classify_data_regions, render_listing
+from .synth.corpus import BinarySpec, generate_binary
+from .synth.styles import STYLES, style_by_name
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    out = Path(args.output)
+    spec = BinarySpec(name=out.name, style=style_by_name(args.style),
+                      function_count=args.functions, seed=args.seed)
+    case = generate_binary(spec)
+    bin_path, gt_path = case.save(out.parent if out.parent != Path("")
+                                  else Path("."))
+    stats = case.truth
+    print(f"wrote {bin_path} ({stats.size} text bytes, "
+          f"{len(stats.functions)} functions, "
+          f"{stats.data_bytes} embedded data bytes)")
+    print(f"wrote {gt_path} (ground truth)")
+    return 0
+
+
+def _load_binary(path: Path) -> Binary:
+    return Binary.from_bytes(path.read_bytes())
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    binary = _load_binary(Path(args.binary))
+    disassembler = Disassembler()
+    result = disassembler.disassemble(binary)
+    text = binary.text.data
+    print(result.summary())
+    if args.listing:
+        print(render_listing(text, result))
+    else:
+        print(f"functions at: "
+              f"{', '.join(hex(e) for e in sorted(result.function_entries))}")
+        for start, end, kind in classify_data_regions(text, result):
+            print(f"data {start:#08x}-{end:#08x}  {end - start:5d} bytes  "
+                  f"{kind}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    base = Path(args.case)
+    case = TestCase.load(base.parent if base.parent != Path("")
+                         else Path("."), base.name)
+    disassembler = Disassembler()
+    evaluation = evaluate(disassembler.disassemble(case), case.truth)
+    print(f"instruction precision: {evaluation.instructions.precision:.4f}")
+    print(f"instruction recall:    {evaluation.instructions.recall:.4f}")
+    print(f"instruction F1:        {evaluation.instructions.f1:.4f}")
+    print(f"byte errors:           {evaluation.bytes.total_errors} "
+          f"({evaluation.bytes.false_code} false-code, "
+          f"{evaluation.bytes.missed_code} missed-code)")
+    print(f"function F1:           {evaluation.functions.f1:.4f}")
+    return 0
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    from .rewrite import rewrite_binary
+
+    binary = _load_binary(Path(args.binary))
+    disassembler = Disassembler()
+    rich = disassembler.disassemble_rich(binary)
+    rewritten = rewrite_binary(rich, binary,
+                               instrument_entries=not args.no_counters)
+    output = Path(args.output)
+    output.write_bytes(rewritten.binary.to_bytes())
+    print(f"wrote {output}: {len(rewritten.text)} text bytes "
+          f"(was {len(binary.text.data)}), "
+          f"{len(rewritten.counters)} instrumented entries")
+    if args.map:
+        map_path = Path(args.map)
+        import json
+        map_path.write_text(json.dumps(
+            {hex(old): hex(new)
+             for old, new in sorted(rewritten.address_map.items())},
+            indent=0))
+        print(f"wrote {map_path} (address map)")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .eval.experiments import main as experiments_main
+    return experiments_main(args.ids)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Metadata-free disassembly of complex binaries "
+                    "(ASPLOS 2023 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate",
+                              help="generate a synthetic stripped binary")
+    generate.add_argument("output", help="output path prefix")
+    generate.add_argument("--style", default="msvc-like",
+                          choices=sorted(STYLES))
+    generate.add_argument("--functions", type=int, default=40)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    disasm = sub.add_parser("disasm", help="disassemble a .bin container")
+    disasm.add_argument("binary")
+    disasm.add_argument("--listing", action="store_true",
+                        help="print the full instruction listing")
+    disasm.set_defaults(func=_cmd_disasm)
+
+    evaluate_cmd = sub.add_parser(
+        "evaluate", help="score the disassembler against ground truth")
+    evaluate_cmd.add_argument("case", help="path prefix of .bin/.gt.json")
+    evaluate_cmd.set_defaults(func=_cmd_evaluate)
+
+    rewrite = sub.add_parser(
+        "rewrite", help="relocate + instrument a .bin container")
+    rewrite.add_argument("binary")
+    rewrite.add_argument("output")
+    rewrite.add_argument("--no-counters", action="store_true",
+                         help="relocate only, without instrumentation")
+    rewrite.add_argument("--map", help="write the address map as JSON")
+    rewrite.set_defaults(func=_cmd_rewrite)
+
+    experiments = sub.add_parser("experiments",
+                                 help="run evaluation experiments")
+    experiments.add_argument("ids", nargs="+",
+                             help="experiment ids (t1..t5, f1..f4, all)")
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager that exited early (e.g. `| head`).
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The paper's contribution: prioritized error-correcting disassembly."""
+
+from .config import ABLATION_CONFIGS, DEFAULT_CONFIG, DisassemblerConfig
+from .correction import CorrectionEngine, TraceOutcome
+from .disassembler import Disassembler, Disassembly
+from .evidence import (Classification, ClassificationState, Evidence,
+                       Priority)
+from .functions import FunctionSpan, identify_functions
+
+__all__ = [
+    "ABLATION_CONFIGS", "DEFAULT_CONFIG", "DisassemblerConfig",
+    "CorrectionEngine", "TraceOutcome", "Disassembler", "Disassembly",
+    "Classification", "ClassificationState", "Evidence", "Priority",
+    "FunctionSpan", "identify_functions",
+]

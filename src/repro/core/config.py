@@ -1,0 +1,72 @@
+"""Configuration of the prioritized disassembler.
+
+Every knob that the ablation study (T4) or the sensitivity sweep (F4)
+varies lives here, so experiment code can express variants as config
+values rather than by monkey-patching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DisassemblerConfig:
+    """Knobs of the prioritized error-correction disassembler.
+
+    Attributes:
+        use_statistics: include the n-gram/data-model LLR in candidate
+            scoring (ablation: statistical component).
+        use_behavior: include behavioral chain scores (ablation:
+            behavioral component).
+        use_prioritized_correction: process gap decisions through the
+            priority queue (strongest evidence first, corrections
+            propagate).  When False, gaps are decided in a single
+            address-order pass (ablation: prioritization).
+        use_table_resolution: resolve jump/pointer tables from dispatch
+            idioms during tracing (ablation: structural analysis).
+        code_threshold: combined score above which a gap candidate is
+            accepted as code (F4 sweeps this).
+        behavior_veto: when behavioral analysis is enabled, gap
+            candidates whose behavioral score falls at or below this
+            floor are rejected outright, regardless of how code-like
+            their bytes look statistically ("behavioral properties of
+            code to flag data").
+        stat_weight / behavior_weight: mixing weights of the two soft
+            scores.
+        chain_window: instruction window for statistical and behavioral
+            chain scoring.
+        min_table_entries: minimum run length for jump-table detection.
+        min_padding_run: minimum padding-run length treated as
+            structural padding evidence.
+        alignment: function alignment assumed for prologue scanning.
+    """
+
+    use_statistics: bool = True
+    use_behavior: bool = True
+    use_prioritized_correction: bool = True
+    use_table_resolution: bool = True
+    code_threshold: float = 0.0
+    behavior_veto: float = 0.0
+    stat_weight: float = 1.0
+    behavior_weight: float = 1.0
+    chain_window: int = 6
+    min_table_entries: int = 3
+    min_padding_run: int = 4
+    alignment: int = 16
+
+
+DEFAULT_CONFIG = DisassemblerConfig()
+
+#: Ablation variants evaluated by experiment T4.
+ABLATION_CONFIGS: dict[str, DisassemblerConfig] = {
+    "full": DEFAULT_CONFIG,
+    "stat-only": DisassemblerConfig(use_behavior=False),
+    "behavior-only": DisassemblerConfig(use_statistics=False),
+    "no-priority": DisassemblerConfig(use_prioritized_correction=False),
+    "no-table-resolution": DisassemblerConfig(use_table_resolution=False),
+    # Prioritization shows its value when structural anchors are scarce:
+    # without resolved tables, soft evidence must carry the whole load.
+    "no-priority+no-tables": DisassemblerConfig(
+        use_prioritized_correction=False, use_table_resolution=False),
+}

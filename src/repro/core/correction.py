@@ -1,0 +1,568 @@
+"""The prioritized error-correction algorithm.
+
+Evidence items are processed strongest-first through a priority queue:
+
+1. **Anchors** -- the program entry point; code reached from confirmed
+   code via direct calls/jumps and fall-through ("tracing").
+2. **Structural** -- detected jump/pointer tables (data evidence whose
+   *targets* are simultaneously code evidence) and long padding runs.
+3. **Idioms** -- prologue patterns at aligned offsets.
+4. **Soft** -- statistical + behavioral scores deciding leftover gaps.
+
+Stronger evidence may overwrite decisions made by weaker evidence (the
+"error correction"); a trace that contradicts equal-or-stronger evidence
+near its seed is rolled back entirely, because a wrong seed typically
+derails within a few instructions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.idioms import prologue_score
+from ..analysis.noreturn import compute_returning
+from ..binary.image import MemoryImage
+from ..isa.opcodes import FlowKind
+from ..superset.superset import Superset
+from .config import DisassemblerConfig
+from .evidence import ClassificationState, Evidence, Priority
+from .tables import (ResolvedTable, resolve_indirect_call,
+                     resolve_indirect_jump)
+
+#: A trace that hits a contradiction within this many BFS steps of its
+#: seed is considered refuted and rolled back.
+STRICT_DEPTH = 8
+
+#: Bytes treated as padding when searching gap candidates.
+_PADDING_BYTES = frozenset({0xCC, 0x90, 0x00})
+
+
+@dataclass
+class TraceOutcome:
+    """Result of tracing control flow from one seed."""
+
+    accepted: set[int] = field(default_factory=set)
+    call_targets: set[int] = field(default_factory=set)
+    jump_targets_outside: set[int] = field(default_factory=set)
+    rip_references: set[int] = field(default_factory=set)
+    resolved_tables: list[ResolvedTable] = field(default_factory=list)
+    #: Deferred call continuations: (fall-through offset, callee entry).
+    pending_calls: list[tuple[int, int]] = field(default_factory=list)
+    #: Indirect dispatches whose table resolution failed (retried later,
+    #: once more of the surrounding code is confirmed).
+    unresolved_dispatches: set[int] = field(default_factory=set)
+    aborted: bool = False
+
+
+class CorrectionEngine:
+    """Runs prioritized error correction over one text section."""
+
+    def __init__(self, superset: Superset, scores: np.ndarray,
+                 config: DisassemblerConfig,
+                 image: MemoryImage | None = None,
+                 behavior_scores: np.ndarray | None = None) -> None:
+        self.superset = superset
+        self.scores = scores
+        self.behavior_scores = behavior_scores
+        self.config = config
+        self.image = image if image is not None \
+            else MemoryImage.from_text(superset.text)
+        self.state = ClassificationState(len(superset))
+        self.resolved_tables: list[ResolvedTable] = []
+        self.log: list[str] = []
+        self._sequence = itertools.count()
+        self._heap: list[tuple] = []
+        self._pending_calls: list[tuple[int, int]] = []
+        self._unresolved_dispatches: set[int] = set()
+        self.noreturn_entries: set[int] = set()
+        self.noreturn_fall_sites: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Evidence queue
+    # ------------------------------------------------------------------
+
+    def push(self, evidence: Evidence) -> None:
+        heapq.heappush(self._heap, (-int(evidence.priority),
+                                    -evidence.weight,
+                                    next(self._sequence), evidence))
+
+    def _pop(self) -> Evidence | None:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[-1]
+
+    def drain(self) -> None:
+        """Process queued evidence to quiescence.
+
+        Alternates between emptying the priority queue and resolving
+        deferred call continuations: a call's fall-through is only
+        traced once its (fully traced) callee is known to return, so
+        data placed after noreturn calls is never swallowed as code.
+        """
+        while True:
+            evidence = self._pop()
+            if evidence is not None:
+                self._apply(evidence)
+                continue
+            # Retry unresolved dispatch tables before judging pending
+            # call continuations: returning-ness verdicts depend on
+            # resolved switch targets (a panic handler with a pending
+            # switch would otherwise be presumed returning).
+            if self._retry_dispatches():
+                continue
+            if not self._resolve_pending_calls():
+                return
+
+    def _resolve_pending_calls(self) -> bool:
+        """Release continuations of calls whose callees return.
+
+        Returns True when new evidence was queued (the drain loop must
+        continue).  Continuations of provably-noreturn callees are kept
+        pending; if nothing ever proves them returning, their
+        fall-through bytes are left to gap completion (i.e. data).
+        """
+        if not self._pending_calls:
+            return False
+        targets = {target for _, target in self._pending_calls}
+        resolved_jumps = {table.dispatch: table.targets
+                          for table in self.resolved_tables
+                          if table.kind == "jump" and table.dispatch >= 0}
+        # The fixpoint only changes when the target set or the resolved
+        # dispatch map changes; resolution rounds are frequent, so cache.
+        cache_key = (frozenset(targets), len(resolved_jumps))
+        if getattr(self, "_returning_cache_key", None) == cache_key:
+            returning = self._returning_cache
+        else:
+            returning = compute_returning(
+                self.superset, targets, resolved_jumps=resolved_jumps,
+                resolve_dispatch=self._speculative_dispatch_targets)
+            self._returning_cache_key = cache_key
+            self._returning_cache = returning
+        self.noreturn_entries = {t for t, ok in returning.items()
+                                 if not ok}
+        still_pending = []
+        pushed = False
+        for fall, target in self._pending_calls:
+            if not self.state.is_code_start(target):
+                # Callee not traced yet: no verdict is possible, and
+                # releasing now would lose the continuation forever.
+                still_pending.append((fall, target))
+                continue
+            if not returning.get(target, True):
+                still_pending.append((fall, target))
+                continue
+            if not self.state.is_code_start(fall):
+                self.push(Evidence("code", fall, fall, Priority.ANCHOR,
+                                   1.0, f"call-fallthrough@{target:#x}"))
+                pushed = True
+        self._pending_calls = still_pending
+        self.noreturn_fall_sites = {fall for fall, _ in still_pending}
+        return pushed
+
+    def _apply(self, evidence: Evidence) -> None:
+        if evidence.kind == "data":
+            if self.state.can_mark_data(evidence.offset, evidence.end,
+                                        evidence.priority):
+                self.state.mark_data(evidence.offset, evidence.end,
+                                     evidence.priority)
+                self.log.append(f"data {evidence.offset:#x}-{evidence.end:#x}"
+                                f" <- {evidence.source}")
+            else:
+                self.log.append(f"rejected data {evidence.offset:#x} "
+                                f"({evidence.source}): stronger code there")
+            return
+
+        if self.state.is_code_start(evidence.offset):
+            return
+        outcome = self.trace(evidence.offset, evidence.priority,
+                             evidence.source)
+        if outcome.aborted:
+            self.log.append(f"aborted trace from {evidence.offset:#x} "
+                            f"({evidence.source})")
+            return
+        # Propagate: direct call targets found in confirmed code are
+        # anchors themselves.
+        for target in sorted(outcome.call_targets):
+            if not self.state.is_code_start(target):
+                self.push(Evidence("code", target, target, Priority.ANCHOR,
+                                   1.0, f"call-target@{evidence.offset:#x}"))
+        # Resolved dispatch tables: their bytes are data (when in text),
+        # their targets are code.
+        for table in outcome.resolved_tables:
+            self._apply_resolved_table(table)
+        self._unresolved_dispatches |= outcome.unresolved_dispatches
+
+    def _apply_resolved_table(self, table: ResolvedTable) -> None:
+        if table.in_text and self.state.can_mark_data(
+                table.address, table.end, Priority.STRUCTURAL):
+            self.state.mark_data(table.address, table.end,
+                                 Priority.STRUCTURAL)
+            self.log.append(f"resolved {table.kind} table "
+                            f"{table.address:#x}-{table.end:#x}")
+        for target in sorted(set(table.targets)):
+            if not self.state.is_code_start(target):
+                self.push(Evidence("code", target, target,
+                                   Priority.ANCHOR, 1.0,
+                                   f"{table.kind}-table-target"))
+
+    def _speculative_dispatch_targets(self, offset: int
+                                      ) -> tuple[int, ...] | None:
+        """Resolve a dispatch for verdict purposes only.
+
+        Returning-ness verdicts must not depend on how far tracing has
+        progressed, so the backward dataflow here accepts any decodable
+        predecessor (not just confirmed ones).  Results feed the
+        noreturn analysis, never the classification state.
+        """
+        if not self.config.use_table_resolution:
+            return None
+        cache = getattr(self, "_speculative_cache", None)
+        if cache is None:
+            cache = self._speculative_cache = {}
+        if offset in cache:
+            return cache[offset]
+        instruction = self.superset.at(offset)
+        targets = None
+        if instruction is not None:
+            def permissive(candidate: int) -> bool:
+                return (self.state.is_code_start(candidate)
+                        or self.superset.is_valid(candidate))
+
+            table = resolve_indirect_jump(self.superset, self.image,
+                                          permissive, instruction)
+            if table is not None:
+                targets = table.targets
+        cache[offset] = targets
+        return targets
+
+    def _retry_dispatches(self) -> bool:
+        """Re-attempt table resolution for dispatches that failed.
+
+        Worklist order can visit a dispatch before its defining
+        instructions (a branch target popped early), leaving the
+        backward dataflow without context; once the surrounding code is
+        confirmed, resolution usually succeeds.
+        """
+        if not self.config.use_table_resolution:
+            return False
+        progressed = False
+        for offset in sorted(self._unresolved_dispatches):
+            instruction = self.superset.at(offset)
+            if instruction is None or not self.state.is_code_start(offset):
+                continue
+            if instruction.flow is FlowKind.IJUMP:
+                table = resolve_indirect_jump(self.superset, self.image,
+                                              self.state.is_code_start,
+                                              instruction)
+            else:
+                table = resolve_indirect_call(self.superset, self.image,
+                                              self.state.is_code_start,
+                                              instruction)
+            if table is not None:
+                self._unresolved_dispatches.discard(offset)
+                self.resolved_tables.append(table)
+                self._apply_resolved_table(table)
+                progressed = True
+        return progressed
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def trace(self, seed: int, priority: Priority,
+              source: str) -> TraceOutcome:
+        """Recursive traversal from a seed, marking reached instructions.
+
+        Follows fall-through and direct jump targets; collects direct
+        call targets for the caller to enqueue.  Contradictions with
+        equal-or-stronger existing evidence near the seed abort and roll
+        back the whole trace.
+        """
+        outcome = TraceOutcome()
+        state = self.state
+        undo: dict[int, tuple[int, int]] = {}
+        worklist: list[tuple[int, int]] = [(seed, 0)]
+        visited: set[int] = set()
+
+        def contradiction(depth: int) -> bool:
+            """Returns True when the trace must be aborted."""
+            return depth <= STRICT_DEPTH
+
+        while worklist:
+            offset, depth = worklist.pop()
+            if offset in visited:
+                continue
+            visited.add(offset)
+            if state.is_code_start(offset):
+                continue   # joins already-confirmed code
+            instruction = self.superset.at(offset)
+            if instruction is None or \
+                    not state.can_mark_instruction(offset,
+                                                   instruction.length
+                                                   if instruction else 1,
+                                                   priority):
+                if contradiction(depth):
+                    self._rollback(undo)
+                    outcome.aborted = True
+                    return outcome
+                continue   # prune this path only
+
+            for i in range(offset, min(offset + instruction.length,
+                                       state.size)):
+                if i not in undo:
+                    undo[i] = (state.labels[i], state.priorities[i])
+            state.mark_instruction(offset, instruction.length, priority)
+            outcome.accepted.add(offset)
+
+            if instruction.rip_target is not None \
+                    and 0 <= instruction.rip_target < state.size:
+                outcome.rip_references.add(instruction.rip_target)
+
+            if instruction.flow is FlowKind.CALL:
+                target = instruction.branch_target
+                if target is not None and 0 <= target < state.size:
+                    outcome.call_targets.add(target)
+                    # Defer the continuation: traced only once the
+                    # callee is known to return.
+                    outcome.pending_calls.append((instruction.end,
+                                                  target))
+                    continue
+            elif instruction.flow in (FlowKind.JUMP, FlowKind.CJUMP):
+                target = instruction.branch_target
+                if target is not None:
+                    if 0 <= target < state.size:
+                        worklist.append((target, depth + 1))
+                    else:
+                        outcome.jump_targets_outside.add(target)
+            elif instruction.flow is FlowKind.IJUMP \
+                    and self.config.use_table_resolution:
+                table = resolve_indirect_jump(self.superset, self.image,
+                                              state.is_code_start,
+                                              instruction)
+                if table is not None:
+                    outcome.resolved_tables.append(table)
+                else:
+                    outcome.unresolved_dispatches.add(offset)
+            elif instruction.flow is FlowKind.ICALL \
+                    and self.config.use_table_resolution:
+                table = resolve_indirect_call(self.superset, self.image,
+                                              state.is_code_start,
+                                              instruction)
+                if table is not None:
+                    outcome.resolved_tables.append(table)
+                else:
+                    outcome.unresolved_dispatches.add(offset)
+
+            if instruction.flow is FlowKind.TRAP:
+                continue   # padding trap: execution never proceeds here
+            if instruction.falls_through and instruction.end < state.size:
+                worklist.append((instruction.end, depth + 1))
+
+        self.resolved_tables.extend(outcome.resolved_tables)
+        self._pending_calls.extend(outcome.pending_calls)
+        return outcome
+
+    def _rollback(self, undo: dict[int, tuple[int, int]]) -> None:
+        for offset, (label, priority) in undo.items():
+            self.state.labels[offset] = label
+            self.state.priorities[offset] = priority
+
+    # ------------------------------------------------------------------
+    # Gap completion
+    # ------------------------------------------------------------------
+
+    def complete_gaps(self, *, max_rounds: int = 25) -> None:
+        """Classify every remaining unknown byte.
+
+        With prioritized correction, each round scores all gap
+        candidates, accepts them best-first (so a confident gap decision
+        can create call-target anchors that settle weaker gaps before
+        their own soft scores are consulted), and marks hopeless gaps as
+        data.  Without it (ablation), gaps are decided once, in address
+        order.
+        """
+        if not self.config.use_prioritized_correction:
+            self._complete_gaps_single_pass()
+            return
+
+        for _ in range(max_rounds):
+            gaps = self.state.unknown_gaps()
+            if not gaps:
+                break
+            candidates = []
+            for gap_id, (start, end) in enumerate(gaps):
+                for score, offset in self._gap_candidates(start, end):
+                    candidates.append((score, offset, gap_id))
+            # Best-first within the round: a confident gap decision is
+            # traced (and its call targets drained) before weaker gap
+            # candidates are considered, so anchors settle weak gaps
+            # before their own soft scores would have to.  At most one
+            # acceptance per gap per round: once a gap is touched, its
+            # residue is re-scored next round rather than strip-mined
+            # with stale candidates.
+            progressed = False
+            settled_gaps: set[int] = set()
+            for score, offset, gap_id in sorted(candidates, reverse=True):
+                if gap_id in settled_gaps:
+                    continue
+                if not self.state.is_unknown(offset):
+                    settled_gaps.add(gap_id)
+                    continue   # an earlier trace already settled it
+                self.push(Evidence("code", offset, offset, Priority.SOFT,
+                                   score, "gap-score"))
+                self.drain()
+                if self.state.is_code_start(offset):
+                    progressed = True
+                    settled_gaps.add(gap_id)
+            if not progressed:
+                # No acceptable code candidate anywhere: everything
+                # left is data.
+                break
+        for start, end in self.state.unknown_gaps():
+            self.state.mark_data(start, end, Priority.SOFT)
+        self.realign_residues()
+
+    def _complete_gaps_single_pass(self) -> None:
+        for start, end in self.state.unknown_gaps():
+            for score, offset in self._gap_candidates(start, end):
+                if not self.state.is_unknown(offset):
+                    break
+                self.push(Evidence("code", offset, offset, Priority.SOFT,
+                                   score, "gap-score"))
+                self.drain()
+                if self.state.is_code_start(offset):
+                    break
+        for start, end in self.state.unknown_gaps():
+            self.state.mark_data(start, end, Priority.SOFT)
+
+    def _gap_candidates(self, start: int, end: int
+                        ) -> list[tuple[float, int]]:
+        """Code-like candidate starts within a gap, best first."""
+        if start in self.noreturn_fall_sites:
+            # The gap is the continuation of a call to a proven-noreturn
+            # function: unreachable by construction, hence data.  (Any
+            # real code in it would be a branch target, and branch
+            # targets are traced as anchors before gaps are scored.)
+            return []
+        ranked = []
+        for offset in self._gap_candidate_offsets(start, end):
+            if not self.superset.is_valid(offset):
+                continue
+            if self.behavior_scores is not None and \
+                    self.behavior_scores[offset] <= \
+                    self.config.behavior_veto:
+                continue   # behavioral veto: behaves like data
+            score = float(self.scores[offset])
+            score += 0.5 * prologue_score(self.superset, offset)
+            if score <= self.config.code_threshold:
+                continue
+            if not self._chain_terminates_cleanly(offset):
+                continue
+            ranked.append((score, offset))
+        return sorted(ranked, reverse=True)
+
+    def _chain_terminates_cleanly(self, offset: int, *,
+                                  limit: int = 40) -> bool:
+        """Hard gate for soft gap candidates.
+
+        Real leftover code (jump-table case blocks, indirect-only
+        functions) either ends at a control-flow terminator or flows
+        into confirmed code *at an instruction boundary*.  Data that
+        happens to decode runs into padding traps, undecodable bytes,
+        classified data, or mid-instruction joins instead.
+        """
+        state = self.state
+        current = offset
+        for _ in range(limit):
+            instruction = self.superset.at(current)
+            if instruction is None:
+                return False
+            if instruction.flow in (FlowKind.TRAP, FlowKind.HALT):
+                return False     # real code does not fall into padding
+            for i in range(current, min(instruction.end, state.size)):
+                if state.is_data(i) and \
+                        state.priorities[i] > Priority.SOFT:
+                    return False
+            if not instruction.falls_through:
+                return True
+            nxt = instruction.end
+            if nxt >= state.size:
+                return False
+            if state.is_code_start(nxt):
+                return True
+            if state.is_code(nxt):
+                return False     # joins confirmed code mid-instruction
+            current = nxt
+        return True
+
+    def _gap_candidate_offsets(self, start: int, end: int) -> list[int]:
+        text = self.superset.text
+        offsets = set()
+        cursor = start
+        while cursor < end and text[cursor] in _PADDING_BYTES:
+            cursor += 1
+        # Every offset in the first bytes after leading padding: gaps
+        # usually begin exactly at a real instruction, but misdecoded
+        # neighbors can shift the boundary by a few bytes.
+        offsets.update(range(start, min(end, start + 2)))
+        offsets.update(range(cursor, min(end, cursor + 12)))
+        alignment = self.config.alignment
+        aligned = start + (-start % alignment)
+        for candidate in range(aligned, min(end, aligned + 4 * alignment),
+                               alignment):
+            offsets.add(candidate)
+        return sorted(o for o in offsets if start <= o < end)
+
+    # ------------------------------------------------------------------
+    # Residue realignment
+    # ------------------------------------------------------------------
+
+    def realign_residues(self, *, max_size: int = 15) -> None:
+        """Convert tiny soft-data residues that tile cleanly into code.
+
+        A wrong early decision sometimes leaves a short unclaimed
+        residue directly in front of confirmed code (x86 decoding
+        self-synchronizes after a few bytes).  When the residue decodes
+        as a clean instruction run ending exactly at the following
+        confirmed instruction, the correct fix is to accept it as code.
+        """
+        for start, end in self.state.data_regions():
+            if end - start > max_size:
+                continue
+            if end >= self.state.size or not self.state.is_code_start(end):
+                continue
+            if any(fall <= start < fall + 32
+                   for fall in self.noreturn_fall_sites):
+                continue   # unreachable continuation of a noreturn call
+            if any(self.state.priorities[i] > Priority.SOFT
+                   for i in range(start, end)):
+                continue
+            run = self._clean_tile(start, end)
+            if run is None:
+                continue
+            for offset, length in run:
+                self.state.mark_instruction(offset, length, Priority.SOFT)
+            self.log.append(f"realigned residue {start:#x}-{end:#x}")
+
+    def priority_of_region(self, start: int, end: int) -> int:
+        return max((self.state.priorities[i] for i in range(start, end)),
+                   default=0)
+
+    def _clean_tile(self, start: int, end: int
+                    ) -> list[tuple[int, int]] | None:
+        """Instructions exactly tiling [start, end), or None."""
+        run = []
+        cursor = start
+        while cursor < end:
+            instruction = self.superset.at(cursor)
+            if instruction is None or instruction.end > end:
+                return None
+            if not instruction.falls_through and instruction.end != end:
+                return None
+            run.append((cursor, instruction.length))
+            cursor = instruction.end
+        return run if cursor == end else None

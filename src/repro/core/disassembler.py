@@ -1,0 +1,196 @@
+"""The public disassembler: statistical + behavioral + prioritized correction.
+
+:class:`Disassembler` is the library's primary API.  Given a stripped
+binary (or raw text bytes), it produces a
+:class:`~repro.result.DisassemblyResult` containing accepted
+instructions, data regions, and function entries:
+
+>>> from repro import Disassembler
+>>> result = Disassembler().disassemble(binary)        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.behavior import BehaviorAnalyzer
+from ..analysis.idioms import (PROLOGUE_THRESHOLD, likely_function_starts,
+                               prologue_score)
+from ..binary.container import Binary
+from ..binary.image import MemoryImage
+from ..binary.loader import TestCase
+from ..result import DisassemblyResult
+from ..stats.datamodel import TableCandidate, find_jump_tables
+from ..stats.scoring import StatisticalScorer
+from ..stats.training import Models, default_models
+from ..superset.superset import Superset
+from .config import DEFAULT_CONFIG, DisassemblerConfig
+from .correction import CorrectionEngine
+from .evidence import Evidence, Priority
+from .functions import identify_functions
+
+#: Minimum mean candidate score for a detected table's targets; tables
+#: whose targets do not look like code are treated as spurious.
+TARGET_SCORE_BAR = -1.0
+
+
+@dataclass
+class Disassembly:
+    """Rich output: the result plus the intermediate state (for tooling)."""
+
+    result: DisassemblyResult
+    superset: Superset
+    scores: np.ndarray
+    tables: list[TableCandidate]
+    log: list[str]
+    noreturn_entries: set[int]
+    resolved_tables: list = None   # ResolvedTable list from the engine
+
+
+class Disassembler:
+    """Metadata-free disassembler for complex x86-64 binaries.
+
+    Args:
+        models: trained statistical models; defaults to models trained on
+            the standard training corpus (cached process-wide).
+        config: algorithm knobs (see :class:`DisassemblerConfig`).
+    """
+
+    def __init__(self, models: Models | None = None,
+                 config: DisassemblerConfig = DEFAULT_CONFIG) -> None:
+        self.models = models if models is not None else default_models()
+        self.config = config
+        self._scorer = StatisticalScorer(self.models.code, self.models.data,
+                                         window=config.chain_window)
+        self._analyzer = BehaviorAnalyzer(window=config.chain_window)
+
+    # ------------------------------------------------------------------
+
+    def disassemble(self, target: Binary | TestCase | bytes,
+                    entry: int | None = None) -> DisassemblyResult:
+        """Disassemble and return the result only."""
+        return self.disassemble_rich(target, entry=entry).result
+
+    def disassemble_rich(self, target: Binary | TestCase | bytes,
+                         entry: int | None = None) -> Disassembly:
+        """Disassemble and return the result plus intermediate state."""
+        text, entry, image = _extract(target, entry)
+        config = self.config
+
+        superset = Superset.build(text)
+        behavior = (self._analyzer.score_all(superset)
+                    if config.use_behavior else None)
+        scores = self._combined_scores(superset, behavior)
+        engine = CorrectionEngine(superset, scores, config, image=image,
+                                  behavior_scores=behavior)
+
+        # Structural phase: detected tables are data, their targets code.
+        # Statistical detection is strong but not proof (a literal pool
+        # can mimic a table), so its targets carry STRUCTURAL priority:
+        # genuinely traced code (ANCHOR) may override them, while
+        # dataflow-resolved tables found during tracing stay ANCHOR.
+        tables = self._validated_tables(text, superset, scores)
+        for table in tables:
+            engine.state.mark_data(table.start, table.end,
+                                   Priority.STRUCTURAL)
+            engine.log.append(f"table {table.start:#x}-{table.end:#x} "
+                              f"({table.entry_size}-byte entries)")
+            for target in sorted(set(table.targets)):
+                engine.push(Evidence("code", target, target,
+                                     Priority.STRUCTURAL, 1.0,
+                                     "table-target"))
+
+        # Anchor phase: the program entry point.
+        if 0 <= entry < len(text):
+            engine.push(Evidence("code", entry, entry, Priority.ANCHOR,
+                                 2.0, "entry-point"))
+
+        # Idiom phase: aligned prologues.
+        for offset in likely_function_starts(superset,
+                                             alignment=config.alignment):
+            engine.push(Evidence("code", offset, offset, Priority.IDIOM,
+                                 1.0, "prologue"))
+
+        engine.drain()
+        engine.complete_gaps()
+
+        state = engine.state
+        instructions = {offset: superset.at(offset).length
+                        for offset in state.instruction_starts()}
+        # Resolved pointer tables point at functions by construction;
+        # statistically detected 8-byte tables may be jump *or* pointer
+        # tables, so their targets must additionally look like openings.
+        pointer_targets = frozenset(
+            t for table in engine.resolved_tables for t in table.targets
+            if table.kind == "pointer")
+        pointer_targets |= frozenset(
+            t for table in tables for t in table.targets
+            if table.entry_size == 8
+            and prologue_score(superset, t) >= PROLOGUE_THRESHOLD)
+        functions = identify_functions(
+            superset, state, entry,
+            pointer_table_targets=pointer_targets,
+            alignment=config.alignment)
+
+        result = DisassemblyResult(
+            tool="repro",
+            instructions=instructions,
+            data_regions=state.data_regions(),
+            function_entries={span.entry for span in functions},
+        )
+        return Disassembly(result=result, superset=superset, scores=scores,
+                           tables=tables, log=engine.log,
+                           noreturn_entries=set(engine.noreturn_entries),
+                           resolved_tables=list(engine.resolved_tables))
+
+    # ------------------------------------------------------------------
+
+    def _combined_scores(self, superset: Superset,
+                         behavior: np.ndarray | None) -> np.ndarray:
+        config = self.config
+        scores = np.zeros(len(superset))
+        if config.use_statistics:
+            scores += config.stat_weight * self._scorer.score_all(superset)
+        if config.use_behavior and behavior is not None:
+            scores += config.behavior_weight * behavior
+        if not config.use_statistics and not config.use_behavior:
+            # Degenerate configuration: fall back to "decodes at all".
+            for offset in superset.valid_offsets:
+                scores[offset] = 0.1
+        return scores
+
+    def _validated_tables(self, text: bytes, superset: Superset,
+                          scores: np.ndarray) -> list[TableCandidate]:
+        """Detected tables whose targets actually look like code."""
+        tables = find_jump_tables(text,
+                                  min_entries=self.config.min_table_entries,
+                                  is_plausible_target=superset.is_valid)
+        validated = []
+        for table in tables:
+            target_scores = [float(scores[t]) for t in table.targets]
+            if np.mean(target_scores) >= TARGET_SCORE_BAR:
+                validated.append(table)
+        return validated
+
+
+def _extract(target: Binary | TestCase | bytes,
+             entry: int | None) -> tuple[bytes, int, MemoryImage]:
+    if isinstance(target, TestCase):
+        binary = target.binary
+        text = target.text
+        default_entry = binary.entry - binary.text.addr
+        image = MemoryImage.from_binary(binary)
+    elif isinstance(target, Binary):
+        section = target.text
+        text = section.data
+        default_entry = target.entry - section.addr
+        image = MemoryImage.from_binary(target)
+    elif isinstance(target, (bytes, bytearray)):
+        text = bytes(target)
+        default_entry = 0
+        image = MemoryImage.from_text(text)
+    else:
+        raise TypeError(f"cannot disassemble {type(target).__name__}")
+    return text, entry if entry is not None else default_entry, image

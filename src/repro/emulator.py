@@ -1,0 +1,548 @@
+"""A small x86-64 emulator for dynamic validation of disassembly.
+
+Static disassembly claims a set of instruction starts; actually
+*executing* the binary produces ground truth no static tool can argue
+with.  The emulator interprets the subset of x86-64 the synthetic
+compiler emits (moves, ALU, flags, branches, calls through registers
+and tables) and records every offset it executes, enabling the dynamic
+cross-check::
+
+    executed offsets  ⊆  ground-truth instruction starts   (generator ok)
+    executed offsets  ⊆  predicted instruction starts      (tool recall)
+
+Values are deterministic: uninitialized memory reads produce zero, the
+arguments of the entry function are fixed, so a run is reproducible.
+
+The emulator is deliberately strict: an instruction outside the
+supported subset raises :class:`EmulationError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .binary.container import Binary
+from .binary.image import MemoryImage
+from .binary.loader import TestCase
+from .isa.decoder import try_decode
+from .isa.instruction import Instruction
+from .isa.operands import ImmOp, MemOp, RegOp, RelOp
+from .isa.registers import (ARGUMENT_REGISTERS, RAX, RBP, RCX, RDX, RSP)
+
+MASK64 = (1 << 64) - 1
+
+#: Initial stack pointer (well above any section).
+STACK_TOP = 0x7FF0_0000
+
+#: Return address sentinel: a ``ret`` to this address ends the run.
+EXIT_SENTINEL = 0xDEAD_0000
+
+
+class EmulationError(RuntimeError):
+    """Unsupported instruction or invalid machine state."""
+
+
+@dataclass
+class Flags:
+    zf: bool = False
+    sf: bool = False
+    cf: bool = False
+    of: bool = False
+    pf: bool = False
+
+    def condition(self, cc: int) -> bool:
+        if cc == 0:
+            return self.of
+        if cc == 1:
+            return not self.of
+        if cc == 2:
+            return self.cf
+        if cc == 3:
+            return not self.cf
+        if cc == 4:
+            return self.zf
+        if cc == 5:
+            return not self.zf
+        if cc == 6:
+            return self.cf or self.zf
+        if cc == 7:
+            return not (self.cf or self.zf)
+        if cc == 8:
+            return self.sf
+        if cc == 9:
+            return not self.sf
+        if cc == 10:
+            return self.pf
+        if cc == 11:
+            return not self.pf
+        if cc == 12:
+            return self.sf != self.of
+        if cc == 13:
+            return self.sf == self.of
+        if cc == 14:
+            return self.zf or (self.sf != self.of)
+        if cc == 15:
+            return not self.zf and (self.sf == self.of)
+        raise EmulationError(f"bad condition code {cc}")
+
+
+class Memory:
+    """Sections as backing store, with a sparse write overlay.
+
+    Reads of unmapped, unwritten addresses yield zero bytes, which keeps
+    runs deterministic without modeling an OS.
+    """
+
+    def __init__(self, image: MemoryImage) -> None:
+        self._image = image
+        self._overlay: dict[int, int] = {}
+
+    def read(self, addr: int, size: int) -> int:
+        value = 0
+        for i in range(size):
+            a = addr + i
+            if a in self._overlay:
+                byte = self._overlay[a]
+            else:
+                raw = self._image.read(a, 1)
+                byte = raw[0] if raw else 0
+            value |= byte << (8 * i)
+        return value
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        for i in range(size):
+            self._overlay[addr + i] = (value >> (8 * i)) & 0xFF
+
+
+@dataclass
+class RunResult:
+    """Outcome of one emulation run."""
+
+    executed: list[int]                 # offsets in execution order
+    stop_reason: str                    # "exit" | "halt" | "trap" | ...
+    steps: int
+    return_value: int
+
+    @property
+    def executed_set(self) -> set[int]:
+        return set(self.executed)
+
+
+class Emulator:
+    """Interprets the generated x86-64 subset over a memory image."""
+
+    def __init__(self, target: Binary | TestCase | bytes) -> None:
+        if isinstance(target, TestCase):
+            target = target.binary
+        if isinstance(target, (bytes, bytearray)):
+            self.image = MemoryImage.from_text(bytes(target))
+            self.text = bytes(target)
+        else:
+            self.image = MemoryImage.from_binary(target)
+            self.text = target.text.data
+        self.memory = Memory(self.image)
+        self.regs = [0] * 16
+        self.flags = Flags()
+        self.rip = 0
+
+    # ------------------------------------------------------------------
+    # Register/operand access
+    # ------------------------------------------------------------------
+
+    def read_reg(self, operand: RegOp) -> int:
+        register = operand.register
+        value = self.regs[register.family]
+        if register.high_byte:
+            return (value >> 8) & 0xFF
+        if register.width == 64:
+            return value
+        return value & ((1 << register.width) - 1)
+
+    def write_reg(self, operand: RegOp, value: int) -> None:
+        register = operand.register
+        family = register.family
+        if register.high_byte:
+            self.regs[family] = (self.regs[family] & ~0xFF00) \
+                | ((value & 0xFF) << 8)
+        elif register.width == 64:
+            self.regs[family] = value & MASK64
+        elif register.width == 32:
+            # 32-bit writes zero-extend, per the architecture.
+            self.regs[family] = value & 0xFFFFFFFF
+        else:
+            mask = (1 << register.width) - 1
+            self.regs[family] = (self.regs[family] & ~mask) \
+                | (value & mask)
+
+    def address_of(self, operand: MemOp) -> int:
+        if operand.rip_relative:
+            if operand.target is None:
+                raise EmulationError("unresolved rip-relative operand")
+            return operand.target
+        addr = operand.disp
+        if operand.base is not None:
+            addr += self.regs[operand.base.family]
+        if operand.index is not None:
+            addr += self.regs[operand.index.family] * operand.scale
+        return addr & MASK64
+
+    def read_operand(self, operand, width: int) -> int:
+        if isinstance(operand, RegOp):
+            return self.read_reg(operand)
+        if isinstance(operand, ImmOp):
+            return operand.value & ((1 << width) - 1)
+        if isinstance(operand, MemOp):
+            return self.memory.read(self.address_of(operand), width // 8)
+        raise EmulationError(f"cannot read operand {operand}")
+
+    def write_operand(self, operand, value: int, width: int) -> None:
+        if isinstance(operand, RegOp):
+            self.write_reg(operand, value)
+            return
+        if isinstance(operand, MemOp):
+            self.memory.write(self.address_of(operand), value, width // 8)
+            return
+        raise EmulationError(f"cannot write operand {operand}")
+
+    @staticmethod
+    def _width_of(instruction: Instruction) -> int:
+        for operand in instruction.operands:
+            if isinstance(operand, RegOp):
+                return operand.register.width
+            if isinstance(operand, MemOp) and operand.width:
+                return operand.width
+        return 64
+
+    # ------------------------------------------------------------------
+    # Stack
+    # ------------------------------------------------------------------
+
+    def push(self, value: int) -> None:
+        self.regs[RSP] = (self.regs[RSP] - 8) & MASK64
+        self.memory.write(self.regs[RSP], value, 8)
+
+    def pop(self) -> int:
+        value = self.memory.read(self.regs[RSP], 8)
+        self.regs[RSP] = (self.regs[RSP] + 8) & MASK64
+        return value
+
+    # ------------------------------------------------------------------
+    # Flags
+    # ------------------------------------------------------------------
+
+    def _set_result_flags(self, result: int, width: int) -> None:
+        mask = (1 << width) - 1
+        result &= mask
+        self.flags.zf = result == 0
+        self.flags.sf = bool(result >> (width - 1))
+        self.flags.pf = bin(result & 0xFF).count("1") % 2 == 0
+
+    def _flags_add(self, a: int, b: int, width: int) -> int:
+        mask = (1 << width) - 1
+        a &= mask
+        b &= mask
+        result = a + b
+        self.flags.cf = result > mask
+        result &= mask
+        sign = 1 << (width - 1)
+        self.flags.of = bool((~(a ^ b) & (a ^ result)) & sign)
+        self._set_result_flags(result, width)
+        return result
+
+    def _flags_sub(self, a: int, b: int, width: int) -> int:
+        mask = (1 << width) - 1
+        a &= mask
+        b &= mask
+        result = (a - b) & mask
+        self.flags.cf = b > a
+        sign = 1 << (width - 1)
+        self.flags.of = bool(((a ^ b) & (a ^ result)) & sign)
+        self._set_result_flags(result, width)
+        return result
+
+    def _flags_logic(self, result: int, width: int) -> int:
+        result &= (1 << width) - 1
+        self.flags.cf = False
+        self.flags.of = False
+        self._set_result_flags(result, width)
+        return result
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, entry: int = 0, *, max_steps: int = 500_000,
+            args: tuple[int, ...] = (3, 7, 1, 2, 5, 11)) -> RunResult:
+        """Execute from ``entry`` until exit, halt or the step limit."""
+        self.rip = entry
+        self.regs[RSP] = STACK_TOP
+        for register, value in zip(ARGUMENT_REGISTERS, args):
+            self.regs[register] = value
+        self.push(EXIT_SENTINEL)
+
+        executed: list[int] = []
+        steps = 0
+        stop_reason = "steps"
+        while steps < max_steps:
+            if self.rip == EXIT_SENTINEL:
+                stop_reason = "exit"
+                break
+            instruction = try_decode(self.text, self.rip)
+            if instruction is None:
+                stop_reason = "undecodable"
+                break
+            executed.append(self.rip)
+            steps += 1
+            try:
+                stop = self._execute(instruction)
+            except EmulationError:
+                stop_reason = "unsupported"
+                break
+            if stop is not None:
+                stop_reason = stop
+                break
+        return RunResult(executed=executed, stop_reason=stop_reason,
+                         steps=steps, return_value=self.regs[RAX])
+
+    def _execute(self, ins: Instruction) -> str | None:
+        """Execute one instruction; returns a stop reason or None."""
+        mnemonic = ins.mnemonic
+        operands = ins.operands
+        width = self._width_of(ins)
+        next_rip = ins.end
+        handled = True
+
+        if mnemonic == "nop" or mnemonic.startswith("hint"):
+            pass
+        elif mnemonic == "mov":
+            value = self.read_operand(operands[1], width)
+            self.write_operand(operands[0], value, width)
+        elif mnemonic in ("movzx", "movsx", "movsxd"):
+            src = operands[1]
+            src_width = (src.register.width if isinstance(src, RegOp)
+                         else src.width or 32)
+            value = self.read_operand(src, src_width)
+            if mnemonic != "movzx":
+                sign = 1 << (src_width - 1)
+                if value & sign:
+                    value |= MASK64 ^ ((1 << src_width) - 1)
+            self.write_operand(operands[0], value,
+                               operands[0].register.width)
+        elif mnemonic == "lea":
+            self.write_operand(operands[0], self.address_of(operands[1]),
+                               operands[0].register.width)
+        elif mnemonic in ("add", "adc"):
+            a = self.read_operand(operands[0], width)
+            b = self.read_operand(operands[1], width)
+            carry = self.flags.cf if mnemonic == "adc" else 0
+            result = self._flags_add(a, b + carry, width)
+            self.write_operand(operands[0], result, width)
+        elif mnemonic in ("sub", "sbb"):
+            a = self.read_operand(operands[0], width)
+            b = self.read_operand(operands[1], width)
+            borrow = self.flags.cf if mnemonic == "sbb" else 0
+            result = self._flags_sub(a, b + borrow, width)
+            self.write_operand(operands[0], result, width)
+        elif mnemonic == "cmp":
+            a = self.read_operand(operands[0], width)
+            b = self.read_operand(operands[1], width)
+            self._flags_sub(a, b, width)
+        elif mnemonic in ("and", "or", "xor"):
+            a = self.read_operand(operands[0], width)
+            b = self.read_operand(operands[1], width)
+            result = {"and": a & b, "or": a | b, "xor": a ^ b}[mnemonic]
+            result = self._flags_logic(result, width)
+            self.write_operand(operands[0], result, width)
+        elif mnemonic == "test":
+            a = self.read_operand(operands[0], width)
+            b = self.read_operand(operands[1], width)
+            self._flags_logic(a & b, width)
+        elif mnemonic == "inc":
+            carry = self.flags.cf
+            result = self._flags_add(
+                self.read_operand(operands[0], width), 1, width)
+            self.flags.cf = carry     # inc preserves CF
+            self.write_operand(operands[0], result, width)
+        elif mnemonic == "dec":
+            carry = self.flags.cf
+            result = self._flags_sub(
+                self.read_operand(operands[0], width), 1, width)
+            self.flags.cf = carry
+            self.write_operand(operands[0], result, width)
+        elif mnemonic == "neg":
+            result = self._flags_sub(0, self.read_operand(operands[0],
+                                                          width), width)
+            self.write_operand(operands[0], result, width)
+        elif mnemonic == "not":
+            value = self.read_operand(operands[0], width)
+            self.write_operand(operands[0], ~value, width)
+        elif mnemonic == "imul":
+            if len(operands) == 3:
+                a = self.read_operand(operands[1], width)
+                b = self.read_operand(operands[2], width)
+            else:
+                a = self.read_operand(operands[0], width)
+                b = self.read_operand(operands[1], width)
+            product = _signed(a, width) * _signed(b, width)
+            fits = -(1 << (width - 1)) <= product < (1 << (width - 1))
+            self.flags.cf = self.flags.of = not fits
+            result = product & ((1 << width) - 1)
+            self._set_result_flags(result, width)
+            self.write_operand(operands[0], result, width)
+        elif mnemonic in ("shl", "shr", "sar"):
+            a = self.read_operand(operands[0], width)
+            count = (self.read_operand(operands[1], 8)
+                     if len(operands) > 1 else self.regs[RCX]) & 0x3F
+            if width != 64:
+                count &= 0x1F
+            if mnemonic == "shl":
+                result = a << count
+                self.flags.cf = bool(result >> width & 1) if count else \
+                    self.flags.cf
+            elif mnemonic == "shr":
+                self.flags.cf = bool(a >> (count - 1) & 1) if count else \
+                    self.flags.cf
+                result = a >> count
+            else:
+                signed = _signed(a, width)
+                self.flags.cf = bool(signed >> (count - 1) & 1) \
+                    if count else self.flags.cf
+                result = signed >> count
+            result &= (1 << width) - 1
+            if count:
+                self._set_result_flags(result, width)
+            self.write_operand(operands[0], result, width)
+        elif mnemonic in ("rol", "ror"):
+            a = self.read_operand(operands[0], width)
+            count = (self.read_operand(operands[1], 8)
+                     if len(operands) > 1 else self.regs[RCX]) % width
+            if mnemonic == "rol":
+                result = ((a << count) | (a >> (width - count))) \
+                    & ((1 << width) - 1) if count else a
+            else:
+                result = ((a >> count) | (a << (width - count))) \
+                    & ((1 << width) - 1) if count else a
+            self.write_operand(operands[0], result, width)
+        elif mnemonic == "xchg":
+            a = self.read_operand(operands[0], width)
+            b = self.read_operand(operands[1], width)
+            self.write_operand(operands[0], b, width)
+            self.write_operand(operands[1], a, width)
+        elif mnemonic == "push":
+            self.push(self.read_operand(operands[0], 64)
+                      if operands else 0)
+        elif mnemonic == "pop":
+            self.write_operand(operands[0], self.pop(), 64)
+        elif mnemonic == "leave":
+            self.regs[RSP] = self.regs[RBP]
+            self.regs[RBP] = self.pop()
+        elif mnemonic == "cdq":
+            self.regs[RDX] = (MASK64 if self.regs[RAX] & (1 << 31) else 0) \
+                & 0xFFFFFFFF
+        elif mnemonic == "cqo":
+            self.regs[RDX] = MASK64 if self.regs[RAX] & (1 << 63) else 0
+        elif mnemonic == "cwd":
+            self.regs[RDX] = (self.regs[RDX] & ~0xFFFF) | (
+                0xFFFF if self.regs[RAX] & 0x8000 else 0)
+        elif mnemonic == "cwde":
+            value = self.regs[RAX] & 0xFFFF
+            if value & 0x8000:
+                value |= 0xFFFF0000
+            self.regs[RAX] = value
+        elif mnemonic == "cdqe":
+            value = self.regs[RAX] & 0xFFFFFFFF
+            if value & 0x80000000:
+                value |= MASK64 ^ 0xFFFFFFFF
+            self.regs[RAX] = value
+        elif mnemonic.startswith("set."):
+            cc = int(mnemonic.split(".")[1])
+            self.write_operand(operands[0],
+                               1 if self.flags.condition(cc) else 0, 8)
+        elif mnemonic.startswith("cmov."):
+            cc = int(mnemonic.split(".")[1])
+            if self.flags.condition(cc):
+                value = self.read_operand(operands[1], width)
+                self.write_operand(operands[0], value, width)
+        elif mnemonic.startswith("j.") or mnemonic == "jmp" \
+                or mnemonic == "call" or mnemonic == "ret":
+            return self._execute_flow(ins)
+        elif mnemonic == "hlt":
+            return "halt"
+        elif mnemonic == "ud2":
+            return "halt"
+        elif mnemonic in ("int3", "int1"):
+            return "trap"
+        else:
+            handled = False
+
+        if not handled:
+            raise EmulationError(f"unsupported instruction: {ins}")
+        self.rip = next_rip
+        return None
+
+    def _execute_flow(self, ins: Instruction) -> str | None:
+        mnemonic = ins.mnemonic
+        if mnemonic.startswith("j."):
+            cc = int(mnemonic.split(".")[1])
+            target = ins.operands[0]
+            assert isinstance(target, RelOp)
+            self.rip = target.target if self.flags.condition(cc) \
+                else ins.end
+            return None
+        if mnemonic == "jmp":
+            self.rip = self._flow_target(ins)
+            return None
+        if mnemonic == "call":
+            self.push(ins.end)
+            self.rip = self._flow_target(ins)
+            return None
+        if mnemonic == "ret":
+            self.rip = self.pop()
+            if ins.operands and isinstance(ins.operands[0], ImmOp):
+                self.regs[RSP] = (self.regs[RSP]
+                                  + ins.operands[0].value) & MASK64
+            return None
+        raise EmulationError(f"unsupported flow: {ins}")
+
+    def _flow_target(self, ins: Instruction) -> int:
+        operand = ins.operands[0]
+        if isinstance(operand, RelOp):
+            return operand.target
+        if isinstance(operand, RegOp):
+            return self.read_reg(operand)
+        if isinstance(operand, MemOp):
+            return self.memory.read(self.address_of(operand), 8)
+        raise EmulationError(f"bad flow operand in {ins}")
+
+
+def _signed(value: int, width: int) -> int:
+    sign = 1 << (width - 1)
+    return value - (1 << width) if value & sign else value
+
+
+def validate_dynamically(case: TestCase, predicted_starts: set[int],
+                         *, entries: tuple[int, ...] = (0,),
+                         max_steps: int = 200_000) -> dict:
+    """Run the binary and cross-check execution against predictions.
+
+    Returns a report with the executed offsets, how many of them the
+    ground truth confirms (generator sanity), and how many the predicted
+    instruction set covers (dynamic recall of the disassembler).
+    """
+    executed: set[int] = set()
+    stop_reasons = []
+    for entry in entries:
+        emulator = Emulator(case)
+        result = emulator.run(entry, max_steps=max_steps)
+        executed |= result.executed_set
+        stop_reasons.append(result.stop_reason)
+
+    truth = case.truth.instruction_starts
+    return {
+        "executed": executed,
+        "stop_reasons": stop_reasons,
+        "executed_in_truth": len(executed & truth),
+        "executed_not_in_truth": sorted(executed - truth),
+        "executed_predicted": len(executed & predicted_starts),
+        "executed_missed": sorted(executed - predicted_starts),
+    }

@@ -1,0 +1,13 @@
+"""Evaluation harness: metrics, dataset, experiment runners."""
+
+from .dataset import (EVAL_FUNCTIONS, EVAL_SEEDS, CaseCharacteristics,
+                      characteristics, evaluation_corpus)
+from .metrics import (ByteErrors, Evaluation, PrecisionRecall, aggregate,
+                      evaluate)
+from .report import Table
+
+__all__ = [
+    "EVAL_FUNCTIONS", "EVAL_SEEDS", "CaseCharacteristics",
+    "characteristics", "evaluation_corpus", "ByteErrors", "Evaluation",
+    "PrecisionRecall", "aggregate", "evaluate", "Table",
+]

@@ -1,0 +1,69 @@
+"""The standard evaluation corpus and its characteristics (Table T1).
+
+Evaluation binaries use seeds 0..N-1; training binaries use the
+dedicated :data:`~repro.stats.training.TRAINING_SEEDS`, so models are
+never fit on the binaries they are scored against.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from ..binary.loader import TestCase
+from ..synth.corpus import BinarySpec, generate_binary
+from ..synth.styles import STYLES
+
+#: Seeds for the default evaluation corpus.
+EVAL_SEEDS = (0, 1, 2)
+
+#: Default function count per evaluation binary.
+EVAL_FUNCTIONS = 50
+
+
+@functools.lru_cache(maxsize=8)
+def evaluation_corpus(seeds: tuple[int, ...] = EVAL_SEEDS,
+                      function_count: int = EVAL_FUNCTIONS
+                      ) -> tuple[TestCase, ...]:
+    """The default corpus: every compiler style at every seed (cached)."""
+    cases = []
+    for style_name in sorted(STYLES):
+        for seed in seeds:
+            spec = BinarySpec(name=f"{style_name}-s{seed}",
+                              style=STYLES[style_name],
+                              function_count=function_count, seed=seed)
+            cases.append(generate_binary(spec))
+    return tuple(cases)
+
+
+@dataclass(frozen=True)
+class CaseCharacteristics:
+    """Dataset statistics for one binary (one row of Table T1)."""
+
+    name: str
+    text_bytes: int
+    code_bytes: int
+    data_bytes: int
+    padding_bytes: int
+    functions: int
+    jump_tables: int
+    instructions: int
+
+    @property
+    def embedded_data_percent(self) -> float:
+        scored = self.code_bytes + self.data_bytes
+        return 100.0 * self.data_bytes / scored if scored else 0.0
+
+
+def characteristics(case: TestCase) -> CaseCharacteristics:
+    truth = case.truth
+    return CaseCharacteristics(
+        name=case.name,
+        text_bytes=truth.size,
+        code_bytes=truth.code_bytes,
+        data_bytes=truth.data_bytes,
+        padding_bytes=truth.padding_bytes,
+        functions=len(truth.functions),
+        jump_tables=len(truth.jump_tables),
+        instructions=len(truth.instruction_starts),
+    )

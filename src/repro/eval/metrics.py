@@ -1,0 +1,140 @@
+"""Accuracy metrics: instruction-level, byte-level, function-level.
+
+Conventions (matching common practice in the disassembly literature):
+
+* Padding bytes are excluded from all metrics -- tools are penalized
+  neither for decoding padding nor for calling it data.
+* Instruction-level: a true positive is a predicted instruction start
+  that is a ground-truth instruction start.
+* Byte-level: a text byte is "predicted code" when covered by any
+  accepted instruction; *false-code* errors are ground-truth data bytes
+  predicted as code, *missed-code* errors are ground-truth code bytes
+  not predicted as code.  Their sum is the headline total-error count
+  the paper's 3x-4x claim is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..binary.groundtruth import ByteKind, GroundTruth
+from ..result import DisassemblyResult
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+
+@dataclass(frozen=True)
+class ByteErrors:
+    """Byte-level confusion between code and data."""
+
+    false_code: int     # data bytes claimed as code
+    missed_code: int    # code bytes not claimed as code
+    code_bytes: int     # ground-truth code bytes considered
+    data_bytes: int     # ground-truth data bytes considered
+
+    @property
+    def total_errors(self) -> int:
+        return self.false_code + self.missed_code
+
+    @property
+    def error_rate(self) -> float:
+        denominator = self.code_bytes + self.data_bytes
+        return self.total_errors / denominator if denominator else 0.0
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Full scoring of one tool result against ground truth."""
+
+    tool: str
+    instructions: PrecisionRecall
+    bytes: ByteErrors
+    functions: PrecisionRecall
+
+
+def evaluate(result: DisassemblyResult, truth: GroundTruth) -> Evaluation:
+    """Score a disassembly result against exact ground truth."""
+    true_starts = truth.instruction_starts
+    predicted_starts = result.instruction_starts
+
+    def scored(offset: int) -> bool:
+        return truth.kind_at(offset) != ByteKind.PADDING
+
+    tp = sum(1 for o in predicted_starts if o in true_starts)
+    fp = sum(1 for o in predicted_starts
+             if o not in true_starts and scored(o))
+    fn = sum(1 for o in true_starts if o not in predicted_starts)
+    instruction_metrics = PrecisionRecall(tp, fp, fn)
+
+    predicted_code = result.code_byte_offsets()
+    false_code = 0
+    missed_code = 0
+    code_bytes = 0
+    data_bytes = 0
+    for offset in range(truth.size):
+        kind = truth.kind_at(offset)
+        if kind == ByteKind.PADDING:
+            continue
+        is_code = kind in (ByteKind.INSN_START, ByteKind.INSN_INTERIOR)
+        if is_code:
+            code_bytes += 1
+            if offset not in predicted_code:
+                missed_code += 1
+        else:
+            data_bytes += 1
+            if offset in predicted_code:
+                false_code += 1
+    byte_errors = ByteErrors(false_code=false_code, missed_code=missed_code,
+                             code_bytes=code_bytes, data_bytes=data_bytes)
+
+    true_entries = truth.function_entries
+    predicted_entries = result.function_entries
+    ftp = len(predicted_entries & true_entries)
+    ffp = len(predicted_entries - true_entries)
+    ffn = len(true_entries - predicted_entries)
+    function_metrics = PrecisionRecall(ftp, ffp, ffn)
+
+    return Evaluation(tool=result.tool, instructions=instruction_metrics,
+                      bytes=byte_errors, functions=function_metrics)
+
+
+def aggregate(evaluations: list[Evaluation], tool: str) -> Evaluation:
+    """Pool counts across binaries (micro-average)."""
+    def pool_pr(parts: list[PrecisionRecall]) -> PrecisionRecall:
+        return PrecisionRecall(
+            sum(p.true_positives for p in parts),
+            sum(p.false_positives for p in parts),
+            sum(p.false_negatives for p in parts),
+        )
+
+    return Evaluation(
+        tool=tool,
+        instructions=pool_pr([e.instructions for e in evaluations]),
+        bytes=ByteErrors(
+            false_code=sum(e.bytes.false_code for e in evaluations),
+            missed_code=sum(e.bytes.missed_code for e in evaluations),
+            code_bytes=sum(e.bytes.code_bytes for e in evaluations),
+            data_bytes=sum(e.bytes.data_bytes for e in evaluations),
+        ),
+        functions=pool_pr([e.functions for e in evaluations]),
+    )

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled table of experiment rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.4f}" if abs(value) < 100 else f"{value:.1f}"
+            return str(value)
+
+        cells = [[fmt(row.get(col, "")) for col in self.columns]
+                 for row in self.rows]
+        widths = [max(len(col), *(len(r[i]) for r in cells)) if cells
+                  else len(col)
+                  for i, col in enumerate(self.columns)]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(col.ljust(w)
+                           for col, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(w)
+                                   for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]

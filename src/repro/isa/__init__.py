@@ -1,0 +1,25 @@
+"""Pure-Python x86-64 instruction set: decoder, encoder, metadata.
+
+This package replaces capstone for the purposes of this reproduction: it
+decodes a large x86-64 subset (all prefixes, REX, ModRM/SIB, one- and
+two-byte opcode maps) into rich :class:`~repro.isa.instruction.Instruction`
+objects that carry the control-flow and register-effect metadata the
+disassembly analyses need, and it provides a small assembler used by the
+synthetic binary generator.
+"""
+
+from .decoder import decode, try_decode
+from .encoder import Assembler, AssemblyError, Mem, mem, rip
+from .errors import (DecodeError, InvalidOpcodeError, TooLongError,
+                     TruncatedError)
+from .instruction import Instruction
+from .opcodes import FlowKind
+from .operands import ImmOp, MemOp, RegOp, RelOp
+from .registers import Register, reg, register_by_name
+
+__all__ = [
+    "decode", "try_decode", "Assembler", "AssemblyError", "Mem", "mem",
+    "rip", "DecodeError", "InvalidOpcodeError", "TooLongError",
+    "TruncatedError", "Instruction", "FlowKind", "ImmOp", "MemOp", "RegOp",
+    "RelOp", "Register", "reg", "register_by_name",
+]

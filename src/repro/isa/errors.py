@@ -1,0 +1,30 @@
+"""Decode-failure exceptions.
+
+Each failure mode is a distinct class because the behavioral analyses
+care *why* a byte sequence failed to decode: hitting an undefined opcode
+mid-stream is strong evidence of data, while running off the end of the
+buffer is not evidence of anything.
+"""
+
+from __future__ import annotations
+
+
+class DecodeError(ValueError):
+    """Base class for all instruction-decoding failures."""
+
+    def __init__(self, offset: int, reason: str) -> None:
+        super().__init__(f"cannot decode at {offset:#x}: {reason}")
+        self.offset = offset
+        self.reason = reason
+
+
+class InvalidOpcodeError(DecodeError):
+    """The byte sequence does not encode a valid x86-64 instruction."""
+
+
+class TruncatedError(DecodeError):
+    """The instruction runs past the end of the buffer."""
+
+
+class TooLongError(DecodeError):
+    """The encoding exceeds the architectural 15-byte limit."""

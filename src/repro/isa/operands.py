@@ -1,0 +1,75 @@
+"""Operand value objects produced by the decoder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .registers import Register
+
+
+@dataclass(frozen=True)
+class RegOp:
+    """A direct register operand."""
+
+    register: Register
+
+    def __str__(self) -> str:
+        return self.register.name
+
+
+@dataclass(frozen=True)
+class ImmOp:
+    """An immediate constant (sign-extended to its natural width)."""
+
+    value: int
+    width: int   # encoded width in bits
+
+    def __str__(self) -> str:
+        return hex(self.value)
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """A memory reference: ``[base + index*scale + disp]``.
+
+    ``rip_relative`` marks the 64-bit RIP-relative form, in which case
+    ``disp`` is relative to the end of the instruction and ``target``
+    (filled in by the decoder) is the absolute referenced offset.
+    """
+
+    base: Register | None = None
+    index: Register | None = None
+    scale: int = 1
+    disp: int = 0
+    rip_relative: bool = False
+    target: int | None = None
+    width: int = 0   # access width in bits, 0 if not meaningful (lea)
+
+    def __str__(self) -> str:
+        if self.rip_relative:
+            where = f"rip{self.disp:+#x}"
+            if self.target is not None:
+                where += f" -> {self.target:#x}"
+            return f"[{where}]"
+        parts = []
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            parts.append(f"{self.index.name}*{self.scale}")
+        body = " + ".join(parts) if parts else ""
+        if self.disp or not parts:
+            body += f"{self.disp:+#x}" if parts else f"{self.disp:#x}"
+        return f"[{body}]"
+
+
+@dataclass(frozen=True)
+class RelOp:
+    """A direct branch target, already resolved to an absolute offset."""
+
+    target: int
+
+    def __str__(self) -> str:
+        return f"{self.target:#x}"
+
+
+Operand = RegOp | ImmOp | MemOp | RelOp

@@ -1,0 +1,103 @@
+"""Register definitions for the x86-64 subset.
+
+Registers are identified by a small integer (the hardware encoding number
+0-15) together with a width in bits.  The :class:`Register` value object
+carries both, plus the conventional name (``rax``, ``eax``, ``ax``,
+``al`` ...).  Downstream analyses (def-use scoring, calling-convention
+idioms) only care about the *family* of a register -- ``eax`` and ``rax``
+alias the same underlying hardware register -- so :attr:`Register.family`
+exposes the hardware number directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Hardware register numbers (also the ModRM encoding values).
+RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI = range(8)
+R8, R9, R10, R11, R12, R13, R14, R15 = range(8, 16)
+
+_NAMES_64 = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+]
+_NAMES_32 = [
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+]
+_NAMES_16 = [
+    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+    "r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w",
+]
+# 8-bit names with REX present (spl/bpl/sil/dil instead of ah/ch/dh/bh).
+_NAMES_8 = [
+    "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+    "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b",
+]
+# Legacy high-byte registers, encodings 4-7 when no REX prefix is present.
+_NAMES_8_HIGH = {4: "ah", 5: "ch", 6: "dh", 7: "bh"}
+
+_NAME_TABLES = {64: _NAMES_64, 32: _NAMES_32, 16: _NAMES_16, 8: _NAMES_8}
+
+
+@dataclass(frozen=True)
+class Register:
+    """A general-purpose register reference.
+
+    Attributes:
+        number: hardware encoding number, 0-15.
+        width: operand width in bits (8, 16, 32 or 64).
+        high_byte: True only for the legacy ah/ch/dh/bh encodings.
+    """
+
+    number: int
+    width: int
+    high_byte: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.number <= 15:
+            raise ValueError(f"register number out of range: {self.number}")
+        if self.width not in (8, 16, 32, 64):
+            raise ValueError(f"unsupported register width: {self.width}")
+        if self.high_byte and (self.width != 8 or self.number not in (4, 5, 6, 7)):
+            raise ValueError("high-byte form only exists for ah/ch/dh/bh")
+
+    @property
+    def name(self) -> str:
+        if self.high_byte:
+            return _NAMES_8_HIGH[self.number]
+        return _NAME_TABLES[self.width][self.number]
+
+    @property
+    def family(self) -> int:
+        """The underlying hardware register, ignoring width (0-15)."""
+        return self.number
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def reg(number: int, width: int = 64) -> Register:
+    """Shorthand constructor used pervasively by the encoder and tests."""
+    return Register(number, width)
+
+
+def register_by_name(name: str) -> Register:
+    """Look up a register by conventional name (``"rax"``, ``"r8d"`` ...)."""
+    for width, table in _NAME_TABLES.items():
+        if name in table:
+            return Register(table.index(name), width)
+    for number, high_name in _NAMES_8_HIGH.items():
+        if name == high_name:
+            return Register(number, 8, high_byte=True)
+    raise KeyError(f"unknown register name: {name!r}")
+
+
+#: Registers that the System V AMD64 calling convention uses for arguments.
+ARGUMENT_REGISTERS = (RDI, RSI, RDX, RCX, R8, R9)
+
+#: Callee-saved registers under the System V AMD64 ABI.
+CALLEE_SAVED = (RBX, RBP, R12, R13, R14, R15)
+
+#: Caller-saved (volatile) registers under the System V AMD64 ABI.
+CALLER_SAVED = (RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11)

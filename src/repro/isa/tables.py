@@ -1,0 +1,322 @@
+"""x86-64 opcode tables for the table-driven decoder.
+
+Two tables are exported:
+
+* :data:`ONE_BYTE` -- the primary opcode map (indexed by the opcode byte).
+* :data:`TWO_BYTE` -- the ``0F``-escaped secondary map.
+
+Entries are :class:`~repro.isa.opcodes.OpcodeInfo` values or ``None`` for
+byte values that are invalid in 64-bit mode (these raise
+``InvalidOpcodeError`` at decode time, which is itself an important
+behavioral signal: real data frequently hits them, real code never does).
+
+The table aims to mirror the true x86-64 decode surface closely enough
+that *random data bytes usually decode to valid-looking instructions* --
+the property that makes the code/data separation problem hard.  SIMD
+opcodes are decoded structurally (prefixes, ModRM, immediates are all
+parsed correctly) under generic mnemonics, since downstream analyses only
+need their length and the fact that they touch no general-purpose state.
+"""
+
+from __future__ import annotations
+
+from .opcodes import (Encoding, FlowKind, GroupEntry, ImmSize, OpcodeInfo,
+                      op)
+
+E = Encoding
+I = ImmSize
+F = FlowKind
+
+#: Legacy prefix bytes (segment overrides, operand/address size, lock/rep).
+LEGACY_PREFIXES = frozenset({
+    0xF0, 0xF2, 0xF3,              # lock, repne, rep
+    0x2E, 0x36, 0x3E, 0x26, 0x64, 0x65,  # segment overrides
+    0x66, 0x67,                    # operand-size, address-size
+})
+
+#: Maximum encoded instruction length, per the architecture.
+MAX_INSTRUCTION_LENGTH = 15
+
+
+def _alu_block(mnemonic: str) -> list[OpcodeInfo]:
+    """The classic 6-opcode ALU block (add/or/adc/sbb/and/sub/xor/cmp)."""
+    return [
+        op(mnemonic, E.MR, byte_op=True),
+        op(mnemonic, E.MR),
+        op(mnemonic, E.RM, byte_op=True),
+        op(mnemonic, E.RM),
+        op(mnemonic, E.I, imm=I.B, byte_op=True),
+        op(mnemonic, E.I, imm=I.Z),
+    ]
+
+
+_GROUP1 = tuple(GroupEntry(m) for m in
+                ("add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"))
+_GROUP2 = tuple(GroupEntry(m) if m else None for m in
+                ("rol", "ror", "rcl", "rcr", "shl", "shr", None, "sar"))
+_GROUP3_8 = (
+    GroupEntry("test", imm=I.B), GroupEntry("test", imm=I.B),
+    GroupEntry("not"), GroupEntry("neg"),
+    GroupEntry("mul"), GroupEntry("imul1"),
+    GroupEntry("div"), GroupEntry("idiv"),
+)
+_GROUP3_V = (
+    GroupEntry("test", imm=I.Z), GroupEntry("test", imm=I.Z),
+    GroupEntry("not"), GroupEntry("neg"),
+    GroupEntry("mul"), GroupEntry("imul1"),
+    GroupEntry("div"), GroupEntry("idiv"),
+)
+_GROUP4 = (GroupEntry("inc"), GroupEntry("dec")) + (None,) * 6
+_GROUP5 = (
+    GroupEntry("inc"), GroupEntry("dec"),
+    GroupEntry("call", flow=F.ICALL, default_64=True), None,
+    GroupEntry("jmp", flow=F.IJUMP, default_64=True), None,
+    GroupEntry("push", default_64=True), None,
+)
+_GROUP8 = (None, None, None, None,
+           GroupEntry("bt", imm=I.B), GroupEntry("bts", imm=I.B),
+           GroupEntry("btr", imm=I.B), GroupEntry("btc", imm=I.B))
+_GROUP11 = (GroupEntry("mov"),) + (None,) * 7
+_GROUP1A = (GroupEntry("pop", default_64=True),) + (None,) * 7
+
+
+def _build_one_byte() -> list[OpcodeInfo | None]:
+    t: list[OpcodeInfo | None] = [None] * 256
+
+    for base, mnemonic in ((0x00, "add"), (0x08, "or"), (0x10, "adc"),
+                           (0x18, "sbb"), (0x20, "and"), (0x28, "sub"),
+                           (0x30, "xor"), (0x38, "cmp")):
+        for j, info in enumerate(_alu_block(mnemonic)):
+            t[base + j] = info
+
+    t[0x63] = op("movsxd", E.RM)
+    t[0x68] = op("push", E.I, imm=I.Z, default_64=True)
+    t[0x69] = op("imul", E.RMI, imm=I.Z)
+    t[0x6A] = op("push", E.I, imm=I.B, default_64=True)
+    t[0x6B] = op("imul", E.RMI, imm=I.B)
+    t[0x6C] = op("insb", rare=True)
+    t[0x6D] = op("insd", rare=True)
+    t[0x6E] = op("outsb", rare=True)
+    t[0x6F] = op("outsd", rare=True)
+
+    for r in range(8):
+        t[0x50 + r] = op("push", E.O, default_64=True)
+        t[0x58 + r] = op("pop", E.O, default_64=True)
+
+    for cc in range(16):          # jcc rel8
+        t[0x70 + cc] = op(f"j.{cc}", E.D, imm=I.B, flow=F.CJUMP)
+
+    t[0x80] = op("", E.MI, imm=I.B, byte_op=True, group=_GROUP1)
+    t[0x81] = op("", E.MI, imm=I.Z, group=_GROUP1)
+    t[0x83] = op("", E.MI, imm=I.B, group=_GROUP1)
+    t[0x84] = op("test", E.MR, byte_op=True)
+    t[0x85] = op("test", E.MR)
+    t[0x86] = op("xchg", E.MR, byte_op=True)
+    t[0x87] = op("xchg", E.MR)
+    t[0x88] = op("mov", E.MR, byte_op=True)
+    t[0x89] = op("mov", E.MR)
+    t[0x8A] = op("mov", E.RM, byte_op=True)
+    t[0x8B] = op("mov", E.RM)
+    t[0x8C] = op("mov_sreg", E.MR, rare=True)
+    t[0x8D] = op("lea", E.RM)
+    t[0x8E] = op("mov_sreg", E.RM, rare=True)
+    t[0x8F] = op("", E.M, group=_GROUP1A)
+
+    t[0x90] = op("nop")
+    for r in range(1, 8):
+        t[0x90 + r] = op("xchg", E.O)
+    t[0x98] = op("cwde")
+    t[0x99] = op("cdq")
+    t[0x9B] = op("fwait", rare=True)
+    t[0x9C] = op("pushf", default_64=True)
+    t[0x9D] = op("popf", default_64=True)
+    t[0x9E] = op("sahf", rare=True)
+    t[0x9F] = op("lahf", rare=True)
+
+    # A0-A3: mov rAX <-> moffs64; the decoder special-cases the 8-byte
+    # absolute address these carry in 64-bit mode.
+    t[0xA0] = op("mov_moffs", byte_op=True, rare=True)
+    t[0xA1] = op("mov_moffs", rare=True)
+    t[0xA2] = op("mov_moffs", byte_op=True, rare=True)
+    t[0xA3] = op("mov_moffs", rare=True)
+    t[0xA4] = op("movs", byte_op=True)
+    t[0xA5] = op("movs")
+    t[0xA6] = op("cmps", byte_op=True, rare=True)
+    t[0xA7] = op("cmps", rare=True)
+    t[0xA8] = op("test", E.I, imm=I.B, byte_op=True)
+    t[0xA9] = op("test", E.I, imm=I.Z)
+    t[0xAA] = op("stos", byte_op=True)
+    t[0xAB] = op("stos")
+    t[0xAC] = op("lods", byte_op=True, rare=True)
+    t[0xAD] = op("lods", rare=True)
+    t[0xAE] = op("scas", byte_op=True, rare=True)
+    t[0xAF] = op("scas", rare=True)
+
+    for r in range(8):
+        t[0xB0 + r] = op("mov", E.OI, imm=I.B, byte_op=True)
+        t[0xB8 + r] = op("mov", E.OI, imm=I.V)
+
+    t[0xC0] = op("", E.MI, imm=I.B, byte_op=True, group=_GROUP2)
+    t[0xC1] = op("", E.MI, imm=I.B, group=_GROUP2)
+    t[0xC2] = op("ret", E.I, imm=I.W, flow=F.RET)
+    t[0xC3] = op("ret", flow=F.RET)
+    t[0xC6] = op("", E.MI, imm=I.B, byte_op=True, group=_GROUP11)
+    t[0xC7] = op("", E.MI, imm=I.Z, group=_GROUP11)
+    t[0xC8] = op("enter", rare=True)   # imm16+imm8, special-cased
+    t[0xC9] = op("leave")
+    t[0xCA] = op("retf", E.I, imm=I.W, flow=F.RET, rare=True)
+    t[0xCB] = op("retf", flow=F.RET, rare=True)
+    t[0xCC] = op("int3", flow=F.TRAP)
+    t[0xCD] = op("int", E.I, imm=I.B, rare=True)
+    t[0xCF] = op("iret", flow=F.RET, rare=True)
+
+    t[0xD0] = op("", E.M, byte_op=True, group=_GROUP2)
+    t[0xD1] = op("", E.M, group=_GROUP2)
+    t[0xD2] = op("", E.M, byte_op=True, group=_GROUP2)  # shift by cl
+    t[0xD3] = op("", E.M, group=_GROUP2)
+    t[0xD7] = op("xlat", rare=True)
+    for b in range(0xD8, 0xE0):   # x87 escape block: ModRM always follows
+        t[b] = op("x87", E.M, group=tuple(GroupEntry("x87") for _ in range(8)),
+                  rare=True)
+
+    t[0xE0] = op("loopne", E.D, imm=I.B, flow=F.CJUMP, rare=True)
+    t[0xE1] = op("loope", E.D, imm=I.B, flow=F.CJUMP, rare=True)
+    t[0xE2] = op("loop", E.D, imm=I.B, flow=F.CJUMP, rare=True)
+    t[0xE3] = op("jrcxz", E.D, imm=I.B, flow=F.CJUMP, rare=True)
+    t[0xE4] = op("in", E.I, imm=I.B, byte_op=True, rare=True)
+    t[0xE5] = op("in", E.I, imm=I.B, rare=True)
+    t[0xE6] = op("out", E.I, imm=I.B, byte_op=True, rare=True)
+    t[0xE7] = op("out", E.I, imm=I.B, rare=True)
+    t[0xE8] = op("call", E.D, imm=I.Z, flow=F.CALL)
+    t[0xE9] = op("jmp", E.D, imm=I.Z, flow=F.JUMP)
+    t[0xEB] = op("jmp", E.D, imm=I.B, flow=F.JUMP)
+    t[0xEC] = op("in", byte_op=True, rare=True)
+    t[0xED] = op("in", rare=True)
+    t[0xEE] = op("out", byte_op=True, rare=True)
+    t[0xEF] = op("out", rare=True)
+
+    t[0xF1] = op("int1", flow=F.TRAP, rare=True)
+    t[0xF4] = op("hlt", flow=F.HALT, rare=True)
+    t[0xF5] = op("cmc", rare=True)
+    t[0xF6] = op("", E.M, byte_op=True, group=_GROUP3_8)
+    t[0xF7] = op("", E.M, group=_GROUP3_V)
+    t[0xF8] = op("clc", rare=True)
+    t[0xF9] = op("stc", rare=True)
+    t[0xFA] = op("cli", rare=True)
+    t[0xFB] = op("sti", rare=True)
+    t[0xFC] = op("cld", rare=True)
+    t[0xFD] = op("std", rare=True)
+    t[0xFE] = op("", E.M, byte_op=True, group=_GROUP4)
+    t[0xFF] = op("", E.M, group=_GROUP5)
+    return t
+
+
+#: Two-byte opcodes that decode as generic SIMD with ModRM, no GPR effect.
+_SSE_RANGES = (
+    range(0x10, 0x18), range(0x28, 0x30), range(0x50, 0x77),
+    range(0x7C, 0x80), range(0xD0, 0xD7), range(0xD8, 0xF0),
+    range(0xF1, 0xFF),
+)
+#: SIMD opcodes that additionally carry an imm8 (shuffles, compares, ...).
+_SSE_IMM8 = frozenset({0x70, 0xC2, 0xC4, 0xC5, 0xC6})
+
+
+def _build_two_byte() -> list[OpcodeInfo | None]:
+    t: list[OpcodeInfo | None] = [None] * 256
+
+    _g = GroupEntry
+    t[0x00] = op("", E.M, rare=True, group=tuple(
+        _g(m) if m else None for m in
+        ("sldt", "str", "lldt", "ltr", "verr", "verw", None, None)))
+    t[0x01] = op("", E.M, rare=True, group=tuple(
+        _g(m) if m else None for m in
+        ("sgdt", "sidt", "lgdt", "lidt", "smsw", None, "lmsw", "invlpg")))
+    t[0x02] = op("lar", E.RM, rare=True)
+    t[0x03] = op("lsl", E.RM, rare=True)
+    t[0x05] = op("syscall")
+    t[0x06] = op("clts", rare=True)
+    t[0x0B] = op("ud2", flow=F.HALT)
+    t[0x0D] = op("prefetch", E.M, rare=True,
+                 group=tuple(_g("prefetch") for _ in range(8)))
+
+    for b in range(0x18, 0x20):   # hint-nop space; 0F 1F /0 is long nop
+        t[b] = op("hintnop", E.M,
+                  group=tuple(_g("nop") for _ in range(8)))
+
+    t[0x30] = op("wrmsr", rare=True)
+    t[0x31] = op("rdtsc")
+    t[0x32] = op("rdmsr", rare=True)
+    t[0x33] = op("rdpmc", rare=True)
+    t[0x34] = op("sysenter", rare=True)
+    t[0x35] = op("sysexit", rare=True)
+
+    for cc in range(16):
+        t[0x40 + cc] = op(f"cmov.{cc}", E.RM)
+        t[0x80 + cc] = op(f"j.{cc}", E.D, imm=I.Z, flow=F.CJUMP)
+        t[0x90 + cc] = op(f"set.{cc}", E.M, byte_op=True,
+                          group=tuple(_g(f"set.{cc}") for _ in range(8)))
+
+    t[0x77] = op("emms", rare=True)
+    t[0xA0] = op("push_sreg", default_64=True, rare=True)
+    t[0xA1] = op("pop_sreg", default_64=True, rare=True)
+    t[0xA2] = op("cpuid")
+    t[0xA3] = op("bt", E.MR)
+    t[0xA4] = op("shld", E.MR, imm=I.B)
+    t[0xA5] = op("shld", E.MR)
+    t[0xA8] = op("push_sreg", default_64=True, rare=True)
+    t[0xA9] = op("pop_sreg", default_64=True, rare=True)
+    t[0xAB] = op("bts", E.MR)
+    t[0xAC] = op("shrd", E.MR, imm=I.B)
+    t[0xAD] = op("shrd", E.MR)
+    t[0xAE] = op("fence", E.M, rare=True,
+                 group=tuple(_g("fence") for _ in range(8)))
+    t[0xAF] = op("imul", E.RM)
+    t[0xB0] = op("cmpxchg", E.MR, byte_op=True, rare=True)
+    t[0xB1] = op("cmpxchg", E.MR, rare=True)
+    t[0xB3] = op("btr", E.MR)
+    t[0xB6] = op("movzx", E.RM)
+    t[0xB7] = op("movzx", E.RM)
+    t[0xB8] = op("popcnt", E.RM)
+    t[0xBA] = op("", E.MI, imm=I.B, group=_GROUP8)
+    t[0xBB] = op("btc", E.MR)
+    t[0xBC] = op("bsf", E.RM)
+    t[0xBD] = op("bsr", E.RM)
+    t[0xBE] = op("movsx", E.RM)
+    t[0xBF] = op("movsx", E.RM)
+    t[0xC0] = op("xadd", E.MR, byte_op=True, rare=True)
+    t[0xC1] = op("xadd", E.MR, rare=True)
+    t[0xC3] = op("movnti", E.MR)
+    t[0xC7] = op("", E.M, rare=True, group=tuple(
+        _g(m) if m else None for m in
+        (None, "cmpxchg8b", None, None, None, None, "rdrand", "rdseed")))
+    for r in range(8):
+        t[0xC8 + r] = op("bswap", E.O)
+
+    for rng in _SSE_RANGES:
+        for b in rng:
+            if t[b] is None:
+                imm = I.B if b in _SSE_IMM8 else I.NONE
+                enc = E.RMI if imm is I.B else E.RM
+                t[b] = op(f"simd.{b:02x}", enc, imm=imm)
+    return t
+
+
+ONE_BYTE: tuple[OpcodeInfo | None, ...] = tuple(_build_one_byte())
+TWO_BYTE: tuple[OpcodeInfo | None, ...] = tuple(_build_two_byte())
+
+#: Mnemonics that write the arithmetic flags.
+FLAG_WRITERS = frozenset({
+    "add", "or", "adc", "sbb", "and", "sub", "xor", "cmp", "test",
+    "inc", "dec", "neg", "imul", "imul1", "mul", "div", "idiv",
+    "rol", "ror", "rcl", "rcr", "shl", "shr", "sar", "shld", "shrd",
+    "bt", "bts", "btr", "btc", "bsf", "bsr", "popcnt", "xadd",
+    "cmpxchg", "sahf", "clc", "stc", "cmc",
+})
+
+#: Mnemonics whose behavior depends on the arithmetic flags.
+FLAG_READERS = frozenset(
+    {"adc", "sbb", "rcl", "rcr", "lahf", "pushf"}
+    | {f"j.{cc}" for cc in range(16)}
+    | {f"set.{cc}" for cc in range(16)}
+    | {f"cmov.{cc}" for cc in range(16)}
+)

@@ -1,0 +1,106 @@
+"""Human-readable disassembly listings (objdump-style output).
+
+Used by the command-line interface and handy in notebooks: renders a
+:class:`~repro.result.DisassemblyResult` over its text bytes, with
+function headers, instruction columns, and collapsed data regions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .isa.decoder import try_decode
+from .result import DisassemblyResult
+
+#: Data regions longer than this are elided in the middle.
+_DATA_PREVIEW_BYTES = 16
+
+
+def render_listing(text: bytes, result: DisassemblyResult,
+                   *, start: int = 0, end: int | None = None) -> str:
+    """Render the classified section as an assembly listing."""
+    return "\n".join(iter_listing_lines(text, result, start=start,
+                                        end=end))
+
+
+def iter_listing_lines(text: bytes, result: DisassemblyResult,
+                       *, start: int = 0,
+                       end: int | None = None) -> Iterator[str]:
+    end = len(text) if end is None else min(end, len(text))
+    instructions = result.instructions
+    entries = result.function_entries
+    data_starts = {region_start: region_end
+                   for region_start, region_end in result.data_regions}
+
+    offset = start
+    function_index = 0
+    while offset < end:
+        if offset in entries:
+            function_index += 1
+            yield ""
+            yield f"{offset:#08x} <func_{offset:04x}>:"
+        if offset in instructions:
+            instruction = try_decode(text, offset)
+            if instruction is None:   # defensive: stale result
+                yield _data_line(text, offset, offset + 1)
+                offset += 1
+                continue
+            raw = instruction.raw.hex()
+            operands = ", ".join(str(o) for o in instruction.operands)
+            yield (f"  {offset:#08x}:  {raw:<22s} "
+                   f"{instruction.display_mnemonic} {operands}".rstrip())
+            offset = instruction.end
+        elif offset in data_starts:
+            region_end = min(data_starts[offset], end)
+            yield _data_line(text, offset, region_end)
+            offset = region_end
+        else:
+            # Interior byte of something (or unclassified); emit singly.
+            yield _data_line(text, offset, offset + 1)
+            offset += 1
+
+
+def _data_line(text: bytes, start: int, end: int) -> str:
+    blob = text[start:end]
+    preview = blob[:_DATA_PREVIEW_BYTES].hex(" ")
+    suffix = " ..." if len(blob) > _DATA_PREVIEW_BYTES else ""
+    printable = "".join(chr(b) if 0x20 <= b < 0x7F else "."
+                        for b in blob[:_DATA_PREVIEW_BYTES])
+    return (f"  {start:#08x}:  <data {end - start} bytes> "
+            f"{preview}{suffix}  |{printable}|")
+
+
+def classify_data_regions(text: bytes, result: DisassemblyResult
+                          ) -> list[tuple[int, int, str]]:
+    """Label each data region with its likely kind.
+
+    Returns ``(start, end, kind)`` triples where kind is one of
+    ``"jump-table"``, ``"string"``, ``"padding"`` or ``"literal-pool"``.
+    """
+    from .stats.datamodel import (find_ascii_runs, find_jump_tables,
+                                  find_padding_runs)
+
+    table_bytes: set[int] = set()
+    for table in find_jump_tables(text):
+        table_bytes.update(range(table.start, table.end))
+    string_bytes: set[int] = set()
+    for run in find_ascii_runs(text):
+        if run.terminated:
+            string_bytes.update(range(run.start, run.end))
+    padding_bytes: set[int] = set()
+    for run_start, run_end in find_padding_runs(text, min_length=2):
+        padding_bytes.update(range(run_start, run_end))
+
+    classified = []
+    for start, end in result.data_regions:
+        span = range(start, end)
+        counts = {
+            "jump-table": sum(1 for o in span if o in table_bytes),
+            "string": sum(1 for o in span if o in string_bytes),
+            "padding": sum(1 for o in span if o in padding_bytes),
+        }
+        kind, best = max(counts.items(), key=lambda kv: kv[1])
+        if best < (end - start) / 2:
+            kind = "literal-pool"
+        classified.append((start, end, kind))
+    return classified

@@ -1,0 +1,72 @@
+"""The common output type every disassembler (ours and baselines) produces."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DisassemblyResult:
+    """What a disassembly tool claims about a text section.
+
+    Attributes:
+        tool: name of the producing tool.
+        instructions: accepted instruction starts mapped to their encoded
+            lengths.
+        data_regions: maximal [start, end) byte ranges classified as data.
+        function_entries: claimed function entry offsets (empty for tools
+            that do not identify functions).
+    """
+
+    tool: str
+    instructions: dict[int, int] = field(default_factory=dict)
+    data_regions: list[tuple[int, int]] = field(default_factory=list)
+    function_entries: set[int] = field(default_factory=set)
+
+    @property
+    def instruction_starts(self) -> set[int]:
+        return set(self.instructions)
+
+    def code_byte_offsets(self) -> set[int]:
+        """Every byte offset covered by an accepted instruction."""
+        covered: set[int] = set()
+        for start, length in self.instructions.items():
+            covered.update(range(start, start + length))
+        return covered
+
+    def data_byte_offsets(self) -> set[int]:
+        covered: set[int] = set()
+        for start, end in self.data_regions:
+            covered.update(range(start, end))
+        return covered
+
+    def summary(self) -> str:
+        return (f"{self.tool}: {len(self.instructions)} instructions, "
+                f"{len(self.data_regions)} data regions, "
+                f"{len(self.function_entries)} functions")
+
+    # ------------------------------------------------------------------
+    # Serialization (for CLI pipelines and caching)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "tool": self.tool,
+            "instructions": [[start, length] for start, length
+                             in sorted(self.instructions.items())],
+            "data_regions": [list(region) for region in self.data_regions],
+            "function_entries": sorted(self.function_entries),
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "DisassemblyResult":
+        raw = json.loads(text)
+        return cls(
+            tool=raw["tool"],
+            instructions={start: length
+                          for start, length in raw["instructions"]},
+            data_regions=[tuple(region)
+                          for region in raw["data_regions"]],
+            function_entries=set(raw["function_entries"]),
+        )

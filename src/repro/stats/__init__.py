@@ -1,0 +1,16 @@
+"""Statistical code/data models: n-gram LM, data model, detectors."""
+
+from .datamodel import (AsciiRun, DataByteModel, TableCandidate,
+                        find_ascii_runs, find_jump_tables,
+                        find_padding_runs)
+from .ngram import NgramModel, token_of
+from .scoring import StatisticalScorer, UNDECODABLE_SCORE
+from .training import (Models, TRAINING_SEEDS, data_regions, default_models,
+                       token_sequences, train_models)
+
+__all__ = [
+    "AsciiRun", "DataByteModel", "TableCandidate", "find_ascii_runs",
+    "find_jump_tables", "find_padding_runs", "NgramModel", "token_of",
+    "StatisticalScorer", "UNDECODABLE_SCORE", "Models", "TRAINING_SEEDS",
+    "data_regions", "default_models", "token_sequences", "train_models",
+]

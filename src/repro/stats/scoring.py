@@ -1,0 +1,85 @@
+"""Per-offset statistical code-vs-data scoring.
+
+For every superset candidate we compare two hypotheses for the bytes it
+covers (together with its fall-through window): "this is real code"
+(scored by the instruction n-gram model) versus "this is data" (scored
+by the data byte model).  The per-byte log-likelihood ratio is the
+paper's soft statistical evidence; large positive values say *code*,
+large negative values say *data*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..superset.superset import Superset
+from .datamodel import DataByteModel, find_ascii_runs
+from .ngram import NgramModel, START, token_of
+
+#: Score assigned to offsets with no valid candidate at all.
+UNDECODABLE_SCORE = -10.0
+
+#: Per-byte penalty applied inside NUL-terminated printable runs: a
+#: C-string-shaped region is data no matter how well it decodes.
+ASCII_PENALTY = 3.0
+
+
+@dataclass
+class StatisticalScorer:
+    """Combines the code n-gram model and the data byte model."""
+
+    code_model: NgramModel
+    data_model: DataByteModel
+    window: int = 6
+
+    def score_offset(self, superset: Superset, offset: int) -> float:
+        """Per-byte LLR of the candidate chain starting at ``offset``."""
+        chain = superset.fallthrough_chain(offset, self.window)
+        if not chain:
+            return UNDECODABLE_SCORE
+        span = chain[-1].end - offset
+        code_lp = self.code_model.score_instructions(chain)
+        data_lp = self.data_model.log_prob(superset.text[offset:offset + span])
+        score = (code_lp - data_lp) / span
+        for run in find_ascii_runs(superset.text):
+            if run.terminated and run.start <= offset < run.end:
+                score -= ASCII_PENALTY
+                break
+        return score
+
+    def score_all(self, superset: Superset) -> np.ndarray:
+        """Vector of per-offset scores for a whole section.
+
+        Chains overlap heavily, so token and single-step scores are
+        computed once per offset and chains walk precomputed arrays.
+        """
+        size = len(superset)
+        tokens: list[str | None] = [None] * size
+        for offset in superset.valid_offsets:
+            tokens[offset] = token_of(superset.instructions[offset])
+
+        data_lp_byte = np.array(
+            [self.data_model.log_prob_byte(b) for b in superset.text])
+        data_prefix = np.concatenate(([0.0], np.cumsum(data_lp_byte)))
+
+        ascii_penalty = np.zeros(size)
+        for run in find_ascii_runs(superset.text):
+            if run.terminated:
+                ascii_penalty[run.start:run.end] = ASCII_PENALTY
+
+        scores = np.full(size, UNDECODABLE_SCORE)
+        for offset in superset.valid_offsets:
+            chain = superset.fallthrough_chain(offset, self.window)
+            context = (START, START)
+            code_lp = 0.0
+            for ins in chain:
+                token = tokens[ins.offset]
+                code_lp += self.code_model.log_prob(token, context)
+                context = (context[1], token)
+            span = chain[-1].end - offset
+            data_lp = data_prefix[offset + span] - data_prefix[offset]
+            scores[offset] = ((code_lp - data_lp) / span
+                              - ascii_penalty[offset])
+        return scores

@@ -1,0 +1,78 @@
+"""Model training from ground-truth-labeled binaries.
+
+The paper's models are data driven: they are fit on binaries *other*
+than those under evaluation.  Here the training corpus is generated with
+dedicated seeds (:data:`TRAINING_SEEDS`) that the evaluation corpus
+never uses, preserving the train/test separation.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from ..binary.loader import TestCase
+from ..isa.decoder import try_decode
+from .datamodel import DataByteModel
+from .ngram import NgramModel, token_of
+
+#: Seeds reserved for training binaries (evaluation uses small seeds).
+TRAINING_SEEDS = (90001, 90002, 90003)
+
+
+@dataclass
+class Models:
+    """The trained model pair used by the disassembler."""
+
+    code: NgramModel
+    data: DataByteModel
+
+
+def token_sequences(case: TestCase) -> list[list[str]]:
+    """Per-function normalized token sequences from ground truth."""
+    text = case.text
+    truth = case.truth
+    starts = truth.instruction_starts
+    sequences = []
+    for function in truth.functions:
+        tokens = []
+        for offset in sorted(s for s in starts
+                             if function.entry <= s < function.end):
+            instruction = try_decode(text, offset)
+            if instruction is not None:
+                tokens.append(token_of(instruction))
+        if tokens:
+            sequences.append(tokens)
+    return sequences
+
+
+def data_regions(case: TestCase) -> list[bytes]:
+    """Raw bytes of every ground-truth data region."""
+    text = case.text
+    return [text[start:end] for start, end in case.truth.data_regions()]
+
+
+def train_models(cases: list[TestCase]) -> Models:
+    """Fit the code n-gram model and data byte model on labeled cases."""
+    code = NgramModel()
+    data = DataByteModel()
+    for case in cases:
+        code.train(token_sequences(case))
+        data.train(data_regions(case))
+    if data.total == 0:
+        # Clean training corpus: fall back to a mildly informative prior
+        # (zeros and printable bytes are the dominant data populations).
+        data.train([bytes(64), b" " * 16,
+                    bytes(range(0x41, 0x7B)) * 2])
+    return Models(code=code, data=data)
+
+
+@functools.lru_cache(maxsize=1)
+def default_models() -> Models:
+    """Models trained on the standard training corpus (cached)."""
+    # Imported here to avoid a package cycle (synth does not depend on
+    # stats, but stats' default training data comes from synth).
+    from ..synth.corpus import generate_corpus
+
+    cases = generate_corpus(seeds=TRAINING_SEEDS, function_count=40)
+    return train_models(cases)

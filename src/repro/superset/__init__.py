@@ -1,0 +1,7 @@
+"""Superset disassembly and candidate conflict structure."""
+
+from .conflicts import conflicting_offsets, covering_candidates, no_overlap
+from .superset import Superset
+
+__all__ = ["Superset", "conflicting_offsets", "covering_candidates",
+           "no_overlap"]

@@ -1,0 +1,54 @@
+"""Overlap conflicts between superset candidates.
+
+Compiler-generated code never contains two instructions whose byte
+ranges overlap, so once one candidate is confirmed as real code, every
+candidate starting strictly inside it is excluded.  These helpers keep
+that bookkeeping in one place.
+"""
+
+from __future__ import annotations
+
+from .superset import Superset
+
+
+def conflicting_offsets(superset: Superset, offset: int) -> set[int]:
+    """Candidate starts that cannot coexist with the candidate at ``offset``.
+
+    These are (a) every offset strictly inside the candidate's body and
+    (b) every candidate whose body strictly contains ``offset``.
+    """
+    ins = superset.at(offset)
+    if ins is None:
+        return set()
+    conflicts = set(superset.occluded_by(offset))
+    # Candidates up to 14 bytes back may extend over this offset.
+    lo = max(0, offset - 14)
+    for other in range(lo, offset):
+        other_ins = superset.at(other)
+        if other_ins is not None and other_ins.end > offset:
+            conflicts.add(other)
+    return conflicts
+
+
+def covering_candidates(superset: Superset, offset: int) -> list[int]:
+    """Candidate starts whose body covers the byte at ``offset``."""
+    result = []
+    lo = max(0, offset - 14)
+    for start in range(lo, offset + 1):
+        ins = superset.at(start)
+        if ins is not None and start <= offset < ins.end:
+            result.append(start)
+    return result
+
+
+def no_overlap(starts: set[int], superset: Superset) -> bool:
+    """True when the chosen instruction starts are mutually non-overlapping."""
+    covered_until = -1
+    for start in sorted(starts):
+        ins = superset.at(start)
+        if ins is None:
+            return False
+        if start < covered_until:
+            return False
+        covered_until = ins.end
+    return True

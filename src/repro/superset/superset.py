@@ -1,0 +1,147 @@
+"""Superset disassembly: a candidate instruction at every byte offset.
+
+The true disassembly of a text section is a subset of the superset
+(every real instruction start decodes successfully), so computing the
+superset first and then *deleting* wrong candidates -- rather than
+guessing a single linear or recursive traversal -- is the foundation of
+the paper's approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..isa.decoder import try_decode
+from ..isa.instruction import Instruction
+from ..isa.opcodes import FlowKind
+
+
+@dataclass
+class Superset:
+    """All candidate instructions of a text section, indexed by offset."""
+
+    text: bytes
+    instructions: list[Instruction | None]
+
+    @classmethod
+    def build(cls, text: bytes) -> "Superset":
+        """Decode a candidate at every offset (None where decoding fails)."""
+        return cls(text=text,
+                   instructions=[try_decode(text, o)
+                                 for o in range(len(text))])
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    def at(self, offset: int) -> Instruction | None:
+        """The candidate starting at ``offset`` (None if undecodable)."""
+        if 0 <= offset < len(self.instructions):
+            return self.instructions[offset]
+        return None
+
+    def is_valid(self, offset: int) -> bool:
+        return self.at(offset) is not None
+
+    @cached_property
+    def valid_offsets(self) -> list[int]:
+        return [o for o, ins in enumerate(self.instructions)
+                if ins is not None]
+
+    @cached_property
+    def invalid_offsets(self) -> frozenset[int]:
+        return frozenset(o for o, ins in enumerate(self.instructions)
+                         if ins is None)
+
+    # ------------------------------------------------------------------
+    # Successor structure
+    # ------------------------------------------------------------------
+
+    def successors(self, offset: int) -> list[int]:
+        """Execution successors of the candidate at ``offset``.
+
+        Fall-through (if any) plus the direct branch target (if any and
+        within the section).  Indirect flows contribute no successors.
+        """
+        ins = self.at(offset)
+        if ins is None:
+            return []
+        result = []
+        if ins.falls_through:
+            result.append(ins.end)
+        target = ins.branch_target
+        if target is not None and 0 <= target < len(self.text):
+            result.append(target)
+        return result
+
+    @cached_property
+    def direct_predecessors(self) -> dict[int, list[int]]:
+        """offset -> candidates that branch directly to it."""
+        preds: dict[int, list[int]] = {}
+        for offset, ins in enumerate(self.instructions):
+            if ins is None:
+                continue
+            target = ins.branch_target
+            if target is not None and 0 <= target < len(self.text):
+                preds.setdefault(target, []).append(offset)
+        return preds
+
+    @cached_property
+    def fallthrough_predecessors(self) -> dict[int, list[int]]:
+        """offset -> candidates whose fall-through lands on it."""
+        preds: dict[int, list[int]] = {}
+        for offset, ins in enumerate(self.instructions):
+            if ins is None or not ins.falls_through:
+                continue
+            preds.setdefault(ins.end, []).append(offset)
+        return preds
+
+    @cached_property
+    def direct_call_targets(self) -> dict[int, int]:
+        """target offset -> number of candidate call sites reaching it."""
+        counts: dict[int, int] = {}
+        for ins in self.instructions:
+            if ins is None or ins.flow is not FlowKind.CALL:
+                continue
+            target = ins.branch_target
+            if target is not None and 0 <= target < len(self.text):
+                counts[target] = counts.get(target, 0) + 1
+        return counts
+
+    @cached_property
+    def direct_jump_targets(self) -> dict[int, int]:
+        """target offset -> number of candidate jump sites reaching it."""
+        counts: dict[int, int] = {}
+        for ins in self.instructions:
+            if ins is None or ins.flow not in (FlowKind.JUMP, FlowKind.CJUMP):
+                continue
+            target = ins.branch_target
+            if target is not None and 0 <= target < len(self.text):
+                counts[target] = counts.get(target, 0) + 1
+        return counts
+
+    def fallthrough_chain(self, offset: int, limit: int) -> list[Instruction]:
+        """Up to ``limit`` candidates following only fall-through edges.
+
+        The chain stops at non-fall-through flow, at undecodable bytes,
+        or at the end of the section.  Used by behavioral and statistical
+        scoring, both of which examine a bounded execution window.
+        """
+        chain: list[Instruction] = []
+        current = offset
+        while len(chain) < limit:
+            ins = self.at(current)
+            if ins is None:
+                break
+            chain.append(ins)
+            if not ins.falls_through:
+                break
+            current = ins.end
+        return chain
+
+    def occluded_by(self, offset: int) -> list[int]:
+        """Offsets strictly inside the candidate at ``offset``."""
+        ins = self.at(offset)
+        if ins is None:
+            return []
+        return list(range(offset + 1, min(ins.end, len(self.text))))

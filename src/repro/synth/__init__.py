@@ -1,0 +1,15 @@
+"""Synthetic compiler: generates stripped binaries with exact ground truth."""
+
+from .codegen import FunctionGenerator, RodataAllocator
+from .corpus import (BinarySpec, density_style, generate_binary,
+                     generate_corpus)
+from .styles import (CLANG_LIKE, GCC_LIKE, MSVC_LIKE, STYLES, CompilerStyle,
+                     style_by_name)
+from .tracking import TrackedAssembler
+
+__all__ = [
+    "FunctionGenerator", "RodataAllocator", "BinarySpec", "density_style",
+    "generate_binary", "generate_corpus", "CLANG_LIKE", "GCC_LIKE",
+    "MSVC_LIKE", "STYLES", "CompilerStyle", "style_by_name",
+    "TrackedAssembler",
+]

@@ -1,0 +1,621 @@
+"""Generation of realistic function bodies.
+
+The generator emits structured code the way a compiler would: a
+prologue, a body built from nested constructs (straight-line arithmetic,
+if/else diamonds, counted loops, switches with jump tables, calls), and
+a shared epilogue.  Two properties matter for faithfulness:
+
+* **Def-before-use** -- generated code only reads registers that hold a
+  value (arguments, or previously written), because the paper's
+  behavioral analysis exploits exactly this property of real code.
+* **Flag discipline** -- conditional branches follow flag-setting
+  instructions, as compiler output does.
+
+Embedded data (inline jump tables, literal pools, strings) is produced
+according to the :class:`~repro.synth.styles.CompilerStyle`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..isa.encoder import Mem, mem, rip
+from ..isa.registers import (ARGUMENT_REGISTERS, CALLEE_SAVED, CALLER_SAVED,
+                             R8, R9, R10, R11, RAX, RBP, RCX, RDI, RDX, RSI,
+                             RSP)
+from .styles import CompilerStyle
+from .tracking import TrackedAssembler
+
+_SCRATCH = (RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11)
+_ALU_OPS = ("add", "sub", "and", "or", "xor")
+_CONDITIONS = ("e", "ne", "l", "ge", "le", "g", "b", "ae", "s", "ns")
+
+
+@dataclass
+class RodataRequest:
+    """A jump/pointer table the corpus must place outside of text."""
+
+    address: int
+    entry_labels: list[str]
+    entry_size: int   # 8 for abs64 tables
+
+
+@dataclass
+class GeneratedFunction:
+    """What the corpus learns about one emitted function."""
+
+    name: str
+    entry: int
+    end: int = 0
+    jump_tables: list[tuple[int, int]] = field(default_factory=list)
+
+
+class FunctionGenerator:
+    """Emits one function into a shared :class:`TrackedAssembler`."""
+
+    def __init__(self, asm: TrackedAssembler, rng: random.Random,
+                 style: CompilerStyle, name: str,
+                 callees: list[str],
+                 rodata_allocator: "RodataAllocator", *,
+                 noreturn_callees: list[str] = (),
+                 must_call_noreturn: list[str] = (),
+                 is_noreturn: bool = False,
+                 stack_args: int = 0,
+                 callee_stack_args: dict[str, int] | None = None) -> None:
+        self.asm = asm
+        self.rng = rng
+        self.style = style
+        self.name = name
+        self.callees = callees
+        self.noreturn_callees = list(noreturn_callees)
+        self.must_call_noreturn = list(must_call_noreturn)
+        self.is_noreturn = is_noreturn
+        # Callee-cleanup stack arguments: this function's own count (its
+        # epilogue becomes ``ret 8*n``) and the per-callee counts its
+        # call sites must push.
+        self.stack_args = stack_args
+        self.callee_stack_args = callee_stack_args or {}
+        self.rodata = rodata_allocator
+        self._label_counter = 0
+        self._initialized: set[int] = set()
+        self._frame_pointer = rng.random() < style.frame_pointer_prob
+        self._frame_size = 8 * rng.randint(2, 12)
+        self._saved: list[int] = []
+        self._switch_budget = rng.randint(0, style.max_switches_per_function)
+        self._called: set[str] = set()
+        # Registers that generated statements must not overwrite (live
+        # loop counters) and whether calls are currently forbidden (a
+        # caller-saved counter would not survive one).
+        self._reserved: set[int] = set()
+        self._no_calls = 0
+        self._deferred: list[tuple[str, ...]] = []   # end-of-function blobs
+        self.result = GeneratedFunction(name=name, entry=0)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{self.name}.{hint}{self._label_counter}"
+
+    def _pick_initialized(self) -> int:
+        """Any live register (memory bases may legitimately be rsp/rbp)."""
+        return self.rng.choice(sorted(self._initialized))
+
+    def _pick_value(self) -> int:
+        """A live register suitable as an ALU operand (not rsp/rbp).
+
+        Reserved registers (live loop counters) may be *read*, but the
+        statement generators use :meth:`_pick_dest`/this pair such that
+        destinations come from :meth:`_pick_dest`; reads are harmless.
+        Still, to keep read-modify-write statements from mutating a
+        counter, reserved registers are excluded here too.
+        """
+        pool = sorted(self._initialized - {RSP, RBP} - self._reserved)
+        if not pool:
+            self.asm.mov_ri(RAX, self.rng.randint(0, 100), width=32)
+            self._initialized.add(RAX)
+            return RAX
+        return self.rng.choice(pool)
+
+    def _pick_dest(self) -> int:
+        pool = [r for r in _SCRATCH if r not in (RSP, RBP)
+                and r not in self._reserved]
+        pool += [r for r in self._saved if r not in self._reserved]
+        return self.rng.choice(pool)
+
+    def _stack_slot(self) -> Mem:
+        slot = 8 * self.rng.randint(1, self._frame_size // 8)
+        if self._frame_pointer:
+            return mem(base=RBP, disp=-slot)
+        return mem(base=RSP, disp=self._frame_size - slot)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def emit(self) -> GeneratedFunction:
+        asm, rng = self.asm, self.rng
+        self.result.entry = asm.here
+        asm.bind(self.name)
+
+        if rng.random() < self.style.endbr_prob:
+            asm.endbr64()
+
+        # Prologue.
+        if self._frame_pointer:
+            asm.push_r(RBP)
+            asm.mov_rr(RBP, RSP)
+        for reg in rng.sample(CALLEE_SAVED[:4],
+                              k=rng.choice((0, 0, 1, 2))):
+            if reg == RBP:
+                continue
+            asm.push_r(reg)
+            self._saved.append(reg)
+        asm.alu_ri("sub", RSP, self._frame_size)
+
+        # Incoming arguments are the initially live registers.
+        argc = rng.randint(0, 4)
+        self._initialized = set(ARGUMENT_REGISTERS[:argc]) | {RSP}
+        if self._frame_pointer:
+            self._initialized.add(RBP)
+        if not self._initialized - {RSP, RBP}:
+            asm.mov_ri(RAX, rng.randint(0, 1000), width=32)
+            self._initialized.add(RAX)
+
+        # Functions with stack arguments read some of them (the frame
+        # pointer makes the offsets simple: arg i at [rbp+16+8i]).
+        if self.stack_args and self._frame_pointer:
+            for i in range(self.stack_args):
+                if rng.random() < 0.7:
+                    dst = self._pick_dest()
+                    asm.mov_rm(dst, mem(base=RBP, disp=16 + 8 * i))
+                    self._initialized.add(dst)
+
+        self._epilogue_label = self._label("ret")
+        # Panic paths: guarded calls to noreturn functions, each one
+        # followed (per style) by an inline data blob.
+        for target in self.must_call_noreturn:
+            self._emit_noreturn_call(target)
+        self._emit_body(budget=rng.randint(4, 14), depth=0)
+
+        # Every declared callee gets at least one call site, so the true
+        # call graph matches the planned one (linkers do not retain
+        # functions nothing references).
+        for callee in self.callees:
+            if callee not in self._called:
+                self._emit_call(callee)
+
+        # Shared epilogue.
+        asm.bind(self._epilogue_label)
+        if self.is_noreturn:
+            # Panic handlers never return: trap instead of ret.
+            if rng.random() < 0.5:
+                asm.ud2()
+            else:
+                asm.hlt()
+        else:
+            if RAX not in self._initialized:
+                asm.mov_ri(RAX, rng.randint(0, 255), width=32)
+            asm.alu_ri("add", RSP, self._frame_size)
+            for reg in reversed(self._saved):
+                asm.pop_r(reg)
+            if self._frame_pointer:
+                asm.pop_r(RBP)
+            zero_arg_callees = [c for c in self.callees
+                                if not self.callee_stack_args.get(c)]
+            if self.stack_args:
+                # Callee-cleanup convention: pop our stack arguments.
+                asm.ret_imm(8 * self.stack_args)
+            elif zero_arg_callees \
+                    and rng.random() < self.style.tail_call_prob:
+                asm.jmp(rng.choice(zero_arg_callees))
+            else:
+                asm.ret()
+
+        self._emit_deferred()
+        self.result.end = asm.here
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Body constructs
+    # ------------------------------------------------------------------
+
+    def _emit_body(self, budget: int, depth: int) -> None:
+        rng = self.rng
+        while budget > 0:
+            choice = rng.random()
+            if choice < 0.45 or depth >= 3:
+                self._emit_straight(rng.randint(2, 6))
+                budget -= 1
+            elif choice < 0.62:
+                self._emit_if_else(depth)
+                budget -= 2
+            elif choice < 0.76:
+                self._emit_loop(depth)
+                budget -= 2
+            elif choice < 0.86 and self.callees and not self._no_calls:
+                self._emit_call()
+                budget -= 1
+            elif choice < 0.93 and self._switch_budget > 0:
+                self._switch_budget -= 1
+                self._emit_switch(depth)
+                budget -= 3
+            elif choice < 0.955 and self._panic_candidates():
+                self._emit_noreturn_call(
+                    rng.choice(self._panic_candidates()))
+                budget -= 1
+            else:
+                self._emit_early_exit()
+                budget -= 1
+
+    def _emit_straight(self, count: int) -> None:
+        for _ in range(count):
+            self._emit_statement()
+
+    def _emit_statement(self) -> None:
+        asm, rng = self.asm, self.rng
+        kind = rng.random()
+        width = rng.choice((32, 32, 64))
+        if kind < 0.14:
+            dst = self._pick_dest()
+            asm.mov_ri(dst, rng.randint(0, 2 ** 16), width=width)
+            self._initialized.add(dst)
+        elif kind < 0.26:
+            dst, src = self._pick_dest(), self._pick_value()
+            asm.mov_rr(dst, src, width=64)
+            self._initialized.add(dst)
+        elif kind < 0.40:
+            dst = self._pick_value()
+            op = rng.choice(_ALU_OPS)
+            if rng.random() < 0.5:
+                asm.alu_ri(op, dst, rng.randint(1, 4000), width=width)
+            else:
+                asm.alu_rr(op, dst, self._pick_value(), width=width)
+        elif kind < 0.50:
+            dst = self._pick_dest()
+            asm.mov_rm(dst, self._stack_slot(), width=64)
+            self._initialized.add(dst)
+        elif kind < 0.60:
+            asm.mov_mr(self._stack_slot(), self._pick_value(),
+                       width=64)
+        elif kind < 0.68:
+            dst = self._pick_dest()
+            base = self._pick_initialized()
+            index = self._pick_initialized()
+            if index == RSP:
+                index = None
+            asm.lea(dst, mem(base=base, index=index,
+                             scale=rng.choice((1, 2, 4, 8)),
+                             disp=rng.randint(-64, 256)))
+            self._initialized.add(dst)
+        elif kind < 0.74:
+            dst = self._pick_value()
+            asm.shift_ri(rng.choice(("shl", "shr", "sar")), dst,
+                         rng.randint(1, 31), width=width)
+        elif kind < 0.79:
+            dst = self._pick_value()
+            asm.imul_rri(dst, self._pick_value(),
+                         rng.randint(2, 100), width=64)
+        elif kind < 0.84:
+            dst = self._pick_value()
+            if rng.random() < 0.5:
+                asm.inc(dst, width=width)
+            else:
+                asm.dec(dst, width=width)
+        elif kind < 0.88:
+            # xor r, r: the canonical zeroing idiom (defines, no read).
+            dst = self._pick_dest()
+            asm.alu_rr("xor", dst, dst, width=32)
+            self._initialized.add(dst)
+        elif kind < 0.92:
+            dst = self._pick_dest()
+            src = self._pick_value()
+            asm.movzx(dst, src, rng.choice((8, 16)), width=32)
+            self._initialized.add(dst)
+        elif kind < 0.96:
+            # cmp + setcc + movzx: boolean materialization.
+            asm.alu_rr("cmp", self._pick_value(),
+                       self._pick_value(), width=64)
+            dst = self._pick_dest()
+            asm.setcc(self.rng.choice(_CONDITIONS), dst)
+            asm.movzx(dst, dst, 8, width=32)
+            self._initialized.add(dst)
+        else:
+            # cmp + cmov.
+            a, b = self._pick_value(), self._pick_value()
+            asm.alu_rr("cmp", a, b, width=64)
+            dst = self._pick_value()
+            asm.cmovcc(self.rng.choice(_CONDITIONS), dst,
+                       self._pick_value(), width=64)
+
+        if self.rng.random() < 0.05:
+            self._emit_literal_reference()
+
+    def _emit_literal_reference(self) -> None:
+        """Reference an embedded or out-of-text literal."""
+        asm, rng = self.asm, self.rng
+        dst = self._pick_dest()
+        if rng.random() < self.style.string_in_text_prob:
+            label = self._label("str")
+            asm.lea(dst, rip(label))
+            text = self._random_string().encode() + b"\x00"
+            self._deferred.append(("blob", label, text))
+        else:
+            address = self.rodata.allocate_blob(
+                self._random_string().encode() + b"\x00")
+            asm.mov_ri(dst, address, width=64)
+        self._initialized.add(dst)
+
+    def _random_string(self) -> str:
+        words = ("error", "result", "%s:%d", "failed to open %s", "ok",
+                 "warning", "value=%ld", "assertion", "usage", "fatal")
+        return self.rng.choice(words)
+
+    def _emit_if_else(self, depth: int) -> None:
+        asm, rng = self.asm, self.rng
+        else_label = self._label("else")
+        end_label = self._label("endif")
+        condition = rng.choice(_CONDITIONS)
+        if rng.random() < 0.5:
+            asm.alu_ri("cmp", self._pick_value(),
+                       rng.randint(0, 100), width=64)
+        else:
+            asm.test_rr(self._pick_value(), self._pick_value(),
+                        width=64)
+
+        has_else = rng.random() < 0.5
+        short = rng.random() < self.style.short_branch_prob
+        # Short branches are only safe over tiny bodies.
+        then_count = rng.randint(1, 3) if short else rng.randint(2, 5)
+        asm.jcc(condition, else_label if has_else else end_label,
+                short=short and then_count <= 2)
+        saved = set(self._initialized)
+        if short and then_count <= 2:
+            self._emit_tiny_straight(then_count)
+        else:
+            self._emit_body(budget=then_count, depth=depth + 1)
+        if has_else:
+            asm.jmp(end_label)
+            asm.bind(else_label)
+            self._initialized = set(saved)
+            self._emit_body(budget=rng.randint(1, 3), depth=depth + 1)
+        asm.bind(end_label)
+        # Conservative join: only registers defined on both paths count,
+        # approximated by the pre-branch set.
+        self._initialized = saved
+
+    def _emit_tiny_straight(self, count: int) -> None:
+        """Short fixed-size statements, safe under a rel8 branch."""
+        for _ in range(count):
+            dst = self._pick_value()
+            if self.rng.random() < 0.5:
+                self.asm.alu_ri(self.rng.choice(_ALU_OPS), dst,
+                                self.rng.randint(1, 127), width=32)
+            else:
+                self.asm.inc(dst, width=64)
+
+    def _emit_loop(self, depth: int) -> None:
+        asm, rng = self.asm, self.rng
+        top = self._label("loop")
+        # Counters live in callee-saved registers when the function has
+        # any (surviving calls in the body); otherwise in a reserved
+        # scratch register with calls suppressed inside the body --
+        # mirroring what register allocators actually do, and keeping
+        # generated programs terminating (the emulator runs them).
+        saved_free = [r for r in self._saved if r not in self._reserved]
+        if saved_free:
+            counter = rng.choice(saved_free)
+            suppress_calls = False
+        else:
+            counter = self._pick_dest()
+            suppress_calls = True
+        asm.mov_ri(counter, rng.randint(1, 64), width=32)
+        self._initialized.add(counter)
+        self._reserved.add(counter)
+        if suppress_calls:
+            self._no_calls += 1
+        asm.bind(top)
+        self._emit_body(budget=rng.randint(1, 3), depth=depth + 1)
+        asm.dec(counter, width=32)
+        asm.jcc("ne", top)      # near: body size is unbounded
+        if suppress_calls:
+            self._no_calls -= 1
+        self._reserved.discard(counter)
+
+    def _emit_call(self, callee: str | None = None) -> None:
+        asm, rng = self.asm, self.rng
+        if callee is None:
+            callee = rng.choice(self.callees)
+        for arg_reg in ARGUMENT_REGISTERS[:rng.randint(0, 3)]:
+            asm.mov_ri(arg_reg, rng.randint(0, 4096), width=32)
+            self._initialized.add(arg_reg)
+        for _ in range(self.callee_stack_args.get(callee, 0)):
+            asm.push_i(rng.randint(0, 2 ** 20))
+        asm.call(callee)
+        self._called.add(callee)
+        self._initialized -= set(CALLER_SAVED)
+        self._initialized.add(RAX)
+
+    def _panic_candidates(self) -> list[str]:
+        """Noreturn callees higher-ranked than this function.
+
+        Keeps even guarded panic edges pointing rank-upward, preserving
+        the call-graph DAG (a panic handler's own unconditional calls
+        could otherwise recurse back through the guard).
+        """
+        own = self.name[2:]
+        if not own.isdigit():
+            return list(self.noreturn_callees)
+        own_rank = int(own)
+        return [p for p in self.noreturn_callees
+                if p[2:].isdigit() and int(p[2:]) > own_rank]
+
+    def _emit_noreturn_call(self, target: str) -> None:
+        """A guarded panic path: ``jcc skip; call panic; [blob]; skip:``.
+
+        The call's fall-through is never executed, so compilers place
+        whatever they like there -- per style, an inline data blob.
+        """
+        asm, rng = self.asm, self.rng
+        skip = self._label("nopanic")
+        asm.alu_ri("cmp", self._pick_value(), rng.randint(0, 1000),
+                   width=64)
+        asm.jcc(rng.choice(_CONDITIONS), skip)
+        asm.mov_ri(RDI, rng.randint(1, 255), width=32)
+        asm.call(target)
+        self._called.add(target)
+        if rng.random() < self.style.data_after_noreturn_prob:
+            blob = bytes(rng.getrandbits(8)
+                         for _ in range(rng.randint(6, 24)))
+            asm.db(blob)
+        asm.bind(skip)
+
+    def _emit_early_exit(self) -> None:
+        asm, rng = self.asm, self.rng
+        asm.alu_ri("cmp", self._pick_value(), rng.randint(0, 64),
+                   width=64)
+        if RAX not in self._initialized:
+            asm.mov_ri(RAX, rng.randint(0, 100), width=32)
+            self._initialized.add(RAX)
+        asm.jcc(rng.choice(_CONDITIONS), self._epilogue_label)
+
+    # ------------------------------------------------------------------
+    # Switches and jump tables
+    # ------------------------------------------------------------------
+
+    def _emit_switch(self, depth: int) -> None:
+        asm, rng = self.asm, self.rng
+        case_count = rng.randint(3, 10)
+        table_label = self._label("jt")
+        default_label = self._label("default")
+        end_label = self._label("endsw")
+        # Sparse switches: some table slots dispatch to the default
+        # block (compilers fill holes in the case range this way).
+        distinct = [self._label(f"case{i}") for i in range(case_count)]
+        case_labels = [
+            label if rng.random() > 0.2 else default_label
+            for label in distinct
+        ]
+        case_bodies = sorted(set(case_labels) - {default_label})
+
+        index = self._pick_value()
+        if index in (RSP, RBP):
+            index = RAX
+            asm.mov_ri(RAX, rng.randint(0, case_count - 1), width=32)
+            self._initialized.add(RAX)
+        asm.alu_ri("cmp", index, case_count - 1, width=64)
+        asm.jcc("a", default_label)
+
+        in_text = self.style.tables_in_text
+        if self.style.table_entry_kind == "abs64":
+            if in_text:
+                asm.jmp_m(Mem(index=index, scale=8, disp_label=table_label))
+                table_start = self._emit_inline_table_abs64(
+                    table_label, case_labels)
+            else:
+                address = self.rodata.allocate_table(case_labels, 8)
+                asm.jmp_m(mem(index=index, scale=8, disp=address))
+        else:
+            pool = [r for r in (R10, R11, R8, R9, RSI, RDX, RCX)
+                    if r not in self._reserved and r != index]
+            base_reg, scratch = pool[0], pool[1]
+            if in_text:
+                asm.lea(base_reg, rip(table_label))
+            else:
+                address = self.rodata.allocate_table(case_labels, 4)
+                asm.mov_ri(base_reg, address, width=64)
+            asm.movsxd_rm(scratch, mem(base=base_reg, index=index, scale=4))
+            asm.alu_rr("add", scratch, base_reg, width=64)
+            asm.jmp_r(scratch)
+            self._initialized.update((base_reg, scratch))
+            if in_text:
+                self._emit_inline_table_rel32(table_label, case_labels)
+
+        saved = set(self._initialized)
+        for label in case_bodies:
+            asm.bind(label)
+            self._initialized = set(saved)
+            self._emit_body(budget=rng.randint(1, 2), depth=depth + 1)
+            asm.jmp(end_label)
+        asm.bind(default_label)
+        self._initialized = set(saved)
+        self._emit_body(budget=1, depth=depth + 1)
+        asm.bind(end_label)
+        self._initialized = saved
+
+    def _emit_inline_table_abs64(self, table_label: str,
+                                 case_labels: list[str]) -> int:
+        asm = self.asm
+        asm.align(8, b"\xcc")
+        start = asm.here
+        asm.bind(table_label)
+        for label in case_labels:
+            asm.dq_label(label)
+        self.result.jump_tables.append((start, asm.here))
+        return start
+
+    def _emit_inline_table_rel32(self, table_label: str,
+                                 case_labels: list[str]) -> int:
+        asm = self.asm
+        asm.align(4, b"\xcc")
+        start = asm.here
+        asm.bind(table_label)
+        for label in case_labels:
+            asm.dd_label_rel(label, table_label)
+        self.result.jump_tables.append((start, asm.here))
+        return start
+
+    # ------------------------------------------------------------------
+    # End-of-function embedded blobs
+    # ------------------------------------------------------------------
+
+    def _emit_deferred(self) -> None:
+        asm, rng = self.asm, self.rng
+        for item in self._deferred:
+            kind, label, payload = item
+            asm.bind(label)
+            asm.db(payload)
+        self._deferred.clear()
+        if rng.random() < self.style.literal_pool_prob:
+            asm.align(8, b"\xcc")
+            pool = b"".join(
+                rng.getrandbits(64).to_bytes(8, "little")
+                for _ in range(rng.randint(1, 6)))
+            asm.db(pool)
+
+
+class RodataAllocator:
+    """Assigns addresses in a read-only data section emitted after text.
+
+    Tables referenced from text by absolute address must have their
+    addresses known at code-emission time, so the allocator hands out
+    addresses immediately and the corpus fills contents in later.
+    """
+
+    def __init__(self, base: int) -> None:
+        self.base = base
+        self._cursor = base
+        self.tables: list[RodataRequest] = []
+        self.blobs: list[tuple[int, bytes]] = []
+
+    def allocate_table(self, entry_labels: list[str],
+                       entry_size: int) -> int:
+        self._cursor = (self._cursor + 7) & ~7
+        address = self._cursor
+        self._cursor += entry_size * len(entry_labels)
+        self.tables.append(RodataRequest(address, list(entry_labels),
+                                         entry_size))
+        return address
+
+    def allocate_blob(self, payload: bytes) -> int:
+        address = self._cursor
+        self._cursor += len(payload)
+        self.blobs.append((address, payload))
+        return address
+
+    @property
+    def size(self) -> int:
+        return self._cursor - self.base

@@ -1,0 +1,137 @@
+"""Compiler styles: knobs that control what a generated binary looks like.
+
+The paper's central observation is that different toolchains embed very
+different amounts of data in executable sections: GCC on Linux keeps
+jump tables in ``.rodata``, while MSVC (and several embedded toolchains)
+interleaves jump tables, literal pools and padding directly in ``.text``.
+Each :class:`CompilerStyle` bundles the layout decisions that matter for
+the disassembly problem; the three presets are calibrated to mimic the
+qualitative behavior of those toolchains, not their exact output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompilerStyle:
+    """Layout and code-generation knobs for the synthetic compiler.
+
+    Attributes:
+        name: short identifier used in reports.
+        tables_in_text: embed switch jump tables in the text section
+            (the defining "complex binary" trait).
+        table_entry_kind: ``"abs64"`` for absolute 8-byte entries or
+            ``"rel32"`` for PIC-style 4-byte self-relative entries.
+        literal_pool_prob: probability that a function is followed by an
+            embedded literal pool (constants it references).
+        string_in_text_prob: probability that a referenced string is
+            embedded in text rather than placed in ``.rodata``.
+        pointer_table_in_text_prob: probability that an indirect-call
+            dispatch table lives in text rather than ``.data``.
+        function_alignment: function start alignment in bytes.
+        padding_byte: inter-function filler (``0xCC`` int3 for MSVC-like,
+            multi-byte nops for GCC/Clang-like when None).
+        frame_pointer_prob: probability a function keeps a frame pointer.
+        endbr_prob: probability a function starts with endbr64.
+        short_branch_prob: probability of rel8 encodings for local jumps.
+        tail_call_prob: probability an exit becomes a tail jump.
+        indirect_reachable_ratio: fraction of functions reachable only
+            through pointer tables (invisible to recursive descent).
+        max_switches_per_function: upper bound on jump-table switches a
+            single function may contain (density knob for sweeps).
+        noreturn_ratio: fraction of functions that never return (panic
+            handlers); they end in hlt/ud2 instead of ret.
+        data_after_noreturn_prob: probability that a guarded call to a
+            noreturn function is followed by an inline data blob (the
+            classic "data after a call the compiler knows is noreturn"
+            trap for disassemblers).
+    """
+
+    name: str
+    tables_in_text: bool = True
+    table_entry_kind: str = "abs64"
+    literal_pool_prob: float = 0.3
+    string_in_text_prob: float = 0.3
+    pointer_table_in_text_prob: float = 0.5
+    function_alignment: int = 16
+    padding_byte: int | None = 0xCC
+    frame_pointer_prob: float = 0.7
+    endbr_prob: float = 0.0
+    short_branch_prob: float = 0.6
+    tail_call_prob: float = 0.1
+    indirect_reachable_ratio: float = 0.1
+    max_switches_per_function: int = 2
+    noreturn_ratio: float = 0.05
+    data_after_noreturn_prob: float = 0.0
+    #: Fraction of direct functions using callee-cleanup stack arguments
+    #: (``push`` at call sites, ``ret imm16`` in the callee).
+    stack_args_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.table_entry_kind not in ("abs64", "rel32"):
+            raise ValueError(f"bad table entry kind: {self.table_entry_kind}")
+        if self.function_alignment & (self.function_alignment - 1):
+            raise ValueError("function alignment must be a power of two")
+
+
+#: GCC-on-Linux-like: jump tables and strings out of text, nop padding.
+GCC_LIKE = CompilerStyle(
+    name="gcc-like",
+    tables_in_text=False,
+    table_entry_kind="rel32",
+    literal_pool_prob=0.0,
+    string_in_text_prob=0.0,
+    pointer_table_in_text_prob=0.0,
+    padding_byte=None,            # multi-byte nop padding
+    frame_pointer_prob=0.4,
+    endbr_prob=0.9,
+    indirect_reachable_ratio=0.08,
+    data_after_noreturn_prob=0.0,
+)
+
+#: Clang-like: mostly clean text but PIC tables occasionally inline.
+CLANG_LIKE = CompilerStyle(
+    name="clang-like",
+    tables_in_text=True,
+    table_entry_kind="rel32",
+    literal_pool_prob=0.15,
+    string_in_text_prob=0.05,
+    pointer_table_in_text_prob=0.2,
+    padding_byte=None,
+    frame_pointer_prob=0.5,
+    endbr_prob=0.5,
+    indirect_reachable_ratio=0.10,
+    data_after_noreturn_prob=0.3,
+)
+
+#: MSVC-like: the "complex binary" profile -- absolute jump tables,
+#: literal pools and pointer tables embedded in text, int3 padding.
+MSVC_LIKE = CompilerStyle(
+    name="msvc-like",
+    tables_in_text=True,
+    table_entry_kind="abs64",
+    literal_pool_prob=0.5,
+    string_in_text_prob=0.4,
+    pointer_table_in_text_prob=0.8,
+    padding_byte=0xCC,
+    frame_pointer_prob=0.8,
+    endbr_prob=0.0,
+    short_branch_prob=0.5,
+    indirect_reachable_ratio=0.12,
+    data_after_noreturn_prob=0.6,
+    stack_args_ratio=0.15,
+)
+
+STYLES: dict[str, CompilerStyle] = {
+    s.name: s for s in (GCC_LIKE, CLANG_LIKE, MSVC_LIKE)
+}
+
+
+def style_by_name(name: str) -> CompilerStyle:
+    try:
+        return STYLES[name]
+    except KeyError:
+        raise KeyError(f"unknown compiler style {name!r}; "
+                       f"known: {sorted(STYLES)}") from None

@@ -1,0 +1,110 @@
+"""An assembler wrapper that records ground-truth byte labels.
+
+Every :class:`~repro.isa.encoder.Assembler` method that emits bytes is
+classified as emitting exactly one instruction, a data blob, or padding;
+:class:`TrackedAssembler` intercepts the calls and keeps a mark list that
+the generator later converts into a :class:`~repro.binary.GroundTruth`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..binary.groundtruth import GroundTruth
+from ..isa.encoder import Assembler
+
+
+class MarkKind(enum.Enum):
+    INSN = "insn"
+    DATA = "data"
+    PADDING = "padding"
+
+
+@dataclass(frozen=True)
+class Mark:
+    kind: MarkKind
+    start: int
+    end: int
+
+
+_DATA_METHODS = frozenset({
+    "db", "dd", "dq", "dq_label", "dd_label", "dd_label_rel",
+})
+_PADDING_METHODS = frozenset({"nop", "align", "align_code"})
+
+
+class TrackedAssembler:
+    """Proxies an :class:`Assembler`, recording what each byte is.
+
+    Single-instruction methods produce one INSN mark covering exactly the
+    emitted encoding, which is what ``GroundTruth.mark_instruction``
+    needs.  ``nop``/``align`` runs are marked PADDING (several encoded
+    nop instructions may share one mark; padding bytes are excluded from
+    accuracy metrics, so per-instruction granularity is not needed
+    there).
+    """
+
+    def __init__(self, base: int = 0) -> None:
+        self._asm = Assembler(base)
+        self.marks: list[Mark] = []
+
+    # Explicit pass-throughs for the non-emitting API.
+
+    @property
+    def here(self) -> int:
+        return self._asm.here
+
+    @property
+    def base(self) -> int:
+        return self._asm.base
+
+    def bind(self, label: str) -> int:
+        return self._asm.bind(label)
+
+    def has_label(self, label: str) -> bool:
+        return label in self._asm._labels
+
+    def label_offset(self, label: str) -> int:
+        return self._asm._labels[label]
+
+    def finish(self) -> bytes:
+        return self._asm.finish()
+
+    def __getattr__(self, name: str):
+        method = getattr(self._asm, name)
+        if not callable(method) or name.startswith("_"):
+            return method
+        if name in _DATA_METHODS:
+            kind = MarkKind.DATA
+        elif name in _PADDING_METHODS:
+            kind = MarkKind.PADDING
+        else:
+            kind = MarkKind.INSN
+
+        def wrapped(*args, **kwargs):
+            start = self._asm.here
+            result = method(*args, **kwargs)
+            end = self._asm.here
+            if end > start:
+                self.marks.append(Mark(kind, start, end))
+            return result
+
+        return wrapped
+
+    # ------------------------------------------------------------------
+
+    def ground_truth(self) -> GroundTruth:
+        """Convert the mark list into per-byte labels.
+
+        Assumes ``base == 0`` (marks are buffer offsets).
+        """
+        truth = GroundTruth(size=self._asm.here - self._asm.base)
+        for mark in self.marks:
+            if mark.kind is MarkKind.INSN:
+                truth.mark_instruction(mark.start, mark.end - mark.start)
+            elif mark.kind is MarkKind.DATA:
+                truth.mark_data(mark.start, mark.end)
+            else:
+                truth.mark_padding(mark.start, mark.end)
+        return truth

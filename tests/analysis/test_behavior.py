@@ -1,0 +1,79 @@
+"""Tests for behavioral chain scoring."""
+
+import numpy as np
+
+from repro.analysis.behavior import BehaviorAnalyzer, BehaviorWeights
+from repro.isa import Assembler
+from repro.isa.registers import RAX, RBP, RCX, RSP
+from repro.superset import Superset
+
+
+def superset_of(fn) -> Superset:
+    a = Assembler()
+    fn(a)
+    return Superset.build(a.finish())
+
+
+class TestReports:
+    def test_invalid_fallthrough_detected(self):
+        superset = Superset.build(b"\x90\x06\x90")   # nop, invalid
+        report = BehaviorAnalyzer().report(superset, 0)
+        assert report.invalid_fallthrough
+        assert report.score() < 0
+
+    def test_clean_terminated_chain(self):
+        superset = superset_of(lambda a: (a.push_r(RBP),
+                                          a.mov_rr(RBP, RSP),
+                                          a.ret()))
+        report = BehaviorAnalyzer().report(superset, 0)
+        assert report.terminated
+        assert not report.invalid_fallthrough
+        assert report.score() > 0
+
+    def test_trap_in_chain_penalized(self):
+        clean = superset_of(lambda a: (a.mov_ri(RAX, 1, width=32), a.ret()))
+        trapped = superset_of(lambda a: (a.mov_ri(RAX, 1, width=32),
+                                         a.int3(), a.int3(), a.ret()))
+        analyzer = BehaviorAnalyzer()
+        assert analyzer.report(trapped, 0).traps == 2
+        assert (analyzer.report(trapped, 0).score()
+                < analyzer.report(clean, 0).score())
+
+    def test_rare_instructions_counted(self):
+        superset = superset_of(lambda a: (a.hlt(), a.ret()))
+        report = BehaviorAnalyzer().report(superset, 0)
+        assert report.rare >= 1
+
+    def test_undecodable_offset_report(self):
+        superset = Superset.build(b"\x06")
+        report = BehaviorAnalyzer().report(superset, 0)
+        assert report.chain_length == 0
+
+
+class TestScoreAll:
+    def test_shape_and_floor(self, msvc_superset):
+        analyzer = BehaviorAnalyzer()
+        scores = analyzer.score_all(msvc_superset)
+        assert scores.shape == (len(msvc_superset),)
+        floor = analyzer.weights.invalid_fallthrough
+        for offset in msvc_superset.invalid_offsets:
+            assert scores[offset] == floor
+
+    def test_separates_code_from_data(self, msvc_case, msvc_superset):
+        scores = BehaviorAnalyzer().score_all(msvc_superset)
+        truth = msvc_case.truth
+        start_mean = np.mean([scores[o]
+                              for o in truth.instruction_starts])
+        data_offsets = [o for s, e in truth.data_regions()
+                        for o in range(s, e)]
+        data_mean = np.mean([scores[o] for o in data_offsets])
+        assert start_mean > data_mean
+
+
+class TestWeights:
+    def test_custom_weights_change_score(self):
+        superset = superset_of(lambda a: (a.int3(), a.ret()))
+        lenient = BehaviorWeights(trap_in_chain=0.0)
+        strict = BehaviorWeights(trap_in_chain=-10.0)
+        report = BehaviorAnalyzer().report(superset, 0)
+        assert report.score(lenient) > report.score(strict)

@@ -1,0 +1,96 @@
+"""Tests for CFG construction over accepted instruction sets."""
+
+from repro.analysis.cfg import build_cfg
+from repro.isa import Assembler
+from repro.isa.registers import RAX, RBP, RCX, RSP
+from repro.superset import Superset
+
+
+def make(fn):
+    a = Assembler()
+    fn(a)
+    text = a.finish()
+    superset = Superset.build(text)
+    accepted = set()
+    offset = 0
+    while offset < len(text):
+        ins = superset.at(offset)
+        accepted.add(offset)
+        offset = ins.end
+    return superset, accepted
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        superset, accepted = make(lambda a: (a.push_r(RBP),
+                                             a.mov_rr(RBP, RSP),
+                                             a.ret()))
+        cfg = build_cfg(superset, accepted)
+        assert len(cfg.blocks) == 1
+        block = cfg.blocks[0]
+        assert len(block.instructions) == 3
+        assert block.terminator.mnemonic == "ret"
+
+    def test_branch_splits_blocks(self):
+        def body(a):
+            a.test_rr(RAX, RAX)
+            a.jcc("e", "out")
+            a.inc(RAX)
+            a.bind("out")
+            a.ret()
+        superset, accepted = make(body)
+        cfg = build_cfg(superset, accepted)
+        assert len(cfg.blocks) == 3
+        entry = cfg.blocks[0]
+        successors = cfg.successors(0)
+        assert len(successors) == 2
+
+    def test_backward_edge(self):
+        def body(a):
+            a.mov_ri(RCX, 5, width=32)
+            a.bind("top")
+            a.dec(RCX, width=32)
+            a.jcc("ne", "top")
+            a.ret()
+        superset, accepted = make(body)
+        cfg = build_cfg(superset, accepted)
+        loop_head = 5    # after the 5-byte mov
+        assert loop_head in cfg.blocks
+        assert loop_head in cfg.successors(loop_head)
+
+    def test_call_does_not_create_interproc_edge(self):
+        def body(a):
+            a.call("f")
+            a.ret()
+            a.bind("f")
+            a.ret()
+        superset, accepted = make(body)
+        cfg = build_cfg(superset, accepted)
+        # Calls do not end blocks; the callee is its own block (it is a
+        # branch-target leader) with no intraprocedural edge from the
+        # caller.
+        caller = cfg.blocks[0]
+        assert [i.mnemonic for i in caller.instructions] == ["call", "ret"]
+        callee = superset.at(0).branch_target
+        assert callee in cfg.blocks
+        assert callee not in cfg.successors(0)
+
+    def test_reachable_from(self):
+        def body(a):
+            a.jmp("end")
+            a.ret()       # unreachable
+            a.bind("end")
+            a.ret()
+        superset, accepted = make(body)
+        cfg = build_cfg(superset, accepted)
+        reached = cfg.reachable_from([0])
+        assert 6 in reached     # the jump target block
+        assert 5 not in reached  # the dead ret
+
+    def test_blocks_partition_instructions(self, msvc_case, msvc_superset):
+        accepted = msvc_case.truth.instruction_starts
+        cfg = build_cfg(msvc_superset, accepted)
+        in_blocks = [i.offset for b in cfg.blocks.values()
+                     for i in b.instructions]
+        assert len(in_blocks) == len(set(in_blocks))
+        assert set(in_blocks) == accepted

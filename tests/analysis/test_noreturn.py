@@ -1,0 +1,164 @@
+"""Tests for the returning-ness (noreturn) analysis."""
+
+from repro.analysis.noreturn import compute_returning
+from repro.isa import Assembler, Mem
+from repro.isa.registers import RAX, RBP, RDI, RSP
+from repro.superset import Superset
+
+
+def superset_of(fn) -> tuple[Superset, Assembler]:
+    a = Assembler()
+    fn(a)
+    return Superset.build(a.finish()), a
+
+
+class TestBasicVerdicts:
+    def test_plain_function_returns(self):
+        superset, _ = superset_of(lambda a: (a.push_r(RBP),
+                                             a.pop_r(RBP), a.ret()))
+        assert compute_returning(superset, {0}) == {0: True}
+
+    def test_hlt_function_is_noreturn(self):
+        superset, _ = superset_of(lambda a: (a.mov_ri(RAX, 1, width=32),
+                                             a.hlt()))
+        assert compute_returning(superset, {0}) == {0: False}
+
+    def test_ud2_function_is_noreturn(self):
+        superset, _ = superset_of(lambda a: a.ud2())
+        assert compute_returning(superset, {0}) == {0: False}
+
+    def test_infinite_loop_is_noreturn(self):
+        def body(a):
+            a.bind("spin")
+            a.jmp("spin")
+        superset, _ = superset_of(body)
+        assert compute_returning(superset, {0}) == {0: False}
+
+    def test_branchy_function_with_one_return_path(self):
+        def body(a):
+            a.test_rr(RAX, RAX)
+            a.jcc("e", "die")
+            a.ret()
+            a.bind("die")
+            a.ud2()
+        superset, _ = superset_of(body)
+        assert compute_returning(superset, {0}) == {0: True}
+
+
+class TestInterprocedural:
+    def test_call_to_noreturn_propagates(self):
+        def body(a):
+            a.bind("wrapper")        # 0: tail-less wrapper around panic
+            a.call("panic")
+            a.hlt()                  # unreachable filler
+            a.bind("panic")
+            a.ud2()
+        superset, asm = superset_of(body)
+        panic = asm._labels["panic"]
+        verdicts = compute_returning(superset, {0, panic})
+        assert verdicts[panic] is False
+        assert verdicts[0] is False
+
+    def test_call_to_returning_function_is_fine(self):
+        def body(a):
+            a.call("helper")
+            a.ret()
+            a.bind("helper")
+            a.ret()
+        superset, asm = superset_of(body)
+        helper = asm._labels["helper"]
+        verdicts = compute_returning(superset, {0, helper})
+        assert verdicts == {0: True, helper: True}
+
+    def test_mutual_recursion_stays_returning(self):
+        """The optimistic fixpoint never demotes cycle-dependent
+        functions -- real code must not be lost."""
+        def body(a):
+            a.bind("a_fn")
+            a.call("b_fn")
+            a.ret()
+            a.bind("b_fn")
+            a.call("a_fn")
+            a.ret()
+        superset, asm = superset_of(body)
+        a_fn, b_fn = asm._labels["a_fn"], asm._labels["b_fn"]
+        verdicts = compute_returning(superset, {a_fn, b_fn})
+        assert verdicts == {a_fn: True, b_fn: True}
+
+    def test_mutual_panic_helpers_converge_to_noreturn(self):
+        def body(a):
+            a.bind("p1")
+            a.test_rr(RAX, RAX)
+            a.jcc("e", "p1_die")
+            a.call("p2")
+            a.bind("p1_die")
+            a.ud2()
+            a.bind("p2")
+            a.call("p1")
+            a.hlt()
+        superset, asm = superset_of(body)
+        p1, p2 = asm._labels["p1"], asm._labels["p2"]
+        verdicts = compute_returning(superset, {p1, p2})
+        assert verdicts == {p1: False, p2: False}
+
+    def test_tail_call_to_noreturn(self):
+        def body(a):
+            a.bind("wrapper")
+            a.jmp("panic")
+            a.bind("panic")
+            a.hlt()
+        superset, asm = superset_of(body)
+        panic = asm._labels["panic"]
+        verdicts = compute_returning(superset, {0, panic})
+        assert verdicts[0] is False
+
+
+class TestIndirectFlow:
+    def test_unresolved_ijump_assumed_returning(self):
+        superset, _ = superset_of(lambda a: a.jmp_r(RAX))
+        assert compute_returning(superset, {0}) == {0: True}
+
+    def test_resolved_ijump_targets_are_followed(self):
+        def body(a):
+            a.jmp_m(Mem(index=RDI, scale=8, disp_label="t"))
+            a.bind("case")
+            a.hlt()
+            a.bind("t")
+            a.dq_label("case")
+        superset, asm = superset_of(body)
+        case = asm._labels["case"]
+        verdicts = compute_returning(
+            superset, {0}, resolved_jumps={0: (case,)})
+        assert verdicts == {0: False}
+        # Without resolution the same dispatch is assumed returning.
+        assert compute_returning(superset, {0}) == {0: True}
+
+
+class TestEndToEnd:
+    def test_noreturn_blobs_not_claimed_as_code(self, disassembler,
+                                                msvc_case):
+        """Generated msvc-like binaries place data after noreturn calls;
+        the disassembler must classify those bytes as data."""
+        from repro.eval.metrics import evaluate
+        rich = disassembler.disassemble_rich(msvc_case)
+        evaluation = evaluate(rich.result, msvc_case.truth)
+        assert evaluation.instructions.recall > 0.99
+        # The engine identified at least one noreturn function.
+        assert rich.noreturn_entries
+
+    def test_detected_noreturn_entries_are_truly_noreturn(
+            self, disassembler, all_cases):
+        from repro.isa import decode
+        for case in all_cases:
+            rich = disassembler.disassemble_rich(case)
+            for entry in rich.noreturn_entries:
+                functions = [f for f in case.truth.functions
+                             if f.entry == entry]
+                if not functions:
+                    continue
+                span = functions[0]
+                mnemonics = {
+                    decode(case.text, s).mnemonic
+                    for s in case.truth.instruction_starts
+                    if span.entry <= s < span.end}
+                assert mnemonics & {"hlt", "ud2"}, (case.name, hex(entry))

@@ -1,0 +1,44 @@
+"""Tests for recursive descent with heuristic gap scanning."""
+
+from repro.baselines import heuristic_descent, recursive_descent
+from repro.eval.metrics import evaluate
+from repro.isa import Assembler
+from repro.isa.registers import RAX, RBP, RSP
+
+
+class TestHeuristicDescent:
+    def test_finds_unreferenced_prologue(self):
+        a = Assembler()
+        a.ret()                       # entry function: just ret
+        a.align(16, b"\xcc")
+        a.push_r(RBP)                 # orphan function at 16
+        a.mov_rr(RBP, RSP)
+        a.pop_r(RBP)
+        a.ret()
+        result = heuristic_descent(a.finish(), 0)
+        assert 16 in result.instructions
+        assert 16 in result.function_entries
+
+    def test_improves_recall_over_plain_rd(self, msvc_case):
+        plain = evaluate(recursive_descent(msvc_case.text, 0),
+                         msvc_case.truth)
+        heuristic = evaluate(heuristic_descent(msvc_case.text, 0),
+                             msvc_case.truth)
+        assert (heuristic.instructions.recall
+                > plain.instructions.recall + 0.05)
+
+    def test_still_misses_case_blocks(self, msvc_case):
+        """Jump-table case blocks stay invisible (unresolved ijmp)."""
+        evaluation = evaluate(heuristic_descent(msvc_case.text, 0),
+                              msvc_case.truth)
+        assert evaluation.instructions.recall < 0.95
+
+    def test_keeps_high_precision(self, all_cases):
+        for case in all_cases:
+            evaluation = evaluate(heuristic_descent(case.text, 0),
+                                  case.truth)
+            assert evaluation.instructions.precision > 0.9, case.name
+
+    def test_fixpoint_terminates(self, gcc_case):
+        result = heuristic_descent(gcc_case.text, 0, max_rounds=3)
+        assert result.instructions

@@ -1,0 +1,46 @@
+"""Tests for the linear-sweep baseline."""
+
+from repro.baselines import linear_sweep
+from repro.eval.metrics import evaluate
+from repro.isa import Assembler
+from repro.isa.registers import RAX, RBP, RSP
+
+
+class TestLinearSweep:
+    def test_clean_code_is_fully_decoded(self):
+        a = Assembler()
+        a.push_r(RBP)
+        a.mov_rr(RBP, RSP)
+        a.mov_ri(RAX, 7, width=32)
+        a.pop_r(RBP)
+        a.ret()
+        result = linear_sweep(a.finish())
+        assert sorted(result.instructions) == [0, 1, 4, 9, 10]
+        assert not result.data_regions
+
+    def test_resynchronizes_after_bad_byte(self):
+        text = b"\x90\x06\x06\x90\xc3"
+        result = linear_sweep(text)
+        assert result.data_regions == [(1, 3)]
+        assert 3 in result.instructions
+
+    def test_decodes_embedded_data_as_code(self, msvc_case):
+        """The defining failure mode: embedded tables become code."""
+        evaluation = evaluate(linear_sweep(msvc_case.text),
+                              msvc_case.truth)
+        assert evaluation.bytes.false_code > 100
+
+    def test_near_perfect_on_clean_binary(self, gcc_case):
+        evaluation = evaluate(linear_sweep(gcc_case.text), gcc_case.truth)
+        assert evaluation.instructions.recall > 0.99
+        assert evaluation.bytes.total_errors < 20
+
+    def test_recall_stays_high_even_on_complex_binaries(self, msvc_case):
+        evaluation = evaluate(linear_sweep(msvc_case.text),
+                              msvc_case.truth)
+        assert evaluation.instructions.recall > 0.95
+
+    def test_empty_input(self):
+        result = linear_sweep(b"")
+        assert not result.instructions
+        assert not result.data_regions

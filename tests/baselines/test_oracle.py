@@ -1,0 +1,18 @@
+"""Tests for the ground-truth oracle."""
+
+from repro.baselines import oracle
+from repro.eval.metrics import evaluate
+
+
+class TestOracle:
+    def test_oracle_scores_perfectly(self, all_cases):
+        for case in all_cases:
+            evaluation = evaluate(oracle(case), case.truth)
+            assert evaluation.instructions.f1 == 1.0, case.name
+            assert evaluation.bytes.total_errors == 0, case.name
+            assert evaluation.functions.f1 == 1.0, case.name
+
+    def test_oracle_reports_all_instructions(self, msvc_case):
+        result = oracle(msvc_case)
+        assert (result.instruction_starts
+                == msvc_case.truth.instruction_starts)

@@ -1,0 +1,71 @@
+"""Tests for the probabilistic-disassembly baseline."""
+
+import numpy as np
+
+from repro.baselines import probabilistic_disassembly
+from repro.baselines.probabilistic import _invalid_closure
+from repro.eval.metrics import evaluate
+from repro.isa import Assembler
+from repro.superset import Superset
+
+
+class TestInvalidClosure:
+    def test_undecodable_offsets_are_dead(self):
+        superset = Superset.build(b"\x06\x90\xc3")
+        dead = _invalid_closure(superset)
+        assert dead[0]
+        assert not dead[1] and not dead[2]
+
+    def test_forced_flow_into_invalid_is_dead(self):
+        # nop at 0 falls into invalid at 1 -> 0 is transitively dead.
+        superset = Superset.build(b"\x90\x06" + b"\x90\xc3")
+        dead = _invalid_closure(superset)
+        assert dead[0]
+
+    def test_terminators_stay_alive(self):
+        superset = Superset.build(b"\xc3\x06")
+        dead = _invalid_closure(superset)
+        assert not dead[0]
+
+    def test_conditional_branch_with_one_live_successor_alive(self):
+        a = Assembler()
+        a.jcc("e", "ok")        # falls into invalid, branches to ret
+        a.bind("ok")
+        text = a.finish()[:6]   # strip to keep layout tight
+        a2 = Assembler()
+        a2.jcc("e", "ok")
+        a2.db(b"\x06")
+        a2.bind("ok")
+        a2.ret()
+        superset = Superset.build(a2.finish())
+        dead = _invalid_closure(superset)
+        assert not dead[0]      # one successor (the ret) is alive
+
+
+class TestProbabilisticDisassembly:
+    def test_high_recall_moderate_precision(self, msvc_case):
+        evaluation = evaluate(
+            probabilistic_disassembly(msvc_case.text, 0), msvc_case.truth)
+        assert evaluation.instructions.recall > 0.85
+        assert evaluation.instructions.precision > 0.5
+
+    def test_threshold_monotone_in_recall(self, msvc_case):
+        loose = probabilistic_disassembly(msvc_case.text, 0, threshold=0.9)
+        tight = probabilistic_disassembly(msvc_case.text, 0,
+                                          threshold=0.05)
+        assert len(loose.instructions) >= len(tight.instructions)
+
+    def test_entry_point_always_code(self, msvc_case):
+        result = probabilistic_disassembly(msvc_case.text, 0)
+        assert 0 in result.instructions
+
+    def test_dead_offsets_never_emitted(self):
+        text = b"\x90\x06\x90\xc3"
+        result = probabilistic_disassembly(text, 2)
+        assert 0 not in result.instructions
+        assert 1 not in result.instructions
+
+    def test_reuses_prebuilt_superset(self, msvc_case, msvc_superset):
+        result = probabilistic_disassembly(msvc_case.text, 0,
+                                           superset=msvc_superset)
+        assert result.instructions

@@ -1,0 +1,65 @@
+"""Tests for the recursive-descent baseline."""
+
+from repro.baselines import recursive_descent
+from repro.eval.metrics import evaluate
+from repro.isa import Assembler
+from repro.isa.registers import RAX
+
+
+class TestRecursiveDescent:
+    def test_follows_direct_flow(self):
+        a = Assembler()
+        a.call("f")          # 0
+        a.ret()              # 5
+        a.bind("f")
+        a.jmp("g")           # 6
+        a.db(b"\x06\x06")    # junk, never visited
+        a.bind("g")
+        a.ret()              # 13
+        result = recursive_descent(a.finish(), 0)
+        assert set(result.instructions) == {0, 5, 6, 13}
+
+    def test_junk_becomes_data(self):
+        a = Assembler()
+        a.jmp("x")
+        a.db(b"\xde\xad\xbe\xef")
+        a.bind("x")
+        a.ret()
+        result = recursive_descent(a.finish(), 0)
+        assert (5, 9) in result.data_regions
+
+    def test_call_targets_become_function_entries(self):
+        a = Assembler()
+        a.call("f")
+        a.ret()
+        a.bind("f")
+        a.ret()
+        result = recursive_descent(a.finish(), 0)
+        assert result.function_entries == {0, 6}
+
+    def test_misses_indirect_functions(self, msvc_case):
+        """Recursive descent cannot see through pointer tables."""
+        evaluation = evaluate(recursive_descent(msvc_case.text, 0),
+                              msvc_case.truth)
+        assert evaluation.instructions.recall < 0.75
+        assert evaluation.instructions.precision > 0.9
+
+    def test_false_code_only_from_noreturn_continuations(self, msvc_case,
+                                                         gcc_case):
+        """RD blindly follows call fall-through, so its only false code
+        is the data placed after noreturn calls (absent in gcc-like
+        binaries, which put nothing there)."""
+        msvc = evaluate(recursive_descent(msvc_case.text, 0),
+                        msvc_case.truth)
+        assert 0 < msvc.bytes.false_code < 400
+        gcc = evaluate(recursive_descent(gcc_case.text, 0),
+                       gcc_case.truth)
+        assert gcc.bytes.false_code == 0
+
+    def test_entry_out_of_range_is_harmless(self):
+        result = recursive_descent(b"\x90\xc3", 10)
+        assert not result.instructions
+
+    def test_stops_at_invalid_target_bytes(self):
+        result = recursive_descent(b"\x06\x90", 0)
+        assert not result.instructions

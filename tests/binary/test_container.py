@@ -1,0 +1,93 @@
+"""Unit tests for the binary container format."""
+
+import pytest
+
+from repro.binary.container import Binary, BinaryFormatError, Section
+
+
+def sample_binary() -> Binary:
+    return Binary(
+        sections=[
+            Section(".text", 0, b"\x55\x48\x89\xe5\xc3", executable=True),
+            Section(".rodata", 0x200000, b"hello\x00"),
+        ],
+        entry=0,
+    )
+
+
+class TestSection:
+    def test_size_and_end(self):
+        s = Section(".text", 0x100, b"abcd", executable=True)
+        assert s.size == 4
+        assert s.end == 0x104
+
+    def test_contains(self):
+        s = Section(".text", 0x100, b"abcd")
+        assert s.contains(0x100)
+        assert s.contains(0x103)
+        assert not s.contains(0x104)
+        assert not s.contains(0xFF)
+
+
+class TestBinary:
+    def test_text_property(self):
+        binary = sample_binary()
+        assert binary.text.name == ".text"
+        assert binary.text.executable
+
+    def test_text_requires_exactly_one_executable(self):
+        with pytest.raises(BinaryFormatError):
+            Binary(sections=[Section(".rodata", 0, b"x")]).text
+        two = Binary(sections=[Section("a", 0, b"x", executable=True),
+                               Section("b", 16, b"y", executable=True)])
+        with pytest.raises(BinaryFormatError):
+            two.text
+
+    def test_section_by_name(self):
+        binary = sample_binary()
+        assert binary.section(".rodata").data == b"hello\x00"
+        with pytest.raises(KeyError):
+            binary.section(".data")
+
+    def test_section_at(self):
+        binary = sample_binary()
+        assert binary.section_at(0x200003).name == ".rodata"
+        assert binary.section_at(0x100) is None
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        binary = sample_binary()
+        restored = Binary.from_bytes(binary.to_bytes())
+        assert restored.entry == binary.entry
+        assert len(restored.sections) == 2
+        for original, loaded in zip(binary.sections, restored.sections):
+            assert loaded.name == original.name
+            assert loaded.addr == original.addr
+            assert loaded.data == original.data
+            assert loaded.executable == original.executable
+
+    def test_bad_magic(self):
+        with pytest.raises(BinaryFormatError, match="magic"):
+            Binary.from_bytes(b"XXXX" + b"\x00" * 32)
+
+    def test_truncated_section(self):
+        blob = sample_binary().to_bytes()
+        with pytest.raises(BinaryFormatError):
+            Binary.from_bytes(blob[:-3])
+
+    def test_trailing_garbage(self):
+        blob = sample_binary().to_bytes() + b"\x00"
+        with pytest.raises(BinaryFormatError, match="trailing"):
+            Binary.from_bytes(blob)
+
+    def test_empty_binary_round_trips(self):
+        binary = Binary(sections=[], entry=42)
+        restored = Binary.from_bytes(binary.to_bytes())
+        assert restored.entry == 42
+        assert restored.sections == []
+
+    def test_unicode_section_names(self):
+        binary = Binary(sections=[Section("初期", 0, b"x")])
+        restored = Binary.from_bytes(binary.to_bytes())
+        assert restored.sections[0].name == "初期"

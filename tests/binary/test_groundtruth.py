@@ -1,0 +1,88 @@
+"""Unit tests for ground-truth label bookkeeping."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.binary.groundtruth import ByteKind, FunctionInfo, GroundTruth
+
+
+def make_truth() -> GroundTruth:
+    gt = GroundTruth(size=32)
+    gt.mark_instruction(0, 3)
+    gt.mark_instruction(3, 1)
+    gt.mark_data(8, 16)
+    gt.add_function("f", 0, 8)
+    gt.add_jump_table(16, 24)
+    return gt
+
+
+class TestLabels:
+    def test_default_is_padding(self):
+        gt = GroundTruth(size=4)
+        assert all(gt.kind_at(i) == ByteKind.PADDING for i in range(4))
+
+    def test_mark_instruction(self):
+        gt = make_truth()
+        assert gt.kind_at(0) == ByteKind.INSN_START
+        assert gt.kind_at(1) == ByteKind.INSN_INTERIOR
+        assert gt.kind_at(2) == ByteKind.INSN_INTERIOR
+        assert gt.kind_at(3) == ByteKind.INSN_START
+
+    def test_instruction_starts(self):
+        assert make_truth().instruction_starts == {0, 3}
+
+    def test_is_code(self):
+        gt = make_truth()
+        assert gt.is_code(0) and gt.is_code(1)
+        assert not gt.is_code(10)
+
+    def test_byte_counts(self):
+        gt = make_truth()
+        assert gt.code_bytes == 4
+        assert gt.data_bytes == 16
+        assert gt.padding_bytes == 32 - 4 - 16
+
+    def test_data_regions(self):
+        assert make_truth().data_regions() == [(8, 24)]
+
+    def test_padding_regions(self):
+        assert make_truth().padding_regions() == [(4, 8), (24, 32)]
+
+    def test_data_region_at_end(self):
+        gt = GroundTruth(size=8)
+        gt.mark_data(4, 8)
+        assert gt.data_regions() == [(4, 8)]
+
+    def test_jump_table_marks_data(self):
+        gt = make_truth()
+        assert gt.kind_at(20) == ByteKind.DATA
+        assert gt.jump_tables == [(16, 24)]
+
+
+class TestFunctions:
+    def test_function_entries(self):
+        assert make_truth().function_entries == {0}
+
+    def test_function_contains(self):
+        f = FunctionInfo("f", 4, 10)
+        assert 4 in f and 9 in f
+        assert 10 not in f and 3 not in f
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        gt = make_truth()
+        restored = GroundTruth.from_json(gt.to_json())
+        assert restored.size == gt.size
+        assert bytes(restored.labels) == bytes(gt.labels)
+        assert restored.functions == gt.functions
+        assert restored.jump_tables == gt.jump_tables
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(1, 8)),
+                    max_size=10))
+    def test_round_trip_random_instructions(self, marks):
+        gt = GroundTruth(size=80)
+        for offset, length in marks:
+            gt.mark_instruction(offset, min(length, 80 - offset))
+        restored = GroundTruth.from_json(gt.to_json())
+        assert restored.instruction_starts == gt.instruction_starts

@@ -1,0 +1,56 @@
+"""Tests for the flat memory image used by table resolution."""
+
+from repro.binary.container import Binary, Section
+from repro.binary.image import MemoryImage
+
+
+def image() -> MemoryImage:
+    return MemoryImage(sections=[
+        Section(".text", 0, bytes(range(16)), executable=True),
+        Section(".rodata", 0x1000,
+                (0x0123456789ABCDEF).to_bytes(8, "little") + b"\xff" * 8),
+    ])
+
+
+class TestReads:
+    def test_read_within_section(self):
+        assert image().read(2, 3) == bytes([2, 3, 4])
+
+    def test_read_across_section_end_fails(self):
+        assert image().read(14, 4) is None
+
+    def test_read_unmapped(self):
+        assert image().read(0x500, 1) is None
+
+    def test_read_u64(self):
+        assert image().read_u64(0x1000) == 0x0123456789ABCDEF
+        assert image().read_u64(0x20) is None
+
+    def test_read_i32_signed(self):
+        assert image().read_i32(0x1008) == -1
+
+    def test_in_text(self):
+        img = image()
+        assert img.in_text(5)
+        assert not img.in_text(0x1004)
+        assert not img.in_text(0x9999)
+
+
+class TestConstruction:
+    def test_from_text(self):
+        img = MemoryImage.from_text(b"\x90\xc3")
+        assert img.read(0, 2) == b"\x90\xc3"
+        assert img.in_text(1)
+
+    def test_from_binary(self, msvc_case):
+        img = MemoryImage.from_binary(msvc_case.binary)
+        assert img.read(0, 4) == msvc_case.text[:4]
+
+    def test_rodata_readable_from_binary(self, gcc_case):
+        img = MemoryImage.from_binary(gcc_case.binary)
+        rodata = [s for s in gcc_case.binary.sections
+                  if s.name == ".rodata"]
+        if rodata:
+            addr = rodata[0].addr
+            assert img.read(addr, 4) == rodata[0].data[:4]
+            assert not img.in_text(addr)

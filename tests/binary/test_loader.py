@@ -1,0 +1,31 @@
+"""Tests for paired binary + ground-truth I/O."""
+
+from repro.binary import TestCase as ReproTestCase
+from repro.synth import BinarySpec, generate_binary
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path, msvc_case):
+        msvc_case.save(tmp_path)
+        loaded = ReproTestCase.load(tmp_path, msvc_case.name)
+        assert loaded.text == msvc_case.text
+        assert loaded.binary.entry == msvc_case.binary.entry
+        assert (loaded.truth.instruction_starts
+                == msvc_case.truth.instruction_starts)
+        assert loaded.truth.jump_tables == msvc_case.truth.jump_tables
+
+    def test_save_creates_two_files(self, tmp_path):
+        case = generate_binary(BinarySpec(name="io-test",
+                                          function_count=5, seed=3))
+        bin_path, gt_path = case.save(tmp_path)
+        assert bin_path.exists() and bin_path.suffix == ".bin"
+        assert gt_path.exists() and gt_path.name.endswith(".gt.json")
+
+    def test_binary_file_contains_no_ground_truth(self, tmp_path):
+        """The stripped binary really is stripped."""
+        case = generate_binary(BinarySpec(name="strip-test",
+                                          function_count=5, seed=3))
+        bin_path, _ = case.save(tmp_path)
+        blob = bin_path.read_bytes()
+        assert b"fn0000" not in blob          # no function names
+        assert b"labels" not in blob          # no label payload

@@ -1,0 +1,56 @@
+"""Shared fixtures: small generated binaries and trained models.
+
+Generation and model training are comparatively expensive, so anything
+reusable is session-scoped.  Evaluation fixtures use the small seeds;
+models come from :func:`repro.stats.training.default_models`, which
+trains on dedicated seeds, preserving the train/test split even in
+tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Disassembler
+from repro.stats.training import default_models
+from repro.superset import Superset
+from repro.synth import (BinarySpec, CLANG_LIKE, GCC_LIKE, MSVC_LIKE,
+                         generate_binary)
+
+
+@pytest.fixture(scope="session")
+def msvc_case():
+    return generate_binary(BinarySpec(name="msvc-test", style=MSVC_LIKE,
+                                      function_count=20, seed=7))
+
+
+@pytest.fixture(scope="session")
+def gcc_case():
+    return generate_binary(BinarySpec(name="gcc-test", style=GCC_LIKE,
+                                      function_count=20, seed=7))
+
+
+@pytest.fixture(scope="session")
+def clang_case():
+    return generate_binary(BinarySpec(name="clang-test", style=CLANG_LIKE,
+                                      function_count=20, seed=7))
+
+
+@pytest.fixture(scope="session")
+def all_cases(msvc_case, gcc_case, clang_case):
+    return [msvc_case, gcc_case, clang_case]
+
+
+@pytest.fixture(scope="session")
+def models():
+    return default_models()
+
+
+@pytest.fixture(scope="session")
+def disassembler(models):
+    return Disassembler(models=models)
+
+
+@pytest.fixture(scope="session")
+def msvc_superset(msvc_case):
+    return Superset.build(msvc_case.text)

@@ -1,0 +1,232 @@
+"""Tests for the prioritized error-correction engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.correction import CorrectionEngine
+from repro.core.evidence import Evidence, Priority
+from repro.isa import Assembler
+from repro.isa.registers import RAX, RBP, RCX, RSP
+from repro.superset import Superset
+
+
+def engine_for(text: bytes, scores=None) -> CorrectionEngine:
+    superset = Superset.build(text)
+    if scores is None:
+        scores = np.zeros(len(text))
+    return CorrectionEngine(superset, scores, DEFAULT_CONFIG)
+
+
+def assemble(fn) -> bytes:
+    a = Assembler()
+    fn(a)
+    return a.finish()
+
+
+class TestTracing:
+    def test_trace_covers_straight_line(self):
+        text = assemble(lambda a: (a.push_r(RBP), a.mov_rr(RBP, RSP),
+                                   a.ret()))
+        engine = engine_for(text)
+        outcome = engine.trace(0, Priority.ANCHOR, "test")
+        assert not outcome.aborted
+        assert outcome.accepted == {0, 1, 4}
+        assert engine.state.is_code_start(0)
+
+    def test_trace_follows_jumps(self):
+        def body(a):
+            a.jmp("x")
+            a.db(b"\x06\x06\x06")   # junk the trace must skip
+            a.bind("x")
+            a.ret()
+        text = assemble(body)
+        engine = engine_for(text)
+        outcome = engine.trace(0, Priority.ANCHOR, "test")
+        assert 8 in outcome.accepted
+        assert engine.state.is_unknown(5)
+
+    def test_trace_collects_call_targets(self):
+        def body(a):
+            a.call("f")
+            a.ret()
+            a.bind("f")
+            a.ret()
+        text = assemble(body)
+        engine = engine_for(text)
+        outcome = engine.trace(0, Priority.ANCHOR, "test")
+        assert outcome.call_targets == {6}
+
+    def test_trace_aborts_on_early_invalid(self):
+        text = b"\x90\x90\x06" + b"\x90" * 8
+        engine = engine_for(text)
+        outcome = engine.trace(0, Priority.SOFT, "test")
+        assert outcome.aborted
+        # Rollback: nothing stays marked.
+        assert engine.state.is_unknown(0)
+        assert engine.state.is_unknown(1)
+
+    def test_trace_aborts_against_stronger_data(self):
+        text = assemble(lambda a: (a.nop(2), a.ret()))
+        engine = engine_for(text)
+        engine.state.mark_data(1, 3, Priority.STRUCTURAL)
+        outcome = engine.trace(0, Priority.SOFT, "test")
+        assert outcome.aborted
+        assert engine.state.is_unknown(0)
+
+    def test_strong_trace_overrides_weak_data(self):
+        text = assemble(lambda a: (a.nop(2), a.ret()))
+        engine = engine_for(text)
+        engine.state.mark_data(0, 3, Priority.SOFT)
+        outcome = engine.trace(0, Priority.ANCHOR, "test")
+        assert not outcome.aborted
+        assert engine.state.is_code_start(0)
+
+    def test_trace_joins_existing_code(self):
+        text = assemble(lambda a: (a.nop(1), a.nop(1), a.ret()))
+        engine = engine_for(text)
+        engine.trace(1, Priority.ANCHOR, "first")
+        outcome = engine.trace(0, Priority.ANCHOR, "second")
+        assert not outcome.aborted
+        assert engine.state.is_code_start(0)
+
+    def test_rip_references_collected(self):
+        def body(a):
+            from repro.isa import rip
+            a.lea(RAX, rip("blob"))
+            a.ret()
+            a.bind("blob")
+            a.db(b"\x01\x02\x03")
+        text = assemble(body)
+        engine = engine_for(text)
+        outcome = engine.trace(0, Priority.ANCHOR, "test")
+        assert 8 in outcome.rip_references
+
+
+class TestEvidenceQueue:
+    def test_priority_order(self):
+        text = assemble(lambda a: (a.ret(), a.ret()))
+        engine = engine_for(text)
+        order = []
+        original = engine._apply
+
+        def spy(evidence):
+            order.append(evidence.source)
+            original(evidence)
+
+        engine._apply = spy
+        engine.push(Evidence("code", 0, 0, Priority.SOFT, 1.0, "soft"))
+        engine.push(Evidence("code", 1, 1, Priority.ANCHOR, 1.0, "anchor"))
+        engine.drain()
+        assert order == ["anchor", "soft"]
+
+    def test_weight_breaks_ties(self):
+        text = assemble(lambda a: (a.ret(), a.ret()))
+        engine = engine_for(text)
+        order = []
+        original = engine._apply
+
+        def spy(evidence):
+            order.append(evidence.weight)
+            original(evidence)
+
+        engine._apply = spy
+        engine.push(Evidence("code", 0, 0, Priority.SOFT, 1.0, "low"))
+        engine.push(Evidence("code", 1, 1, Priority.SOFT, 9.0, "high"))
+        engine.drain()
+        assert order == [9.0, 1.0]
+
+    def test_data_evidence_rejected_against_stronger_code(self):
+        text = assemble(lambda a: (a.ret(), a.ret()))
+        engine = engine_for(text)
+        engine.push(Evidence("code", 0, 0, Priority.ANCHOR, 1.0, "a"))
+        engine.drain()
+        engine.push(Evidence("data", 0, 1, Priority.SOFT, 1.0, "d"))
+        engine.drain()
+        assert engine.state.is_code_start(0)
+
+
+class TestGapCompletion:
+    def test_gaps_become_data_when_no_candidate(self):
+        # Invalid bytes everywhere: nothing to accept.
+        text = b"\x06" * 16
+        engine = engine_for(text, scores=np.full(16, -5.0))
+        engine.complete_gaps()
+        assert not engine.state.unknown_gaps()
+        assert engine.state.data_regions() == [(0, 16)]
+
+    def test_good_gap_code_accepted(self, models):
+        def body(a):
+            a.push_r(RBP)
+            a.mov_rr(RBP, RSP)
+            a.mov_ri(RAX, 7, width=32)
+            a.pop_r(RBP)
+            a.ret()
+        text = assemble(body)
+        from repro.stats.scoring import StatisticalScorer
+        superset = Superset.build(text)
+        scores = StatisticalScorer(models.code, models.data
+                                   ).score_all(superset)
+        engine = CorrectionEngine(superset, scores, DEFAULT_CONFIG)
+        engine.complete_gaps()
+        assert engine.state.is_code_start(0)
+        assert not engine.state.unknown_gaps()
+
+    def test_clean_tile_helper(self):
+        text = assemble(lambda a: (a.nop(1), a.nop(1), a.ret()))
+        engine = engine_for(text)
+        assert engine._clean_tile(0, 3) == [(0, 1), (1, 1), (2, 1)]
+        assert engine._clean_tile(0, 2) == [(0, 1), (1, 1)]
+        assert engine._clean_tile(1, 3) == [(1, 1), (2, 1)]
+
+    def test_clean_tile_rejects_overhang(self):
+        text = assemble(lambda a: (a.mov_ri(RAX, 7, width=32), a.ret()))
+        assert engine_for(text)._clean_tile(0, 3) is None
+
+    def test_realign_residue(self):
+        # Confirmed code at 3; bytes 0-2 decode cleanly into it.
+        text = assemble(lambda a: (a.nop(3), a.ret()))
+        engine = engine_for(text)
+        engine.trace(3, Priority.ANCHOR, "anchor")
+        engine.state.mark_data(0, 3, Priority.SOFT)
+        engine.realign_residues()
+        assert engine.state.is_code_start(0)
+
+    def test_realign_skips_structural_data(self):
+        text = assemble(lambda a: (a.nop(3), a.ret()))
+        engine = engine_for(text)
+        engine.trace(3, Priority.ANCHOR, "anchor")
+        engine.state.mark_data(0, 3, Priority.STRUCTURAL)
+        engine.realign_residues()
+        assert engine.state.is_data(0)
+
+
+class TestChainGate:
+    def test_terminated_chain_passes(self):
+        text = assemble(lambda a: (a.nop(1), a.ret()))
+        engine = engine_for(text)
+        assert engine._chain_terminates_cleanly(0)
+
+    def test_chain_into_trap_fails(self):
+        text = assemble(lambda a: (a.nop(1), a.int3(), a.ret()))
+        engine = engine_for(text)
+        assert not engine._chain_terminates_cleanly(0)
+
+    def test_chain_into_invalid_fails(self):
+        engine = engine_for(b"\x90\x06\x90")
+        assert not engine._chain_terminates_cleanly(0)
+
+    def test_chain_joining_code_start_passes(self):
+        text = assemble(lambda a: (a.nop(1), a.nop(1), a.ret()))
+        engine = engine_for(text)
+        engine.trace(1, Priority.ANCHOR, "a")
+        assert engine._chain_terminates_cleanly(0)
+
+    def test_chain_joining_mid_instruction_fails(self):
+        text = assemble(lambda a: (a.nop(1), a.mov_ri(RAX, 1, width=32),
+                                   a.ret()))
+        engine = engine_for(text)
+        engine.trace(0, Priority.ANCHOR, "a")
+        # Offset 2 is inside the mov; a chain reaching it mid-body fails.
+        if engine.superset.is_valid(2):
+            assert not engine._chain_terminates_cleanly(2)

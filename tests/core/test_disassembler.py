@@ -1,0 +1,139 @@
+"""Integration tests for the public Disassembler API."""
+
+import pytest
+
+from repro.binary import ByteKind
+from repro.core import (ABLATION_CONFIGS, Disassembler, DisassemblerConfig)
+from repro.eval.metrics import evaluate
+
+
+class TestApiSurface:
+    def test_accepts_test_case(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        assert result.tool == "repro"
+        assert result.instructions
+
+    def test_accepts_binary(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case.binary)
+        assert result.instructions
+
+    def test_accepts_raw_bytes(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case.text)
+        assert result.instructions
+
+    def test_rejects_unknown_type(self, disassembler):
+        with pytest.raises(TypeError):
+            disassembler.disassemble(12345)
+
+    def test_rich_output(self, disassembler, msvc_case):
+        rich = disassembler.disassemble_rich(msvc_case)
+        assert rich.result.instructions
+        assert rich.scores.shape == (len(msvc_case.text),)
+        assert rich.log
+        assert len(rich.superset) == len(msvc_case.text)
+
+    def test_explicit_entry_override(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case, entry=0)
+        assert result.instructions
+
+    def test_summary_string(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        assert "instructions" in result.summary()
+
+
+class TestOutputInvariants:
+    def test_instructions_do_not_overlap(self, disassembler, all_cases):
+        for case in all_cases:
+            result = disassembler.disassemble(case)
+            covered_until = -1
+            for start in sorted(result.instructions):
+                assert start >= covered_until, case.name
+                covered_until = start + result.instructions[start]
+
+    def test_data_and_code_are_disjoint(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        code = result.code_byte_offsets()
+        data = result.data_byte_offsets()
+        assert not code & data
+
+    def test_every_byte_classified(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        covered = result.code_byte_offsets() | result.data_byte_offsets()
+        assert covered == set(range(len(msvc_case.text)))
+
+    def test_lengths_match_decodings(self, disassembler, msvc_case):
+        from repro.isa import decode
+        result = disassembler.disassemble(msvc_case)
+        for start, length in list(result.instructions.items())[:500]:
+            assert decode(msvc_case.text, start).length == length
+
+
+class TestAccuracy:
+    def test_high_accuracy_on_every_style(self, disassembler, all_cases):
+        for case in all_cases:
+            evaluation = evaluate(disassembler.disassemble(case),
+                                  case.truth)
+            assert evaluation.instructions.f1 > 0.97, case.name
+            assert evaluation.instructions.recall > 0.98, case.name
+
+    def test_perfect_on_clean_binaries(self, disassembler, gcc_case):
+        evaluation = evaluate(disassembler.disassemble(gcc_case),
+                              gcc_case.truth)
+        assert evaluation.bytes.total_errors <= 25
+
+    def test_jump_tables_not_decoded_as_code(self, disassembler,
+                                             msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        code = result.code_byte_offsets()
+        table_bytes = [o for s, e in msvc_case.truth.jump_tables
+                       for o in range(s, e)]
+        wrong = sum(1 for o in table_bytes if o in code)
+        assert wrong / len(table_bytes) < 0.05
+
+
+class TestConfigurations:
+    def test_ablations_all_run(self, models, msvc_case):
+        for name, config in ABLATION_CONFIGS.items():
+            disassembler = Disassembler(models=models, config=config)
+            result = disassembler.disassemble(msvc_case)
+            assert result.instructions, name
+
+    def test_ablation_ordering(self, models, all_cases):
+        """Removing components never helps much, and removing the
+        structural table resolution hurts a lot."""
+        def total_errors(config):
+            disassembler = Disassembler(models=models, config=config)
+            return sum(
+                evaluate(disassembler.disassemble(case), case.truth)
+                .bytes.total_errors
+                for case in all_cases)
+
+        errors = {name: total_errors(config)
+                  for name, config in ABLATION_CONFIGS.items()}
+        full = errors["full"]
+        for name, count in errors.items():
+            # Small corpora are noisy; allow slack but no large win.
+            assert full <= count + 40, (name, errors)
+        assert errors["no-table-resolution"] > full, errors
+        assert (errors["no-priority+no-tables"]
+                >= errors["no-table-resolution"]), errors
+
+    def test_degenerate_config_still_works(self, models, msvc_case):
+        config = DisassemblerConfig(use_statistics=False,
+                                    use_behavior=False)
+        disassembler = Disassembler(models=models, config=config)
+        result = disassembler.disassemble(msvc_case)
+        assert result.instructions
+
+    def test_threshold_trades_precision_for_recall(self, models,
+                                                   msvc_case):
+        strict = Disassembler(models=models, config=DisassemblerConfig(
+            code_threshold=3.0))
+        lenient = Disassembler(models=models, config=DisassemblerConfig(
+            code_threshold=-3.0))
+        strict_eval = evaluate(strict.disassemble(msvc_case),
+                               msvc_case.truth)
+        lenient_eval = evaluate(lenient.disassemble(msvc_case),
+                                msvc_case.truth)
+        assert (strict_eval.instructions.recall
+                <= lenient_eval.instructions.recall + 1e-9)

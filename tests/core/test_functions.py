@@ -1,0 +1,33 @@
+"""Tests for function-boundary identification."""
+
+from repro.core import Disassembler
+
+
+class TestFunctionIdentification:
+    def test_entry_point_is_a_function(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        assert 0 in result.function_entries
+
+    def test_precision_and_recall_floors(self, disassembler, all_cases):
+        for case in all_cases:
+            result = disassembler.disassemble(case)
+            truth = case.truth.function_entries
+            predicted = result.function_entries
+            precision = len(predicted & truth) / max(len(predicted), 1)
+            recall = len(predicted & truth) / len(truth)
+            assert precision > 0.9, case.name
+            assert recall > 0.75, case.name
+
+    def test_entries_are_accepted_instructions(self, disassembler,
+                                               msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        assert result.function_entries <= result.instruction_starts
+
+    def test_spans_are_ordered_and_disjoint(self, disassembler, msvc_case):
+        from repro.core.functions import identify_functions
+        rich = disassembler.disassemble_rich(msvc_case)
+        # Recompute spans to inspect extents directly.
+        from repro.core.correction import CorrectionEngine
+        entries = sorted(rich.result.function_entries)
+        for first, second in zip(entries, entries[1:]):
+            assert first < second

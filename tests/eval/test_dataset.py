@@ -1,0 +1,29 @@
+"""Tests for the evaluation dataset."""
+
+from repro.eval.dataset import (CaseCharacteristics, characteristics,
+                                evaluation_corpus)
+
+
+class TestCorpus:
+    def test_default_corpus_is_cached(self):
+        assert evaluation_corpus() is evaluation_corpus()
+
+    def test_small_corpus_shape(self):
+        cases = evaluation_corpus(seeds=(9,), function_count=5)
+        assert len(cases) == 3
+        names = sorted(c.name for c in cases)
+        assert names == ["clang-like-s9", "gcc-like-s9", "msvc-like-s9"]
+
+
+class TestCharacteristics:
+    def test_counts_are_consistent(self, msvc_case):
+        stats = characteristics(msvc_case)
+        assert stats.text_bytes == (stats.code_bytes + stats.data_bytes
+                                    + stats.padding_bytes)
+        assert stats.functions == len(msvc_case.truth.functions)
+        assert stats.instructions == len(
+            msvc_case.truth.instruction_starts)
+
+    def test_embedded_data_percent(self, msvc_case, gcc_case):
+        assert characteristics(msvc_case).embedded_data_percent > 3.0
+        assert characteristics(gcc_case).embedded_data_percent == 0.0

@@ -1,0 +1,73 @@
+"""Smoke tests for the experiment runners (tiny corpora)."""
+
+import pytest
+
+from repro.eval.dataset import evaluation_corpus
+from repro.eval.experiments import (EXPERIMENTS, main, run_f1, run_f3,
+                                    run_f4, run_t1, run_t2, run_t3, run_t4,
+                                    run_t5)
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return evaluation_corpus(seeds=(4,), function_count=8)
+
+
+class TestTableRunners:
+    def test_t1(self, tiny_corpus):
+        table = run_t1(tiny_corpus)
+        assert len(table.rows) == 3
+        assert all(row["text_bytes"] > 0 for row in table.rows)
+
+    def test_t2_ranks_our_tool_first(self, tiny_corpus):
+        table = run_t2(tiny_corpus)
+        by_tool = {row["tool"]: row["f1"] for row in table.rows}
+        ours = by_tool.pop("repro (this paper)")
+        assert ours >= max(by_tool.values())
+
+    def test_t3_improvement_factor_noted(self, tiny_corpus):
+        table = run_t3(tiny_corpus)
+        assert any("improvement" in note for note in table.notes)
+        by_tool = {row["tool"]: row["total_errors"] for row in table.rows}
+        ours = by_tool.pop("repro (this paper)")
+        assert ours <= min(by_tool.values())
+
+    def test_t4_lists_all_variants(self, tiny_corpus):
+        table = run_t4(tiny_corpus)
+        variants = {row["variant"] for row in table.rows}
+        assert "full" in variants and len(variants) >= 4
+
+    def test_t5_function_metrics(self, tiny_corpus):
+        table = run_t5(tiny_corpus)
+        ours = next(row for row in table.rows
+                    if row["tool"] == "repro (this paper)")
+        assert ours["f1"] > 0.7
+
+
+class TestFigureRunners:
+    def test_f1_density_sweep(self):
+        table = run_f1(densities=(0.0, 0.4), seeds=(4,), function_count=8)
+        assert len(table.rows) == 2
+        assert table.rows[0]["data_pct"] < table.rows[1]["data_pct"]
+
+    def test_f3_scaling(self):
+        table = run_f3(function_counts=(5, 10), seed=4)
+        assert table.rows[0]["text_bytes"] < table.rows[1]["text_bytes"]
+        assert all(row["repro"] > 0 for row in table.rows)
+
+    def test_f4_threshold(self):
+        table = run_f4(thresholds=(0.0,), seeds=(4,), function_count=8)
+        assert len(table.rows) == 1
+
+
+class TestCli:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {"t1", "t2", "t3", "t4", "t5",
+                                    "f1", "f2", "f3", "f4", "v1"}
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["zzz"]) == 1

@@ -1,0 +1,104 @@
+"""Tests for the accuracy metrics."""
+
+import pytest
+
+from repro.binary.groundtruth import GroundTruth
+from repro.eval.metrics import (ByteErrors, PrecisionRecall, aggregate,
+                                evaluate)
+from repro.result import DisassemblyResult
+
+
+def truth_fixture() -> GroundTruth:
+    gt = GroundTruth(size=16)
+    gt.mark_instruction(0, 2)
+    gt.mark_instruction(2, 2)
+    gt.mark_data(4, 8)
+    gt.mark_padding(8, 12)
+    gt.mark_instruction(12, 4)
+    gt.add_function("f", 0, 4)
+    gt.add_function("g", 12, 16)
+    return gt
+
+
+class TestPrecisionRecall:
+    def test_basic(self):
+        pr = PrecisionRecall(8, 2, 2)
+        assert pr.precision == 0.8
+        assert pr.recall == 0.8
+        assert pr.f1 == pytest.approx(0.8)
+
+    def test_degenerate(self):
+        empty = PrecisionRecall(0, 0, 0)
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0
+        zero = PrecisionRecall(0, 5, 5)
+        assert zero.f1 == 0.0
+
+
+class TestByteErrors:
+    def test_totals(self):
+        be = ByteErrors(false_code=3, missed_code=2, code_bytes=90,
+                        data_bytes=10)
+        assert be.total_errors == 5
+        assert be.error_rate == 0.05
+
+
+class TestEvaluate:
+    def test_perfect_result(self):
+        truth = truth_fixture()
+        result = DisassemblyResult(
+            tool="x",
+            instructions={0: 2, 2: 2, 12: 4},
+            data_regions=[(4, 8)],
+            function_entries={0, 12},
+        )
+        evaluation = evaluate(result, truth)
+        assert evaluation.instructions.f1 == 1.0
+        assert evaluation.bytes.total_errors == 0
+        assert evaluation.functions.f1 == 1.0
+
+    def test_false_code_counted(self):
+        truth = truth_fixture()
+        result = DisassemblyResult(tool="x",
+                                   instructions={0: 2, 2: 2, 4: 4, 12: 4})
+        evaluation = evaluate(result, truth)
+        assert evaluation.bytes.false_code == 4
+        assert evaluation.instructions.false_positives == 1
+
+    def test_missed_code_counted(self):
+        truth = truth_fixture()
+        result = DisassemblyResult(tool="x", instructions={0: 2, 2: 2})
+        evaluation = evaluate(result, truth)
+        assert evaluation.bytes.missed_code == 4
+        assert evaluation.instructions.false_negatives == 1
+
+    def test_padding_is_never_scored(self):
+        truth = truth_fixture()
+        # Claim the padding as code: no penalty.
+        result = DisassemblyResult(tool="x",
+                                   instructions={0: 2, 2: 2, 8: 4, 12: 4})
+        evaluation = evaluate(result, truth)
+        assert evaluation.bytes.false_code == 0
+        assert evaluation.instructions.false_positives == 0
+
+    def test_interior_prediction_is_false_positive(self):
+        truth = truth_fixture()
+        result = DisassemblyResult(tool="x",
+                                   instructions={0: 2, 2: 2, 12: 4, 13: 2})
+        evaluation = evaluate(result, truth)
+        assert evaluation.instructions.false_positives == 1
+
+
+class TestAggregate:
+    def test_micro_average_pools_counts(self):
+        truth = truth_fixture()
+        good = evaluate(DisassemblyResult(
+            tool="x", instructions={0: 2, 2: 2, 12: 4},
+            function_entries={0, 12}), truth)
+        bad = evaluate(DisassemblyResult(tool="x", instructions={}),
+                       truth)
+        pooled = aggregate([good, bad], "x")
+        assert pooled.instructions.true_positives == 3
+        assert pooled.instructions.false_negatives == 3
+        assert pooled.bytes.missed_code == 8
+        assert pooled.tool == "x"

@@ -1,0 +1,36 @@
+"""Tests for table rendering."""
+
+from repro.eval.report import Table
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table(title="Demo", columns=["tool", "f1"])
+        table.add(tool="ours", f1=0.99)
+        table.add(tool="baseline", f1=0.5)
+        table.notes.append("a note")
+        rendered = table.render()
+        assert "Demo" in rendered
+        assert "ours" in rendered
+        assert "0.9900" in rendered
+        assert "note: a note" in rendered
+
+    def test_column_extraction(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add(a=1, b=2)
+        table.add(a=3, b=4)
+        assert table.column("a") == [1, 3]
+
+    def test_empty_table_renders(self):
+        table = Table(title="empty", columns=["x"])
+        assert "empty" in table.render()
+
+    def test_missing_cell_is_blank(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add(a=1)
+        assert table.render()
+
+    def test_large_floats_get_one_decimal(self):
+        table = Table(title="t", columns=["n"])
+        table.add(n=12345.678)
+        assert "12345.7" in table.render()

@@ -1,0 +1,325 @@
+"""Decoder golden tests: known x86-64 encodings decode correctly."""
+
+import pytest
+
+from repro.isa import decode, try_decode
+from repro.isa.errors import (InvalidOpcodeError, TooLongError,
+                              TruncatedError)
+from repro.isa.opcodes import FlowKind
+from repro.isa.operands import ImmOp, MemOp, RegOp, RelOp
+from repro.isa.registers import R15, RAX, RBP, RCX, RDI, RSP
+
+
+def one(raw: bytes):
+    ins = decode(raw, 0)
+    assert ins.length == len(raw), f"length mismatch for {raw.hex()}"
+    return ins
+
+
+class TestSimpleInstructions:
+    def test_push_rbp(self):
+        ins = one(b"\x55")
+        assert ins.mnemonic == "push"
+        assert ins.operands[0] == RegOp(__import__("repro.isa.registers",
+                                                   fromlist=["Register"]
+                                                   ).Register(RBP, 64))
+
+    def test_ret(self):
+        ins = one(b"\xc3")
+        assert ins.mnemonic == "ret"
+        assert ins.flow is FlowKind.RET
+        assert not ins.falls_through
+
+    def test_ret_imm16(self):
+        ins = one(b"\xc2\x08\x00")
+        assert ins.mnemonic == "ret"
+        assert ins.operands[0] == ImmOp(8, 16)
+
+    def test_leave(self):
+        assert one(b"\xc9").mnemonic == "leave"
+
+    def test_nop(self):
+        ins = one(b"\x90")
+        assert ins.is_nop
+
+    def test_nop_with_operand_size_prefix(self):
+        assert one(b"\x66\x90").is_nop
+
+    def test_long_nop(self):
+        ins = one(b"\x0f\x1f\x44\x00\x00")
+        assert ins.is_nop
+        assert ins.length == 5
+
+    def test_endbr64(self):
+        ins = one(b"\xf3\x0f\x1e\xfa")
+        assert ins.is_nop       # decodes as a hint nop
+
+    def test_int3(self):
+        ins = one(b"\xcc")
+        assert ins.mnemonic == "int3"
+        assert ins.flow is FlowKind.TRAP
+
+    def test_ud2(self):
+        ins = one(b"\x0f\x0b")
+        assert ins.mnemonic == "ud2"
+        assert ins.flow is FlowKind.HALT
+
+    def test_hlt(self):
+        ins = one(b"\xf4")
+        assert ins.flow is FlowKind.HALT
+        assert ins.rare
+
+    def test_syscall(self):
+        assert one(b"\x0f\x05").mnemonic == "syscall"
+
+    def test_cdq_and_cqo(self):
+        assert one(b"\x99").mnemonic == "cdq"
+        assert one(b"\x48\x99").mnemonic == "cqo"
+        assert one(b"\x66\x99").mnemonic == "cwd"
+        assert one(b"\x98").mnemonic == "cwde"
+        assert one(b"\x48\x98").mnemonic == "cdqe"
+
+
+class TestMovAndArithmetic:
+    def test_mov_rbp_rsp(self):
+        ins = one(b"\x48\x89\xe5")
+        assert ins.mnemonic == "mov"
+        assert str(ins.operands[0]) == "rbp"
+        assert str(ins.operands[1]) == "rsp"
+
+    def test_mov_eax_imm32(self):
+        ins = one(b"\xb8\x2a\x00\x00\x00")
+        assert ins.mnemonic == "mov"
+        assert ins.operands[1] == ImmOp(42, 32)
+
+    def test_mov_rax_imm64(self):
+        raw = b"\x48\xb8" + (0x1122334455667788).to_bytes(8, "little")
+        ins = one(raw)
+        assert ins.operands[1].value == 0x1122334455667788
+
+    def test_mov_r64_imm32_sign_extended(self):
+        ins = one(b"\x48\xc7\xc0\x2a\x00\x00\x00")
+        assert ins.mnemonic == "mov"
+        assert ins.operands[1].value == 42
+
+    def test_mov_load_rbp_disp8(self):
+        ins = one(b"\x48\x8b\x45\xf8")     # mov rax, [rbp-8]
+        memop = ins.operands[1]
+        assert isinstance(memop, MemOp)
+        assert memop.base.family == RBP
+        assert memop.disp == -8
+
+    def test_sub_rsp_imm8(self):
+        ins = one(b"\x48\x83\xec\x20")
+        assert ins.mnemonic == "sub"
+        assert ins.operands[0].register.family == RSP
+        assert ins.operands[1].value == 0x20
+
+    def test_add_imm32(self):
+        ins = one(b"\x48\x81\xc0\x00\x01\x00\x00")   # add rax, 0x100
+        assert ins.mnemonic == "add"
+        assert ins.operands[1].value == 0x100
+
+    def test_xor_self(self):
+        ins = one(b"\x31\xc0")              # xor eax, eax
+        assert ins.mnemonic == "xor"
+
+    def test_test_rr(self):
+        ins = one(b"\x48\x85\xc0")
+        assert ins.mnemonic == "test"
+        assert ins.writes_flags
+
+    def test_imul_two_operand(self):
+        ins = one(b"\x48\x0f\xaf\xc1")      # imul rax, rcx
+        assert ins.mnemonic == "imul"
+
+    def test_imul_with_imm8(self):
+        ins = one(b"\x48\x6b\xc0\x05")      # imul rax, rax, 5
+        assert ins.mnemonic == "imul"
+        assert ins.operands[2].value == 5
+
+    def test_shl_imm(self):
+        ins = one(b"\x48\xc1\xe0\x03")      # shl rax, 3
+        assert ins.mnemonic == "shl"
+        assert ins.operands[1].value == 3
+
+    def test_group3_div(self):
+        ins = one(b"\x48\xf7\xf1")          # div rcx
+        assert ins.mnemonic == "div"
+
+    def test_group3_test_imm(self):
+        ins = one(b"\xf7\xc0\x01\x00\x00\x00")   # test eax, 1
+        assert ins.mnemonic == "test"
+        assert ins.operands[1].value == 1
+
+    def test_movzx_byte(self):
+        ins = one(b"\x0f\xb6\xc0")          # movzx eax, al
+        assert ins.mnemonic == "movzx"
+
+    def test_movsxd(self):
+        ins = one(b"\x48\x63\xc7")          # movsxd rax, edi
+        assert ins.mnemonic == "movsxd"
+        assert ins.operands[1].register.width == 32
+
+    def test_lea_rip_relative(self):
+        ins = one(b"\x48\x8d\x05\x10\x00\x00\x00")   # lea rax, [rip+0x10]
+        memop = ins.operands[1]
+        assert memop.rip_relative
+        assert memop.target == 7 + 0x10
+        assert ins.rip_target == 7 + 0x10
+
+    def test_setcc(self):
+        ins = one(b"\x0f\x94\xc0")          # sete al
+        assert ins.display_mnemonic == "sete"
+        assert ins.reads_flags
+
+    def test_cmov(self):
+        ins = one(b"\x48\x0f\x44\xc1")      # cmove rax, rcx
+        assert ins.display_mnemonic == "cmove"
+        assert ins.reads_flags
+
+
+class TestControlFlow:
+    def test_call_rel32(self):
+        ins = one(b"\xe8\x00\x00\x00\x00")
+        assert ins.flow is FlowKind.CALL
+        assert ins.branch_target == 5
+        assert ins.falls_through
+
+    def test_jmp_rel32_backward(self):
+        ins = one(b"\xe9\xfb\xff\xff\xff")
+        assert ins.flow is FlowKind.JUMP
+        assert ins.branch_target == 0
+        assert not ins.falls_through
+
+    def test_jmp_rel8(self):
+        ins = one(b"\xeb\xfe")
+        assert ins.branch_target == 0       # self-loop
+
+    def test_jcc_rel8(self):
+        ins = one(b"\x74\x05")
+        assert ins.display_mnemonic == "je"
+        assert ins.flow is FlowKind.CJUMP
+        assert ins.branch_target == 7
+        assert ins.falls_through
+
+    def test_jcc_rel32(self):
+        ins = one(b"\x0f\x84\x10\x00\x00\x00")
+        assert ins.display_mnemonic == "je"
+        assert ins.branch_target == 0x16
+
+    def test_call_register(self):
+        ins = one(b"\xff\xd0")              # call rax
+        assert ins.flow is FlowKind.ICALL
+        assert ins.branch_target is None
+
+    def test_jmp_register(self):
+        ins = one(b"\xff\xe0")              # jmp rax
+        assert ins.flow is FlowKind.IJUMP
+
+    def test_jmp_table_dispatch(self):
+        ins = one(b"\xff\x24\xcd\x00\x20\x00\x00")  # jmp [rcx*8+0x2000]
+        assert ins.flow is FlowKind.IJUMP
+        memop = ins.operands[0]
+        assert memop.index.family == RCX
+        assert memop.scale == 8
+        assert memop.disp == 0x2000
+        assert memop.base is None
+
+    def test_push_r15_uses_rex(self):
+        ins = one(b"\x41\x57")
+        assert ins.mnemonic == "push"
+        assert ins.operands[0].register.family == R15
+
+
+class TestDecodeErrors:
+    @pytest.mark.parametrize("raw", [b"\x06", b"\x0e", b"\x16", b"\x27",
+                                     b"\x62\x00", b"\xd6", b"\xea",
+                                     b"\xc4\x00", b"\x0f\x04", b"\x0f\xff"])
+    def test_invalid_opcodes(self, raw):
+        with pytest.raises(InvalidOpcodeError):
+            decode(raw + b"\x00" * 8, 0)
+
+    def test_lock_prefix_on_nop_is_invalid(self):
+        with pytest.raises(InvalidOpcodeError):
+            decode(b"\xf0\x90", 0)
+
+    def test_lock_prefix_on_memory_add_is_valid(self):
+        ins = decode(b"\xf0\x48\x01\x08", 0)    # lock add [rax], rcx
+        assert ins.mnemonic == "add"
+
+    def test_lock_prefix_on_register_add_is_invalid(self):
+        with pytest.raises(InvalidOpcodeError):
+            decode(b"\xf0\x48\x01\xc8", 0)      # lock add rax, rcx
+
+    def test_truncated_instruction(self):
+        with pytest.raises(TruncatedError):
+            decode(b"\x48", 0)
+
+    def test_truncated_immediate(self):
+        with pytest.raises(TruncatedError):
+            decode(b"\xb8\x01\x02", 0)
+
+    def test_offset_outside_buffer(self):
+        with pytest.raises(TruncatedError):
+            decode(b"\x90", 5)
+
+    def test_prefix_run_too_long(self):
+        with pytest.raises(TooLongError):
+            decode(b"\x66" * 15 + b"\x90", 0)
+
+    def test_undefined_group_extension(self):
+        # FF /7 is undefined.
+        with pytest.raises(InvalidOpcodeError):
+            decode(b"\xff\xf8", 0)
+
+    def test_try_decode_returns_none(self):
+        assert try_decode(b"\x06", 0) is None
+        assert try_decode(b"\x90", 0) is not None
+
+
+class TestEffects:
+    def test_push_touches_rsp(self):
+        ins = one(b"\x55")
+        assert RSP in ins.reads and RSP in ins.writes
+        assert RBP in ins.reads
+
+    def test_mov_writes_only_dest(self):
+        ins = one(b"\x48\x89\xe5")      # mov rbp, rsp
+        assert ins.writes == {RBP}
+        assert RSP in ins.reads
+        assert RBP not in ins.reads
+
+    def test_add_reads_and_writes_dest(self):
+        ins = one(b"\x48\x01\xc8")      # add rax, rcx
+        assert ins.reads == {RAX, RCX}
+        assert ins.writes == {RAX}
+
+    def test_cmp_writes_nothing(self):
+        ins = one(b"\x48\x39\xc8")      # cmp rax, rcx
+        assert not ins.writes
+        assert ins.writes_flags
+
+    def test_lea_does_not_read_memory_but_reads_address_regs(self):
+        ins = one(b"\x48\x8d\x04\x0f")  # lea rax, [rdi+rcx]
+        assert ins.reads == {RDI, RCX}
+        assert ins.writes == {RAX}
+
+    def test_div_implicit_rax_rdx(self):
+        from repro.isa.registers import RDX
+        ins = one(b"\x48\xf7\xf1")      # div rcx
+        assert {RAX, RDX} <= ins.reads
+        assert {RAX, RDX} <= ins.writes
+
+    def test_shift_by_cl_reads_rcx(self):
+        ins = one(b"\x48\xd3\xe0")      # shl rax, cl
+        assert RCX in ins.reads
+
+    def test_long_nop_reads_nothing(self):
+        ins = one(b"\x0f\x1f\x44\x00\x00")
+        assert not ins.reads
+        assert not ins.writes
+
+    def test_call_rel32_stack_effects(self):
+        ins = one(b"\xe8\x00\x00\x00\x00")
+        assert RSP in ins.reads and RSP in ins.writes

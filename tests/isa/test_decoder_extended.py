@@ -1,0 +1,320 @@
+"""Extended decoder coverage: rarely-exercised corners of the ISA."""
+
+import pytest
+
+from repro.isa import decode, try_decode
+from repro.isa.errors import InvalidOpcodeError
+from repro.isa.opcodes import FlowKind
+from repro.isa.operands import ImmOp, MemOp, RegOp
+from repro.isa.registers import RAX, RCX, RDI, RDX, RSI, RSP
+
+
+def one(raw: bytes):
+    ins = decode(raw, 0)
+    assert ins.length == len(raw), f"length mismatch for {raw.hex()}"
+    return ins
+
+
+class TestStringOperations:
+    def test_movsb(self):
+        ins = one(b"\xa4")
+        assert ins.mnemonic == "movs"
+        assert {RSI, RDI} <= ins.reads
+
+    def test_rep_movsq(self):
+        ins = one(b"\xf3\x48\xa5")
+        assert ins.mnemonic == "movs"
+
+    def test_stosd(self):
+        ins = one(b"\xab")
+        assert ins.mnemonic == "stos"
+        assert RAX in ins.reads and RDI in ins.writes
+
+    def test_lodsb_is_rare(self):
+        assert one(b"\xac").rare
+
+    def test_scas_and_cmps(self):
+        assert one(b"\xae").mnemonic == "scas"
+        assert one(b"\xa6").mnemonic == "cmps"
+
+
+class TestBitOperations:
+    def test_bt_register(self):
+        ins = one(b"\x48\x0f\xa3\xc8")     # bt rax, rcx
+        assert ins.mnemonic == "bt"
+        assert not ins.writes              # compare-like
+
+    def test_bts_writes(self):
+        ins = one(b"\x48\x0f\xab\xc8")     # bts rax, rcx
+        assert ins.mnemonic == "bts"
+        assert RAX in ins.writes
+
+    def test_bt_group8_immediate(self):
+        ins = one(b"\x48\x0f\xba\xe0\x05")  # bt rax, 5
+        assert ins.mnemonic == "bt"
+        assert ins.operands[1] == ImmOp(5, 8)
+
+    def test_group8_low_extensions_invalid(self):
+        with pytest.raises(InvalidOpcodeError):
+            decode(b"\x0f\xba\xc0\x05", 0)   # /0 undefined
+
+    def test_bsf_bsr(self):
+        assert one(b"\x48\x0f\xbc\xc1").mnemonic == "bsf"
+        assert one(b"\x48\x0f\xbd\xc1").mnemonic == "bsr"
+
+    def test_popcnt(self):
+        ins = one(b"\xf3\x48\x0f\xb8\xc1")
+        assert ins.mnemonic == "popcnt"
+
+    def test_shld_with_imm(self):
+        ins = one(b"\x48\x0f\xa4\xc8\x04")  # shld rax, rcx, 4
+        assert ins.mnemonic == "shld"
+        assert ins.operands[2] == ImmOp(4, 8)
+
+    def test_bswap(self):
+        ins = one(b"\x48\x0f\xc8")
+        assert ins.mnemonic == "bswap"
+        assert ins.writes == {RAX}
+
+
+class TestAtomics:
+    def test_cmpxchg(self):
+        ins = one(b"\x48\x0f\xb1\x0f")     # cmpxchg [rdi], rcx
+        assert ins.mnemonic == "cmpxchg"
+        assert ins.rare
+
+    def test_lock_cmpxchg(self):
+        ins = one(b"\xf0\x48\x0f\xb1\x0f")
+        assert ins.mnemonic == "cmpxchg"
+
+    def test_xadd(self):
+        assert one(b"\x48\x0f\xc1\x07").mnemonic == "xadd"
+
+    def test_lock_bts_memory(self):
+        ins = one(b"\xf0\x48\x0f\xab\x0f")  # lock bts [rdi], rcx
+        assert ins.mnemonic == "bts"
+
+
+class TestLegacyAndRare:
+    def test_moffs_load(self):
+        # mov rax, [0x1122334455667788] (a0 with REX.W)
+        raw = b"\x48\xa1" + (0x1122334455667788).to_bytes(8, "little")
+        ins = one(raw)
+        assert ins.mnemonic == "mov_moffs"
+        assert ins.rare
+
+    def test_enter(self):
+        ins = one(b"\xc8\x20\x00\x01")
+        assert ins.mnemonic == "enter"
+        assert RSP in ins.writes
+
+    def test_xlat(self):
+        ins = one(b"\xd7")
+        assert ins.mnemonic == "xlat"
+
+    def test_in_out(self):
+        assert one(b"\xe4\x60").mnemonic == "in"       # in al, 0x60
+        assert one(b"\xee").mnemonic == "out"          # out dx, al
+        assert one(b"\xe4\x60").rare
+
+    def test_loop_family(self):
+        ins = one(b"\xe2\xfe")
+        assert ins.mnemonic == "loop"
+        assert ins.flow is FlowKind.CJUMP
+        assert RCX in ins.reads
+        assert one(b"\xe3\x00").mnemonic == "jrcxz"
+
+    def test_int_imm(self):
+        ins = one(b"\xcd\x80")
+        assert ins.mnemonic == "int"
+        assert ins.operands[0].value == -128     # sign-extended raw byte
+
+    def test_iret_and_retf(self):
+        assert one(b"\xcf").flow is FlowKind.RET
+        assert one(b"\xcb").flow is FlowKind.RET
+        assert one(b"\xca\x10\x00").flow is FlowKind.RET
+
+    def test_flag_twiddlers(self):
+        for raw, name in ((b"\xf8", "clc"), (b"\xf9", "stc"),
+                          (b"\xfc", "cld"), (b"\xfd", "std"),
+                          (b"\xf5", "cmc")):
+            assert one(raw).mnemonic == name
+
+    def test_cli_sti_are_rare(self):
+        assert one(b"\xfa").rare
+        assert one(b"\xfb").rare
+
+    def test_sahf_lahf(self):
+        assert one(b"\x9e").mnemonic == "sahf"
+        assert one(b"\x9f").mnemonic == "lahf"
+
+    def test_pushf_popf(self):
+        assert one(b"\x9c").mnemonic == "pushf"
+        assert one(b"\x9d").mnemonic == "popf"
+
+    def test_segment_override_marks_rare(self):
+        # cs-prefixed mov: legal but flagged as unusual for real code.
+        ins = one(b"\x2e\x48\x89\xe5")
+        assert ins.rare
+
+
+class TestX87AndSimd:
+    def test_x87_register_form(self):
+        ins = one(b"\xd8\xc1")              # fadd st0, st1
+        assert ins.mnemonic == "x87"
+        assert not ins.reads and not ins.writes   # no GPR semantics
+
+    def test_x87_memory_form_reads_address_registers(self):
+        ins = one(b"\xd9\x45\xf8")          # fld dword [rbp-8]
+        assert ins.mnemonic == "x87"
+        from repro.isa.registers import RBP
+        assert RBP in ins.reads
+
+    def test_sse_mov_lengths(self):
+        assert one(b"\x0f\x10\xc1").length == 3        # movups
+        assert one(b"\x66\x0f\x6f\xc1").length == 4    # movdqa
+        assert one(b"\xf3\x0f\x10\xc1").length == 4    # movss
+
+    def test_sse_shuffle_takes_imm8(self):
+        ins = one(b"\x66\x0f\x70\xc1\x1b")  # pshufd xmm0, xmm1, 0x1b
+        assert ins.length == 5
+
+    def test_sse_no_gpr_effects(self):
+        ins = one(b"\x0f\x58\xc1")          # addps
+        assert not ins.reads and not ins.writes
+
+    def test_sse_memory_form_reads_base(self):
+        ins = one(b"\x0f\x10\x07")          # movups xmm0, [rdi]
+        assert RDI in ins.reads
+
+    def test_emms(self):
+        assert one(b"\x0f\x77").mnemonic == "emms"
+
+
+class TestSystemInstructions:
+    def test_cpuid(self):
+        ins = one(b"\x0f\xa2")
+        assert ins.mnemonic == "cpuid"
+        assert RAX in ins.writes and RDX in ins.writes
+
+    def test_rdtsc(self):
+        ins = one(b"\x0f\x31")
+        assert {RAX, RDX} <= ins.writes
+
+    def test_rdmsr_wrmsr_rare(self):
+        assert one(b"\x0f\x32").rare
+        assert one(b"\x0f\x30").rare
+
+    def test_group7_memory_form(self):
+        ins = one(b"\x0f\x01\x10")          # lgdt [rax]
+        assert ins.mnemonic == "lgdt"
+        assert ins.rare
+
+    def test_fence(self):
+        ins = one(b"\x0f\xae\xe8")          # lfence
+        assert ins.mnemonic == "fence"
+
+    def test_cmpxchg8b(self):
+        ins = one(b"\x0f\xc7\x0f")          # cmpxchg8b [rdi]
+        assert ins.mnemonic == "cmpxchg8b"
+
+    def test_rdrand(self):
+        ins = one(b"\x0f\xc7\xf0")          # rdrand eax
+        assert ins.mnemonic == "rdrand"
+
+
+class TestInvalidCorners:
+    @pytest.mark.parametrize("raw", [
+        b"\x0f\x38\x00\xc0",    # three-byte escape unsupported
+        b"\x0f\x3a\x0f\xc0",
+        b"\x0f\x0e",            # femms (3DNow!)
+        b"\x0f\xb9\xc0",        # ud1
+        b"\x82\xc0\x01",        # invalid in 64-bit mode
+        b"\x9a",                # far call
+        b"\xce",                # into
+        b"\xd4\x0a",            # aam
+        b"\x60",                # pusha
+    ])
+    def test_invalid(self, raw):
+        assert try_decode(raw + b"\x00" * 4, 0) is None
+
+    def test_ff_slash7_invalid(self):
+        with pytest.raises(InvalidOpcodeError):
+            decode(b"\xff\xff", 0)
+
+    def test_fe_high_extensions_invalid(self):
+        with pytest.raises(InvalidOpcodeError):
+            decode(b"\xfe\xd0", 0)   # /2 undefined for FE
+
+    def test_c6_nonzero_extension_invalid(self):
+        with pytest.raises(InvalidOpcodeError):
+            decode(b"\xc6\xc8\x01", 0)   # C6 /1 undefined
+
+
+class TestPrefixSemantics:
+    def test_operand_size_prefix_shrinks_immediate(self):
+        ins = one(b"\x66\xb8\x34\x12")       # mov ax, 0x1234
+        assert ins.operands[0].register.width == 16
+        assert ins.operands[1] == ImmOp(0x1234, 16)
+
+    def test_rex_w_wins_over_66(self):
+        ins = one(b"\x66\x48\x89\xe5")
+        assert ins.operands[0].register.width == 64
+
+    def test_rex_before_legacy_prefix_is_dropped(self):
+        # REX must immediately precede the opcode; 48 66 89 e5 -> the
+        # REX is void, giving the 16-bit form.
+        ins = one(b"\x48\x66\x89\xe5")
+        assert ins.operands[0].register.width == 16
+
+    def test_double_rex_last_wins(self):
+        ins = one(b"\x40\x48\x89\xe5")
+        assert ins.operands[0].register.width == 64
+
+    def test_push_with_66_is_16_bit(self):
+        ins = one(b"\x66\x50")
+        assert ins.operands[0].register.width == 16
+
+    def test_push_defaults_to_64(self):
+        ins = one(b"\x50")
+        assert ins.operands[0].register.width == 64
+
+
+class TestAddressingCorners:
+    def test_rip_relative_with_immediate(self):
+        # mov dword [rip+8], 0x2a : disp anchored past the immediate.
+        ins = one(b"\xc7\x05\x08\x00\x00\x00\x2a\x00\x00\x00")
+        memop = ins.operands[0]
+        assert memop.rip_relative
+        assert memop.target == 10 + 8
+
+    def test_sib_no_base_no_index(self):
+        ins = one(b"\x48\x8b\x04\x25\x00\x10\x00\x00")   # mov rax,[0x1000]
+        memop = ins.operands[1]
+        assert memop.base is None and memop.index is None
+        assert memop.disp == 0x1000
+
+    def test_r12_base_with_sib(self):
+        ins = one(b"\x49\x8b\x04\x24")       # mov rax, [r12]
+        memop = ins.operands[1]
+        assert memop.base.family == 12
+
+    def test_r13_base_forces_disp(self):
+        ins = one(b"\x49\x8b\x45\x00")       # mov rax, [r13+0]
+        memop = ins.operands[1]
+        assert memop.base.family == 13
+
+    def test_rex_x_extends_index(self):
+        ins = one(b"\x4a\x8b\x04\x08")       # mov rax, [rax + r9]
+        memop = ins.operands[1]
+        assert memop.index.family == 9
+
+    def test_index_encoding_4_means_none_without_rex_x(self):
+        ins = one(b"\x48\x8b\x04\x24")       # mov rax, [rsp]
+        memop = ins.operands[1]
+        assert memop.index is None
+
+    def test_scale_decoding(self):
+        for scale, sib in ((1, 0x08), (2, 0x48), (4, 0x88), (8, 0xC8)):
+            ins = one(bytes([0x48, 0x8B, 0x04, sib]))
+            assert ins.operands[1].scale == scale

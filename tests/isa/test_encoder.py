@@ -1,0 +1,227 @@
+"""Encoder golden tests against well-known x86-64 encodings."""
+
+import pytest
+
+from repro.isa import Assembler, AssemblyError, mem, rip
+from repro.isa.registers import (R8, R9, R10, R12, R13, R15, RAX, RBP, RBX,
+                                 RCX, RDI, RDX, RSI, RSP)
+
+
+def emit(fn) -> bytes:
+    a = Assembler()
+    fn(a)
+    return a.finish()
+
+
+class TestGoldenEncodings:
+    @pytest.mark.parametrize("build,expected", [
+        (lambda a: a.push_r(RBP), "55"),
+        (lambda a: a.push_r(R15), "4157"),
+        (lambda a: a.pop_r(RBP), "5d"),
+        (lambda a: a.mov_rr(RBP, RSP), "4889e5"),
+        (lambda a: a.mov_rr(RAX, RCX, width=32), "89c8"),
+        (lambda a: a.alu_ri("sub", RSP, 0x20), "4883ec20"),
+        (lambda a: a.alu_ri("add", RAX, 0x100), "4881c000010000"),
+        (lambda a: a.mov_ri(RAX, 42, width=32), "b82a000000"),
+        (lambda a: a.ret(), "c3"),
+        (lambda a: a.leave(), "c9"),
+        (lambda a: a.int3(), "cc"),
+        (lambda a: a.ud2(), "0f0b"),
+        (lambda a: a.cdq(), "99"),
+        (lambda a: a.cqo(), "4899"),
+        (lambda a: a.endbr64(), "f30f1efa"),
+        (lambda a: a.test_rr(RAX, RAX), "4885c0"),
+        (lambda a: a.alu_rr("xor", RAX, RAX, width=32), "31c0"),
+        (lambda a: a.call_r(RAX), "ffd0"),
+        (lambda a: a.jmp_r(RAX), "ffe0"),
+        (lambda a: a.inc(RAX), "48ffc0"),
+        (lambda a: a.dec(RCX, width=32), "ffc9"),
+        (lambda a: a.shift_ri("shl", RAX, 3), "48c1e003"),
+        (lambda a: a.shift_ri("shr", RAX, 1), "48d1e8"),
+        (lambda a: a.movzx(RAX, RCX, 8, width=32), "0fb6c1"),
+        (lambda a: a.movsx(RAX, RDI, 32), "4863c7"),
+        (lambda a: a.push_i(1), "6a01"),
+        (lambda a: a.push_i(0x12345678), "6878563412"),
+        (lambda a: a.setcc("e", RAX), "0f94c0"),
+        (lambda a: a.cmovcc("e", RAX, RCX), "480f44c1"),
+        (lambda a: a.imul_rr(RAX, RCX), "480fafc1"),
+        (lambda a: a.xchg_rr(RAX, RCX), "4887c8"),
+    ])
+    def test_encoding(self, build, expected):
+        assert emit(build).hex() == expected
+
+    def test_alu_ri_imm32_on_ecx_uses_group1(self):
+        # add ecx, 0x100 -> 81 c1 00 01 00 00 (not the rAX short form)
+        assert emit(lambda a: a.alu_ri("add", RCX, 0x100,
+                                       width=32)).hex() == "81c100010000"
+
+    def test_mov_r64_small_imm_uses_c7(self):
+        assert emit(lambda a: a.mov_ri(RAX, 42)).hex() == "48c7c02a000000"
+
+    def test_mov_r64_large_imm_uses_b8(self):
+        raw = emit(lambda a: a.mov_ri(RAX, 0x1122334455667788))
+        assert raw.hex().startswith("48b8")
+        assert len(raw) == 10
+
+
+class TestAddressing:
+    def test_rbp_disp8(self):
+        # mov rax, [rbp-8]
+        raw = emit(lambda a: a.mov_rm(RAX, mem(base=RBP, disp=-8)))
+        assert raw.hex() == "488b45f8"
+
+    def test_rsp_base_needs_sib(self):
+        raw = emit(lambda a: a.mov_rm(RAX, mem(base=RSP, disp=8)))
+        assert raw.hex() == "488b442408"
+
+    def test_r12_base_needs_sib(self):
+        raw = emit(lambda a: a.mov_rm(RAX, mem(base=R12)))
+        assert raw.hex() == "498b0424"
+
+    def test_r13_base_needs_disp8(self):
+        raw = emit(lambda a: a.mov_rm(RAX, mem(base=R13)))
+        assert raw.hex() == "498b4500"
+
+    def test_base_index_scale(self):
+        # lea rax, [rdi + rcx*4 + 0x10]
+        raw = emit(lambda a: a.lea(RAX, mem(base=RDI, index=RCX, scale=4,
+                                            disp=0x10)))
+        assert raw.hex() == "488d448f10"
+
+    def test_index_without_base(self):
+        # jmp [rcx*8 + 0x2000]
+        raw = emit(lambda a: a.jmp_m(mem(index=RCX, scale=8, disp=0x2000)))
+        assert raw.hex() == "ff24cd00200000"
+
+    def test_absolute_disp32(self):
+        raw = emit(lambda a: a.mov_rm(RAX, mem(disp=0x1234)))
+        assert raw.hex() == "488b042534120000"
+
+    def test_rip_relative_label(self):
+        a = Assembler()
+        a.bind("target")
+        a.lea(RAX, rip("target"))
+        raw = a.finish()
+        # lea rax, [rip-7]: encoded disp is -7 back to offset 0.
+        assert raw.hex() == "488d05f9ffffff"
+
+    def test_rsp_cannot_be_index(self):
+        with pytest.raises(AssemblyError):
+            emit(lambda a: a.lea(RAX, mem(base=RAX, index=RSP)))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(AssemblyError):
+            emit(lambda a: a.lea(RAX, mem(base=RAX, index=RCX, scale=3)))
+
+
+class TestLabels:
+    def test_forward_branch(self):
+        a = Assembler()
+        a.jmp("out")
+        a.nop(3)
+        a.bind("out")
+        a.ret()
+        raw = a.finish()
+        assert raw.hex() == "e903000000" + "0f1f00" + "c3"
+
+    def test_backward_short_branch(self):
+        a = Assembler()
+        a.bind("top")
+        a.dec(RCX, width=32)
+        a.jcc("ne", "top", short=True)
+        raw = a.finish()
+        assert raw.hex() == "ffc9" + "75fc"
+
+    def test_call_resolves_forward(self):
+        a = Assembler()
+        a.call("f")
+        a.ret()
+        a.bind("f")
+        a.ret()
+        raw = a.finish()
+        assert raw.hex() == "e801000000c3c3"
+
+    def test_short_branch_out_of_range(self):
+        a = Assembler()
+        a.jmp("far", short=True)
+        a.db(b"\x90" * 200)
+        a.bind("far")
+        with pytest.raises(AssemblyError, match="out of range"):
+            a.finish()
+
+    def test_undefined_label(self):
+        a = Assembler()
+        a.jmp("nowhere")
+        with pytest.raises(AssemblyError, match="undefined"):
+            a.finish()
+
+    def test_duplicate_label(self):
+        a = Assembler()
+        a.bind("x")
+        with pytest.raises(AssemblyError, match="twice"):
+            a.bind("x")
+
+    def test_dq_label_emits_absolute_address(self):
+        a = Assembler(base=0x100)
+        a.nop(4)
+        a.bind("here")
+        a.dq_label("here")
+        raw = a.finish()
+        assert raw[4:12] == (0x104).to_bytes(8, "little")
+
+    def test_dd_label_rel_requires_bound_anchor(self):
+        a = Assembler()
+        with pytest.raises(AssemblyError, match="anchor"):
+            a.dd_label_rel("x", "unbound_anchor")
+
+    def test_dd_label_rel_value(self):
+        a = Assembler()
+        a.bind("table")
+        a.dd_label_rel("case", "table")
+        a.nop(4)
+        a.bind("case")
+        raw = a.finish()
+        delta = int.from_bytes(raw[0:4], "little", signed=True)
+        assert delta == 8    # table at 0, case at 8
+
+    def test_disp_label_absolute(self):
+        from repro.isa.encoder import Mem
+        a = Assembler()
+        a.jmp_m(Mem(index=RCX, scale=8, disp_label="t"))
+        a.bind("t")
+        raw = a.finish()
+        assert raw[3:7] == (7).to_bytes(4, "little")
+
+
+class TestPadding:
+    @pytest.mark.parametrize("count", range(1, 24))
+    def test_nop_padding_lengths(self, count):
+        raw = emit(lambda a: a.nop(count))
+        assert len(raw) == count
+
+    def test_nop_padding_decodes_as_nops(self):
+        from repro.isa import decode
+        raw = emit(lambda a: a.nop(17))
+        offset = 0
+        while offset < len(raw):
+            ins = decode(raw, offset)
+            assert ins.is_nop
+            offset = ins.end
+
+    def test_align(self):
+        a = Assembler()
+        a.db(b"\x90" * 3)
+        a.align(8, b"\xcc")
+        assert a.here == 8
+        raw = a.finish()
+        assert raw[3:] == b"\xcc" * 5
+
+    def test_align_code(self):
+        a = Assembler()
+        a.ret()
+        a.align_code(16)
+        assert a.here == 16
+
+    def test_byte_register_spl_needs_rex(self):
+        raw = emit(lambda a: a.mov_rr(RSP, RAX, width=8))
+        assert raw.hex() == "4088c4"    # mov spl, al

@@ -1,0 +1,84 @@
+"""Unit tests for register naming and identity."""
+
+import pytest
+
+from repro.isa.registers import (ARGUMENT_REGISTERS, CALLEE_SAVED,
+                                 CALLER_SAVED, R8, RAX, RBP, RSP, Register,
+                                 reg, register_by_name)
+
+
+class TestRegisterNames:
+    def test_64_bit_names(self):
+        assert Register(RAX, 64).name == "rax"
+        assert Register(RSP, 64).name == "rsp"
+        assert Register(R8, 64).name == "r8"
+        assert Register(15, 64).name == "r15"
+
+    def test_32_bit_names(self):
+        assert Register(RAX, 32).name == "eax"
+        assert Register(R8, 32).name == "r8d"
+
+    def test_16_bit_names(self):
+        assert Register(RAX, 16).name == "ax"
+        assert Register(R8, 16).name == "r8w"
+
+    def test_8_bit_names(self):
+        assert Register(RAX, 8).name == "al"
+        assert Register(RSP, 8).name == "spl"
+        assert Register(R8, 8).name == "r8b"
+
+    def test_high_byte_names(self):
+        assert Register(4, 8, high_byte=True).name == "ah"
+        assert Register(7, 8, high_byte=True).name == "bh"
+
+    def test_str_matches_name(self):
+        r = Register(RBP, 64)
+        assert str(r) == r.name == "rbp"
+
+
+class TestRegisterValidation:
+    def test_rejects_bad_number(self):
+        with pytest.raises(ValueError):
+            Register(16, 64)
+        with pytest.raises(ValueError):
+            Register(-1, 64)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            Register(0, 24)
+
+    def test_rejects_bad_high_byte(self):
+        with pytest.raises(ValueError):
+            Register(0, 8, high_byte=True)    # al has no high-byte form
+        with pytest.raises(ValueError):
+            Register(4, 64, high_byte=True)   # only 8-bit
+
+
+class TestLookup:
+    def test_round_trips_all_widths(self):
+        for number in range(16):
+            for width in (8, 16, 32, 64):
+                r = Register(number, width)
+                assert register_by_name(r.name) == r
+
+    def test_high_byte_lookup(self):
+        assert register_by_name("ch") == Register(5, 8, high_byte=True)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            register_by_name("xyz")
+
+    def test_reg_shorthand(self):
+        assert reg(RAX) == Register(RAX, 64)
+        assert reg(RAX, 32) == Register(RAX, 32)
+
+
+class TestConventions:
+    def test_family_ignores_width(self):
+        assert Register(RAX, 8).family == Register(RAX, 64).family
+
+    def test_abi_sets_are_disjoint_where_expected(self):
+        assert not set(CALLEE_SAVED) & set(CALLER_SAVED)
+
+    def test_argument_registers_are_caller_saved(self):
+        assert set(ARGUMENT_REGISTERS) <= set(CALLER_SAVED)

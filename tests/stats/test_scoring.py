@@ -1,0 +1,44 @@
+"""Tests for the combined statistical scorer."""
+
+import numpy as np
+
+from repro.stats.scoring import StatisticalScorer, UNDECODABLE_SCORE
+from repro.superset import Superset
+
+
+class TestScoreAll:
+    def test_vector_shape(self, models, msvc_case, msvc_superset):
+        scorer = StatisticalScorer(models.code, models.data)
+        scores = scorer.score_all(msvc_superset)
+        assert scores.shape == (len(msvc_case.text),)
+
+    def test_invalid_offsets_get_floor_score(self, models):
+        scorer = StatisticalScorer(models.code, models.data)
+        superset = Superset.build(b"\x06\x90\xc3")
+        scores = scorer.score_all(superset)
+        assert scores[0] == UNDECODABLE_SCORE
+
+    def test_score_all_matches_score_offset(self, models, msvc_superset):
+        scorer = StatisticalScorer(models.code, models.data)
+        scores = scorer.score_all(msvc_superset)
+        for offset in msvc_superset.valid_offsets[:50]:
+            individual = scorer.score_offset(msvc_superset, offset)
+            assert np.isclose(scores[offset], individual), offset
+
+    def test_separation_on_real_binary(self, models, msvc_case,
+                                       msvc_superset):
+        """True instruction starts outscore data offsets on average."""
+        scorer = StatisticalScorer(models.code, models.data)
+        scores = scorer.score_all(msvc_superset)
+        truth = msvc_case.truth
+        start_scores = [scores[o] for o in truth.instruction_starts]
+        data_offsets = [o for s, e in truth.data_regions()
+                        for o in range(s, e)]
+        data_scores = [scores[o] for o in data_offsets]
+        assert np.mean(start_scores) > np.mean(data_scores) + 1.0
+
+    def test_window_controls_chain_length(self, models):
+        short = StatisticalScorer(models.code, models.data, window=1)
+        superset = Superset.build(b"\x90" * 8 + b"\xc3")
+        value = short.score_offset(superset, 0)
+        assert np.isfinite(value)

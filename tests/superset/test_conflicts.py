@@ -1,0 +1,53 @@
+"""Tests for candidate overlap conflicts."""
+
+from repro.isa import Assembler
+from repro.isa.registers import RAX
+from repro.superset import (Superset, conflicting_offsets,
+                            covering_candidates, no_overlap)
+
+
+def five_byte_mov() -> Superset:
+    a = Assembler()
+    a.mov_ri(RAX, 1, width=32)   # b8 01 00 00 00
+    a.ret()
+    return Superset.build(a.finish())
+
+
+class TestConflicts:
+    def test_interior_offsets_conflict(self):
+        superset = five_byte_mov()
+        conflicts = conflicting_offsets(superset, 0)
+        assert conflicts == {1, 2, 3, 4}
+
+    def test_covering_candidate_conflicts_backward(self):
+        superset = five_byte_mov()
+        # Offset 2 is occluded by the candidate at 0 (if 2 decodes).
+        if superset.is_valid(2):
+            assert 0 in conflicting_offsets(superset, 2)
+
+    def test_invalid_offset_has_no_conflicts(self):
+        superset = Superset.build(b"\x06\x90")
+        assert conflicting_offsets(superset, 0) == set()
+
+    def test_covering_candidates(self):
+        superset = five_byte_mov()
+        covering = covering_candidates(superset, 3)
+        assert 0 in covering
+
+
+class TestNoOverlap:
+    def test_clean_tiling(self):
+        superset = five_byte_mov()
+        assert no_overlap({0, 5}, superset)
+
+    def test_overlapping_starts_rejected(self):
+        superset = five_byte_mov()
+        if superset.is_valid(2):
+            assert not no_overlap({0, 2}, superset)
+
+    def test_invalid_member_rejected(self):
+        superset = Superset.build(b"\x06\x90")
+        assert not no_overlap({0}, superset)
+
+    def test_ground_truth_is_overlap_free(self, msvc_case, msvc_superset):
+        assert no_overlap(msvc_case.truth.instruction_starts, msvc_superset)

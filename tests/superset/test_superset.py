@@ -1,0 +1,119 @@
+"""Tests for superset disassembly."""
+
+from repro.isa import Assembler, decode
+from repro.isa.registers import RAX, RBP, RCX, RSP
+from repro.superset import Superset
+
+
+def build(fn) -> Superset:
+    a = Assembler()
+    fn(a)
+    return Superset.build(a.finish())
+
+
+class TestConstruction:
+    def test_superset_contains_truth(self, msvc_case, msvc_superset):
+        """Every real instruction start is a valid superset candidate."""
+        for start in msvc_case.truth.instruction_starts:
+            candidate = msvc_superset.at(start)
+            assert candidate is not None
+            assert candidate.raw == msvc_case.text[start:start
+                                                   + candidate.length]
+
+    def test_invalid_offsets_complement_valid(self, msvc_superset):
+        size = len(msvc_superset)
+        assert (set(msvc_superset.valid_offsets)
+                | set(msvc_superset.invalid_offsets)) == set(range(size))
+
+    def test_out_of_range_at(self):
+        superset = Superset.build(b"\x90\xc3")
+        assert superset.at(-1) is None
+        assert superset.at(2) is None
+
+    def test_empty_text(self):
+        superset = Superset.build(b"")
+        assert len(superset) == 0
+        assert superset.valid_offsets == []
+
+
+class TestSuccessors:
+    def test_fallthrough_successor(self):
+        superset = build(lambda a: (a.nop(1), a.ret()))
+        assert superset.successors(0) == [1]
+
+    def test_ret_has_no_successors(self):
+        superset = build(lambda a: (a.ret(), a.ret()))
+        assert superset.successors(0) == []
+
+    def test_cjump_has_two_successors(self):
+        a = Assembler()
+        a.jcc("e", "out")
+        a.nop(1)
+        a.bind("out")
+        a.ret()
+        superset = Superset.build(a.finish())
+        assert sorted(superset.successors(0)) == [6, 7]
+
+    def test_call_successors_include_fallthrough_and_target(self):
+        a = Assembler()
+        a.call("f")
+        a.ret()
+        a.bind("f")
+        a.ret()
+        superset = Superset.build(a.finish())
+        assert sorted(superset.successors(0)) == [5, 6]
+
+    def test_out_of_section_target_excluded(self):
+        superset = Superset.build(b"\xeb\x7f\xc3")   # jmp +0x7f
+        assert superset.successors(0) == []
+
+
+class TestPredecessorsAndTargets:
+    def test_direct_predecessors(self):
+        a = Assembler()
+        a.jmp("x")          # 5 bytes
+        a.bind("x")
+        a.ret()
+        superset = Superset.build(a.finish())
+        assert 0 in superset.direct_predecessors[5]
+
+    def test_call_target_counts(self):
+        a = Assembler()
+        a.call("f")
+        a.call("f")
+        a.ret()
+        a.bind("f")
+        a.ret()
+        superset = Superset.build(a.finish())
+        target = superset.at(0).branch_target
+        assert superset.direct_call_targets[target] >= 2
+
+    def test_jump_targets(self):
+        a = Assembler()
+        a.jcc("ne", "x")
+        a.bind("x")
+        a.ret()
+        superset = Superset.build(a.finish())
+        assert superset.direct_jump_targets.get(6, 0) >= 1
+
+
+class TestChains:
+    def test_chain_stops_at_terminator(self):
+        superset = build(lambda a: (a.nop(1), a.nop(1), a.ret(), a.nop(1)))
+        chain = superset.fallthrough_chain(0, 10)
+        assert [i.offset for i in chain] == [0, 1, 2]
+
+    def test_chain_respects_limit(self):
+        superset = build(lambda a: a.db(b"\x90" * 20))
+        assert len(superset.fallthrough_chain(0, 5)) == 5
+
+    def test_chain_stops_at_invalid(self):
+        superset = Superset.build(b"\x90\x06\x90")   # nop, invalid, nop
+        chain = superset.fallthrough_chain(0, 10)
+        assert len(chain) == 1
+
+    def test_occluded_by(self):
+        a = Assembler()
+        a.mov_ri(RAX, 1, width=32)    # 5 bytes at offset 0
+        superset = Superset.build(a.finish() + b"\x90")
+        assert superset.occluded_by(0) == [1, 2, 3, 4]

@@ -1,0 +1,142 @@
+"""Unit tests for the function generator's structural guarantees."""
+
+import random
+
+import pytest
+
+from repro.isa import decode
+from repro.isa.opcodes import FlowKind
+from repro.isa.registers import CALLEE_SAVED
+from repro.synth.codegen import FunctionGenerator, RodataAllocator
+from repro.synth.styles import GCC_LIKE, MSVC_LIKE
+from repro.synth.tracking import TrackedAssembler
+
+
+def generate(seed, *, style=MSVC_LIKE, callees=(), **kwargs):
+    asm = TrackedAssembler()
+    generator = FunctionGenerator(asm, random.Random(seed), style, "fn0000",
+                                  list(callees),
+                                  rodata_allocator=RodataAllocator(0x100000),
+                                  **kwargs)
+    result = generator.emit()
+    text = asm.finish()
+    truth = asm.ground_truth()
+    return text, truth, result
+
+
+def decoded(text, truth):
+    return [decode(text, s) for s in sorted(truth.instruction_starts)]
+
+
+class TestTermination:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_function_terminates_in_emulator(self, seed):
+        from repro.emulator import Emulator
+        text, truth, _ = generate(seed)
+        result = Emulator(text).run(0, max_steps=2_000_000)
+        assert result.stop_reason in ("exit", "halt", "trap"), (
+            seed, result.stop_reason)
+        assert not result.executed_set - truth.instruction_starts
+
+    def test_loop_counters_never_clobbered(self):
+        """Structural check: between a counter init and its dec/jne, no
+        instruction writes the counter register (calls excluded by the
+        callee-saved/no-calls policy)."""
+        for seed in range(20):
+            text, truth, _ = generate(seed)
+            instructions = decoded(text, truth)
+            for i, ins in enumerate(instructions):
+                if ins.mnemonic != "dec" or i + 1 >= len(instructions):
+                    continue
+                follower = instructions[i + 1]
+                if follower.display_mnemonic != "jne":
+                    continue
+                counter = next(iter(ins.writes))
+                # Walk back to the counter's init; no clobbers between.
+                target = follower.branch_target
+                body = [x for x in instructions
+                        if target <= x.offset < ins.offset]
+                clobbers = [x for x in body
+                            if counter in x.writes
+                            and x.flow not in (FlowKind.CALL,
+                                               FlowKind.ICALL)]
+                assert not clobbers, (seed, hex(ins.offset), clobbers)
+
+
+class TestNoreturnFunctions:
+    def test_noreturn_function_never_rets(self):
+        text, truth, _ = generate(3, is_noreturn=True)
+        mnemonics = {i.mnemonic for i in decoded(text, truth)}
+        assert "ret" not in mnemonics
+        assert mnemonics & {"hlt", "ud2"}
+
+    def test_must_call_noreturn_emits_guarded_call(self):
+        asm = TrackedAssembler()
+        generator = FunctionGenerator(
+            asm, random.Random(1), MSVC_LIKE, "fn0000", [],
+            rodata_allocator=RodataAllocator(0x100000),
+            must_call_noreturn=["panic"])
+        generator.emit()
+        asm.bind("panic")
+        asm.ud2()
+        text = asm.finish()
+        calls = [decode(text, s) for s in asm.ground_truth()
+                 .instruction_starts
+                 if decode(text, s).flow is FlowKind.CALL]
+        assert any(c.branch_target == asm.label_offset("panic")
+                   for c in calls)
+
+
+class TestStackArguments:
+    def test_stack_arg_function_uses_ret_imm(self):
+        for seed in range(10):
+            text, truth, _ = generate(seed, stack_args=2)
+            rets = [i for i in decoded(text, truth)
+                    if i.mnemonic == "ret"]
+            assert rets
+            assert all(i.operands and i.operands[0].value == 16
+                       for i in rets), seed
+
+    def test_callers_push_stack_args(self):
+        asm = TrackedAssembler()
+        generator = FunctionGenerator(
+            asm, random.Random(2), MSVC_LIKE, "fn0000", ["callee"],
+            rodata_allocator=RodataAllocator(0x100000),
+            callee_stack_args={"callee": 3})
+        generator.emit()
+        asm.bind("callee")
+        asm.ret_imm(24)
+        text = asm.finish()
+        instructions = [decode(text, s)
+                        for s in sorted(asm.ground_truth()
+                                        .instruction_starts)]
+        for i, ins in enumerate(instructions):
+            if ins.flow is FlowKind.CALL and \
+                    ins.branch_target == asm.label_offset("callee"):
+                pushes = [x for x in instructions[max(0, i - 4):i]
+                          if x.mnemonic == "push" and x.operands
+                          and not hasattr(x.operands[0], "register")]
+                assert len(pushes) == 3
+                break
+        else:
+            pytest.fail("no call to the stack-arg callee")
+
+
+class TestSparseSwitches:
+    def test_tables_may_contain_duplicate_entries(self):
+        """Across seeds, at least one generated table has a repeated
+        target (a hole dispatching to the default block)."""
+        found = False
+        for seed in range(25):
+            asm = TrackedAssembler()
+            generator = FunctionGenerator(
+                asm, random.Random(seed), MSVC_LIKE, "fn0000", [],
+                rodata_allocator=RodataAllocator(0x100000))
+            result = generator.emit()
+            text = asm.finish()
+            for start, end in result.jump_tables:
+                entries = [int.from_bytes(text[o:o + 8], "little")
+                           for o in range(start, end - 7, 8)]
+                if len(entries) != len(set(entries)):
+                    found = True
+        assert found

@@ -1,0 +1,143 @@
+"""Tests for whole-binary generation."""
+
+import pytest
+
+from repro.binary.groundtruth import ByteKind
+from repro.isa import decode, try_decode
+from repro.isa.opcodes import FlowKind
+from repro.synth import (BinarySpec, GCC_LIKE, MSVC_LIKE, generate_binary,
+                         generate_corpus)
+
+
+class TestGroundTruthConsistency:
+    def test_every_true_instruction_decodes(self, all_cases):
+        for case in all_cases:
+            for start in case.truth.instruction_starts:
+                ins = try_decode(case.text, start)
+                assert ins is not None, f"{case.name}: {start:#x}"
+                for i in range(start + 1, start + ins.length):
+                    assert case.truth.kind_at(i) == ByteKind.INSN_INTERIOR
+
+    def test_instructions_do_not_overlap(self, all_cases):
+        for case in all_cases:
+            covered_until = -1
+            for start in sorted(case.truth.instruction_starts):
+                assert start >= covered_until
+                covered_until = start + decode(case.text, start).length
+
+    def test_code_never_falls_into_data(self, all_cases):
+        """A real instruction that falls through lands on code.
+
+        The one legitimate exception is a call to a noreturn function,
+        whose continuation may be an inline data blob.
+        """
+        for case in all_cases:
+            truth = case.truth
+            for start in truth.instruction_starts:
+                ins = decode(case.text, start)
+                if not ins.falls_through or ins.end >= truth.size:
+                    continue
+                if ins.flow in (FlowKind.TRAP, FlowKind.CALL):
+                    continue
+                kind = truth.kind_at(ins.end)
+                assert kind in (ByteKind.INSN_START, ByteKind.PADDING), (
+                    f"{case.name}: {start:#x} falls into {kind.name}")
+
+    def test_direct_branches_land_on_instruction_starts(self, all_cases):
+        for case in all_cases:
+            starts = case.truth.instruction_starts
+            for start in starts:
+                ins = decode(case.text, start)
+                target = ins.branch_target
+                if target is not None and 0 <= target < case.truth.size:
+                    assert target in starts, (
+                        f"{case.name}: {start:#x} -> {target:#x}")
+
+    def test_functions_cover_entries(self, all_cases):
+        for case in all_cases:
+            starts = case.truth.instruction_starts
+            for function in case.truth.functions:
+                assert function.entry in starts
+
+
+class TestStyleProperties:
+    def test_gcc_like_has_no_embedded_data(self, gcc_case):
+        assert gcc_case.truth.data_bytes == 0
+        assert not gcc_case.truth.jump_tables
+
+    def test_msvc_like_has_embedded_tables(self, msvc_case):
+        assert msvc_case.truth.data_bytes > 0
+        assert msvc_case.truth.jump_tables
+
+    def test_msvc_padding_is_int3(self, msvc_case):
+        for start, end in msvc_case.truth.padding_regions():
+            region = msvc_case.text[start:end]
+            assert set(region) <= {0xCC}, f"padding at {start:#x}"
+
+    def test_function_alignment(self, all_cases):
+        for case in all_cases:
+            for function in case.truth.functions:
+                assert function.entry % 16 == 0
+
+    def test_gcc_tables_live_in_rodata(self, gcc_case):
+        names = [s.name for s in gcc_case.binary.sections]
+        assert ".rodata" in names
+        rodata = gcc_case.binary.section(".rodata")
+        assert rodata.size > 0
+
+
+class TestDeterminismAndValidation:
+    def test_same_seed_same_binary(self):
+        spec = BinarySpec(name="det", style=MSVC_LIKE, function_count=10,
+                          seed=11)
+        a = generate_binary(spec)
+        b = generate_binary(spec)
+        assert a.text == b.text
+        assert a.truth.to_json() == b.truth.to_json()
+
+    def test_different_seeds_differ(self):
+        a = generate_binary(BinarySpec(name="a", function_count=10, seed=1))
+        b = generate_binary(BinarySpec(name="b", function_count=10, seed=2))
+        assert a.text != b.text
+
+    def test_rejects_tiny_function_count(self):
+        with pytest.raises(ValueError):
+            BinarySpec(name="x", function_count=1)
+
+    def test_entry_point_is_offset_zero_function(self, all_cases):
+        for case in all_cases:
+            assert case.binary.entry == 0
+            assert 0 in case.truth.function_entries
+
+    def test_corpus_covers_styles_and_seeds(self):
+        cases = generate_corpus(seeds=(5,), function_count=6)
+        assert len(cases) == 3
+        assert sorted(c.name for c in cases) == [
+            "clang-like-s5", "gcc-like-s5", "msvc-like-s5"]
+
+
+class TestCallGraph:
+    def test_all_functions_reachable_via_some_mechanism(self, msvc_case):
+        """Direct calls + tables must reference every non-entry function."""
+        text = msvc_case.text
+        truth = msvc_case.truth
+        starts = truth.instruction_starts
+        referenced = {0}
+        for start in starts:
+            ins = decode(text, start)
+            if ins.flow in (FlowKind.CALL, FlowKind.JUMP):
+                target = ins.branch_target
+                if target is not None:
+                    referenced.add(target)
+        # 8-byte table entries (jump or pointer tables).
+        for table_start, table_end in truth.jump_tables:
+            for o in range(table_start, table_end - 7, 8):
+                referenced.add(int.from_bytes(text[o:o + 8], "little"))
+        # rodata pointer tables.
+        for section in msvc_case.binary.sections:
+            if section.name == ".rodata":
+                data = section.data
+                for o in range(0, len(data) - 7, 8):
+                    referenced.add(int.from_bytes(data[o:o + 8], "little"))
+        unreferenced = truth.function_entries - referenced
+        assert not unreferenced, f"orphan functions: {sorted(unreferenced)}"

@@ -1,0 +1,72 @@
+"""Tests for compiler style definitions."""
+
+import dataclasses
+
+import pytest
+
+from repro.synth.corpus import density_style
+from repro.synth.styles import (CLANG_LIKE, GCC_LIKE, MSVC_LIKE, STYLES,
+                                CompilerStyle, style_by_name)
+
+
+class TestPresets:
+    def test_registry_contains_all_presets(self):
+        assert set(STYLES) == {"gcc-like", "clang-like", "msvc-like"}
+
+    def test_lookup(self):
+        assert style_by_name("msvc-like") is MSVC_LIKE
+        with pytest.raises(KeyError, match="unknown"):
+            style_by_name("icc-like")
+
+    def test_gcc_keeps_text_clean(self):
+        assert not GCC_LIKE.tables_in_text
+        assert GCC_LIKE.literal_pool_prob == 0.0
+        assert GCC_LIKE.string_in_text_prob == 0.0
+
+    def test_msvc_embeds_everything(self):
+        assert MSVC_LIKE.tables_in_text
+        assert MSVC_LIKE.table_entry_kind == "abs64"
+        assert MSVC_LIKE.padding_byte == 0xCC
+
+    def test_clang_uses_relative_tables(self):
+        assert CLANG_LIKE.table_entry_kind == "rel32"
+
+
+class TestValidation:
+    def test_bad_entry_kind(self):
+        with pytest.raises(ValueError, match="entry kind"):
+            CompilerStyle(name="x", table_entry_kind="abs32")
+
+    def test_bad_alignment(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CompilerStyle(name="x", function_alignment=12)
+
+    def test_styles_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MSVC_LIKE.name = "other"
+
+
+class TestDensityScaling:
+    def test_zero_density_is_clean(self):
+        style = density_style(MSVC_LIKE, 0.0)
+        assert not style.tables_in_text
+        assert style.literal_pool_prob == 0.0
+        assert style.max_switches_per_function == 0
+
+    def test_full_density(self):
+        style = density_style(MSVC_LIKE, 1.0)
+        assert style.tables_in_text
+        assert style.literal_pool_prob == 1.0
+        assert style.max_switches_per_function == 4
+
+    def test_density_bounds(self):
+        with pytest.raises(ValueError):
+            density_style(MSVC_LIKE, 1.5)
+        with pytest.raises(ValueError):
+            density_style(MSVC_LIKE, -0.1)
+
+    def test_density_monotone_in_knobs(self):
+        low = density_style(MSVC_LIKE, 0.1)
+        high = density_style(MSVC_LIKE, 0.9)
+        assert low.literal_pool_prob < high.literal_pool_prob
+        assert low.string_in_text_prob < high.string_in_text_prob

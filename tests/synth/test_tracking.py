@@ -1,0 +1,59 @@
+"""Tests for the ground-truth-tracking assembler wrapper."""
+
+from repro.binary.groundtruth import ByteKind
+from repro.isa.registers import RAX, RBP, RSP
+from repro.synth.tracking import MarkKind, TrackedAssembler
+
+
+class TestMarkRecording:
+    def test_instruction_marks(self):
+        asm = TrackedAssembler()
+        asm.push_r(RBP)
+        asm.mov_rr(RBP, RSP)
+        assert [m.kind for m in asm.marks] == [MarkKind.INSN] * 2
+        assert asm.marks[0].start == 0 and asm.marks[0].end == 1
+        assert asm.marks[1].start == 1 and asm.marks[1].end == 4
+
+    def test_data_marks(self):
+        asm = TrackedAssembler()
+        asm.db(b"hello")
+        asm.dq(42)
+        kinds = [m.kind for m in asm.marks]
+        assert kinds == [MarkKind.DATA, MarkKind.DATA]
+
+    def test_padding_marks(self):
+        asm = TrackedAssembler()
+        asm.ret()
+        asm.align(8, b"\xcc")
+        assert asm.marks[-1].kind == MarkKind.PADDING
+        assert asm.marks[-1].end == 8
+
+    def test_bind_emits_no_mark(self):
+        asm = TrackedAssembler()
+        asm.bind("x")
+        assert not asm.marks
+
+    def test_label_offset(self):
+        asm = TrackedAssembler()
+        asm.nop(4)
+        asm.bind("here")
+        assert asm.label_offset("here") == 4
+        assert asm.has_label("here")
+        assert not asm.has_label("elsewhere")
+
+
+class TestGroundTruthConversion:
+    def test_labels(self):
+        asm = TrackedAssembler()
+        asm.mov_ri(RAX, 1, width=32)   # 5-byte instruction
+        asm.db(b"\x01\x02")
+        asm.align(8, b"\xcc")
+        asm.ret()
+        asm.finish()
+        truth = asm.ground_truth()
+        assert truth.kind_at(0) == ByteKind.INSN_START
+        assert truth.kind_at(4) == ByteKind.INSN_INTERIOR
+        assert truth.kind_at(5) == ByteKind.DATA
+        assert truth.kind_at(7) == ByteKind.PADDING
+        assert truth.kind_at(8) == ByteKind.INSN_START
+        assert truth.size == 9

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli")
+    prefix = directory / "demo"
+    code = main(["generate", str(prefix), "--functions", "8",
+                 "--seed", "5", "--style", "msvc-like"])
+    assert code == 0
+    return prefix
+
+
+class TestGenerate:
+    def test_writes_both_files(self, generated):
+        assert generated.with_suffix(".bin").exists()
+        assert (generated.parent / "demo.gt.json").exists()
+
+    def test_output_message(self, tmp_path, capsys):
+        main(["generate", str(tmp_path / "g"), "--functions", "5"])
+        out = capsys.readouterr().out
+        assert "text bytes" in out and "functions" in out
+
+
+class TestDisasm:
+    def test_summary_mode(self, generated, capsys):
+        assert main(["disasm", str(generated.with_suffix(".bin"))]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+        assert "functions at:" in out
+
+    def test_listing_mode(self, generated, capsys):
+        code = main(["disasm", str(generated.with_suffix(".bin")),
+                     "--listing"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<func_0000>:" in out
+        assert "push" in out
+
+
+class TestEvaluate:
+    def test_scores_against_ground_truth(self, generated, capsys):
+        assert main(["evaluate", str(generated)]) == 0
+        out = capsys.readouterr().out
+        assert "instruction F1:" in out
+        assert "byte errors:" in out
+
+
+class TestExperimentsPassthrough:
+    def test_unknown_id_fails(self):
+        assert main(["experiments", "zzz"]) == 1
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_style(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "x", "--style", "icc"])

@@ -1,0 +1,55 @@
+"""Tests for the CLI rewrite command."""
+
+import json
+
+import pytest
+
+from repro.binary.container import Binary
+from repro.cli import main
+from repro.emulator import Emulator
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli_rewrite")
+    prefix = directory / "src"
+    assert main(["generate", str(prefix), "--functions", "8",
+                 "--seed", "3"]) == 0
+    return directory
+
+
+class TestRewriteCommand:
+    def test_rewrite_writes_valid_container(self, workspace, capsys):
+        code = main(["rewrite", str(workspace / "src.bin"),
+                     str(workspace / "out.bin"),
+                     "--map", str(workspace / "map.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "instrumented entries" in out
+
+        rewritten = Binary.from_bytes((workspace / "out.bin").read_bytes())
+        assert rewritten.text.data
+        assert any(s.name == ".counters" for s in rewritten.sections)
+
+        mapping = json.loads((workspace / "map.json").read_text())
+        assert mapping    # old -> new hex addresses
+
+    def test_rewritten_behaves_like_original(self, workspace):
+        main(["rewrite", str(workspace / "src.bin"),
+              str(workspace / "out2.bin")])
+        original = Binary.from_bytes((workspace / "src.bin").read_bytes())
+        rewritten = Binary.from_bytes(
+            (workspace / "out2.bin").read_bytes())
+        a = Emulator(original).run(original.entry, max_steps=60_000)
+        b = Emulator(rewritten).run(rewritten.entry, max_steps=90_000)
+        if a.stop_reason != "steps":
+            assert b.stop_reason == a.stop_reason
+            assert b.return_value == a.return_value
+
+    def test_no_counters_flag(self, workspace, capsys):
+        assert main(["rewrite", str(workspace / "src.bin"),
+                     str(workspace / "out3.bin"), "--no-counters"]) == 0
+        assert "0 instrumented entries" in capsys.readouterr().out
+        rewritten = Binary.from_bytes(
+            (workspace / "out3.bin").read_bytes())
+        assert not any(s.name == ".counters" for s in rewritten.sections)

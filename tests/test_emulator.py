@@ -1,0 +1,331 @@
+"""Tests for the x86-64 subset emulator and dynamic validation."""
+
+import pytest
+
+from repro.emulator import (EXIT_SENTINEL, Emulator, Flags, Memory,
+                            RunResult, validate_dynamically)
+from repro.binary.image import MemoryImage
+from repro.isa import Assembler, mem
+from repro.isa.registers import (R8, R9, R10, RAX, RBP, RCX, RDI, RDX, RSI,
+                                 RSP)
+
+
+def run_program(build, entry=0, **kwargs):
+    a = Assembler()
+    build(a)
+    emulator = Emulator(a.finish())
+    return emulator.run(entry, **kwargs), emulator
+
+
+class TestArithmetic:
+    def test_mov_and_return(self):
+        result, _ = run_program(lambda a: (a.mov_ri(RAX, 42, width=32),
+                                           a.ret()))
+        assert result.stop_reason == "exit"
+        assert result.return_value == 42
+
+    def test_add_sub(self):
+        def body(a):
+            a.mov_ri(RAX, 10, width=32)
+            a.alu_ri("add", RAX, 5, width=32)
+            a.alu_ri("sub", RAX, 3, width=32)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 12
+
+    def test_register_to_register_ops(self):
+        def body(a):
+            a.mov_ri(RCX, 6, width=32)
+            a.mov_ri(RAX, 7, width=32)
+            a.imul_rr(RAX, RCX)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 42
+
+    def test_imul_three_operand(self):
+        def body(a):
+            a.mov_ri(RCX, 6, width=32)
+            a.imul_rri(RAX, RCX, -7)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == (-42) & ((1 << 64) - 1)
+
+    def test_logic_ops(self):
+        def body(a):
+            a.mov_ri(RAX, 0b1100, width=32)
+            a.alu_ri("and", RAX, 0b1010, width=32)
+            a.alu_ri("or", RAX, 0b0001, width=32)
+            a.alu_ri("xor", RAX, 0b1111, width=32)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 0b0110
+
+    def test_shifts(self):
+        def body(a):
+            a.mov_ri(RAX, 3, width=32)
+            a.shift_ri("shl", RAX, 4)
+            a.shift_ri("shr", RAX, 1)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 24
+
+    def test_sar_keeps_sign(self):
+        def body(a):
+            a.mov_ri(RAX, -16)
+            a.shift_ri("sar", RAX, 2)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == (-4) & ((1 << 64) - 1)
+
+    def test_32_bit_write_zero_extends(self):
+        def body(a):
+            a.mov_ri(RAX, -1)              # all ones
+            a.mov_ri(RAX, 5, width=32)     # clears upper half
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 5
+
+    def test_inc_dec(self):
+        def body(a):
+            a.mov_ri(RAX, 10, width=32)
+            a.inc(RAX, width=32)
+            a.dec(RAX, width=32)
+            a.dec(RAX, width=32)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 9
+
+    def test_movzx_movsx(self):
+        def body(a):
+            a.mov_ri(RCX, 0xFF, width=32)
+            a.movsx(RAX, RCX, 8, width=32)   # sign-extend 0xff -> -1
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 0xFFFFFFFF
+
+    def test_cqo(self):
+        def body(a):
+            a.mov_ri(RAX, -1)
+            a.cqo()
+            a.mov_rr(RAX, RDX)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == (1 << 64) - 1
+
+
+class TestMemory:
+    def test_stack_slots(self):
+        def body(a):
+            a.push_r(RBP)
+            a.mov_rr(RBP, RSP)
+            a.alu_ri("sub", RSP, 0x10)
+            a.mov_ri(RCX, 77, width=32)
+            a.mov_mr(mem(base=RBP, disp=-8), RCX)
+            a.mov_rm(RAX, mem(base=RBP, disp=-8))
+            a.leave()
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 77
+
+    def test_uninitialized_memory_reads_zero(self):
+        def body(a):
+            a.mov_rm(RAX, mem(base=RSP, disp=-64))
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 0
+
+    def test_lea_computes_address(self):
+        def body(a):
+            a.mov_ri(RCX, 10, width=32)
+            a.lea(RAX, mem(base=RCX, index=RCX, scale=4, disp=2))
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 52
+
+    def test_memory_class_overlay(self):
+        memory = Memory(MemoryImage.from_text(b"\x01\x02\x03\x04"))
+        assert memory.read(0, 4) == 0x04030201
+        memory.write(1, 0xAA, 1)
+        assert memory.read(0, 4) == 0x0403AA01
+        assert memory.read(0x9999, 2) == 0    # unmapped reads zero
+
+
+class TestControlFlow:
+    def test_branch_taken(self):
+        def body(a):
+            a.mov_ri(RAX, 1, width=32)
+            a.alu_ri("cmp", RAX, 1, width=32)
+            a.jcc("e", "yes")
+            a.mov_ri(RAX, 0, width=32)
+            a.ret()
+            a.bind("yes")
+            a.mov_ri(RAX, 99, width=32)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 99
+
+    def test_signed_vs_unsigned_conditions(self):
+        def body(a):
+            a.mov_ri(RAX, -1)
+            a.alu_ri("cmp", RAX, 1)
+            a.jcc("l", "signed_less")       # -1 < 1 signed
+            a.mov_ri(RAX, 0, width=32)
+            a.ret()
+            a.bind("signed_less")
+            a.mov_ri(RCX, 1, width=32)
+            a.alu_ri("cmp", RCX, 2)
+            a.jcc("b", "unsigned_below")    # 1 < 2 unsigned
+            a.mov_ri(RAX, 1, width=32)
+            a.ret()
+            a.bind("unsigned_below")
+            a.mov_ri(RAX, 2, width=32)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 2
+
+    def test_counted_loop(self):
+        def body(a):
+            a.mov_ri(RCX, 5, width=32)
+            a.mov_ri(RAX, 0, width=32)
+            a.bind("top")
+            a.alu_ri("add", RAX, 3, width=32)
+            a.dec(RCX, width=32)
+            a.jcc("ne", "top")
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 15
+
+    def test_call_and_return(self):
+        def body(a):
+            a.call("f")
+            a.alu_ri("add", RAX, 1, width=32)
+            a.ret()
+            a.bind("f")
+            a.mov_ri(RAX, 10, width=32)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 11
+
+    def test_call_through_register(self):
+        def body(a):
+            a.mov_ri(RCX, 0, width=32)   # patched below
+            a.bind("patch_me")
+            a.call_r(RCX)
+            a.ret()
+            a.bind("f")
+            a.mov_ri(RAX, 5, width=32)
+            a.ret()
+        a = Assembler()
+        body(a)
+        raw = bytearray(a.finish())
+        target = a._labels["f"]
+        raw[1:5] = target.to_bytes(4, "little")   # fix the mov imm32
+        emulator = Emulator(bytes(raw))
+        result = emulator.run(0)
+        assert result.return_value == 5
+
+    def test_jump_table_dispatch(self):
+        from repro.isa import Mem
+        def body(a):
+            a.mov_ri(RCX, 1, width=32)
+            a.jmp_m(Mem(index=RCX, scale=8, disp_label="table"))
+            a.bind("case0")
+            a.mov_ri(RAX, 100, width=32)
+            a.ret()
+            a.bind("case1")
+            a.mov_ri(RAX, 200, width=32)
+            a.ret()
+            a.align(8, b"\xcc")
+            a.bind("table")
+            a.dq_label("case0")
+            a.dq_label("case1")
+        result, _ = run_program(body)
+        assert result.return_value == 200
+
+    def test_setcc_and_cmov(self):
+        def body(a):
+            a.mov_ri(RCX, 3, width=32)
+            a.alu_ri("cmp", RCX, 3, width=32)
+            a.setcc("e", RAX)
+            a.movzx(RAX, RAX, 8, width=32)
+            a.mov_ri(RDX, 9, width=32)
+            a.alu_ri("cmp", RCX, 5, width=32)
+            a.cmovcc("l", RAX, RDX)
+            a.ret()
+        result, _ = run_program(body)
+        assert result.return_value == 9
+
+    def test_hlt_stops(self):
+        result, _ = run_program(lambda a: a.hlt())
+        assert result.stop_reason == "halt"
+
+    def test_ud2_stops(self):
+        result, _ = run_program(lambda a: a.ud2())
+        assert result.stop_reason == "halt"
+
+    def test_int3_stops(self):
+        result, _ = run_program(lambda a: a.int3())
+        assert result.stop_reason == "trap"
+
+    def test_step_limit(self):
+        def body(a):
+            a.bind("spin")
+            a.jmp("spin")
+        result, _ = run_program(body, max_steps=100)
+        assert result.stop_reason == "steps"
+        assert result.steps == 100
+
+    def test_unsupported_instruction(self):
+        result, _ = run_program(lambda a: (a.cdq(), a.unary("div", RCX)))
+        assert result.stop_reason == "unsupported"
+
+
+class TestFlags:
+    @pytest.mark.parametrize("cc,expected", [
+        (4, False), (5, True),    # e / ne on 5 vs 3
+        (12, False), (15, True),  # l / g
+        (2, False), (7, True),    # b / a
+    ])
+    def test_condition_evaluation_after_cmp(self, cc, expected):
+        emulator = Emulator(b"\x90")
+        emulator._flags_sub(5, 3, 64)
+        assert emulator.flags.condition(cc) is expected
+
+    def test_overflow_flag(self):
+        emulator = Emulator(b"\x90")
+        emulator._flags_add(0x7FFFFFFF, 1, 32)
+        assert emulator.flags.of
+        assert emulator.flags.sf
+
+    def test_carry_flag(self):
+        emulator = Emulator(b"\x90")
+        emulator._flags_sub(1, 2, 32)
+        assert emulator.flags.cf
+
+    def test_parity_flag(self):
+        emulator = Emulator(b"\x90")
+        emulator._flags_logic(0b11, 32)
+        assert emulator.flags.pf          # two bits set: even parity
+
+
+class TestDynamicValidation:
+    def test_generated_binaries_execute_within_truth(self, all_cases):
+        """Every executed offset is a ground-truth instruction start --
+        the strongest possible check of generator correctness."""
+        for case in all_cases:
+            entries = tuple(sorted(case.truth.function_entries))[:10]
+            report = validate_dynamically(case, set(), entries=entries,
+                                          max_steps=50_000)
+            assert not report["executed_not_in_truth"], case.name
+            assert report["executed"], case.name
+
+    def test_disassembler_covers_everything_executed(self, disassembler,
+                                                     msvc_case):
+        """Dynamic recall check: the tool's predictions must include
+        every instruction the emulator actually executes."""
+        result = disassembler.disassemble(msvc_case)
+        entries = tuple(sorted(msvc_case.truth.function_entries))[:10]
+        report = validate_dynamically(msvc_case,
+                                      result.instruction_starts,
+                                      entries=entries, max_steps=50_000)
+        assert not report["executed_missed"]

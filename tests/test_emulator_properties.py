@@ -1,0 +1,136 @@
+"""Differential property tests: emulator semantics vs Python arithmetic.
+
+Hypothesis drives random operand values through assembled snippets; the
+emulator's results must match Python's own 64/32-bit arithmetic, and
+every conditional branch must agree with the corresponding Python
+comparison.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator import Emulator
+from repro.isa import Assembler
+from repro.isa.registers import RAX, RCX, RDX
+
+MASK64 = (1 << 64) - 1
+U64 = st.integers(0, MASK64)
+U32 = st.integers(0, 0xFFFFFFFF)
+
+
+def run_snippet(build):
+    a = Assembler()
+    build(a)
+    a.ret()
+    return Emulator(a.finish()).run(0)
+
+
+class TestArithmeticDifferential:
+    @given(a=U64, b=U64)
+    @settings(max_examples=60, deadline=None)
+    def test_add64(self, a, b):
+        result = run_snippet(lambda asm: (
+            asm.mov_ri(RAX, a if a < 2 ** 63 else a - 2 ** 64),
+            asm.mov_ri(RCX, b if b < 2 ** 63 else b - 2 ** 64),
+            asm.alu_rr("add", RAX, RCX)))
+        assert result.return_value == (a + b) & MASK64
+
+    @given(a=U64, b=U64)
+    @settings(max_examples=60, deadline=None)
+    def test_sub64(self, a, b):
+        result = run_snippet(lambda asm: (
+            asm.mov_ri(RAX, a if a < 2 ** 63 else a - 2 ** 64),
+            asm.mov_ri(RCX, b if b < 2 ** 63 else b - 2 ** 64),
+            asm.alu_rr("sub", RAX, RCX)))
+        assert result.return_value == (a - b) & MASK64
+
+    @given(a=U32, b=U32)
+    @settings(max_examples=60, deadline=None)
+    def test_logic32_zero_extends(self, a, b):
+        for op, fn in (("and", lambda x, y: x & y),
+                       ("or", lambda x, y: x | y),
+                       ("xor", lambda x, y: x ^ y)):
+            result = run_snippet(lambda asm: (
+                asm.mov_ri(RAX, -1),
+                asm.mov_ri(RAX, a - 2 ** 32 if a >= 2 ** 31 else a,
+                           width=32),
+                asm.mov_ri(RCX, b - 2 ** 32 if b >= 2 ** 31 else b,
+                           width=32),
+                asm.alu_rr(op, RAX, RCX, width=32)))
+            assert result.return_value == fn(a, b), op
+
+    @given(a=U32, count=st.integers(0, 31))
+    @settings(max_examples=60, deadline=None)
+    def test_shl32(self, a, count):
+        if count == 0:
+            return
+        result = run_snippet(lambda asm: (
+            asm.mov_ri(RAX, a - 2 ** 32 if a >= 2 ** 31 else a, width=32),
+            asm.shift_ri("shl", RAX, count, width=32)))
+        assert result.return_value == (a << count) & 0xFFFFFFFF
+
+    @given(a=st.integers(-2 ** 31, 2 ** 31 - 1),
+           b=st.integers(-2 ** 15, 2 ** 15 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_imul(self, a, b):
+        result = run_snippet(lambda asm: (
+            asm.mov_ri(RCX, a),
+            asm.imul_rri(RAX, RCX, b)))
+        assert result.return_value == (a * b) & MASK64
+
+
+class TestConditionDifferential:
+    @given(a=st.integers(-2 ** 31, 2 ** 31 - 1),
+           b=st.integers(-2 ** 31, 2 ** 31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_signed_and_unsigned_comparisons(self, a, b):
+        checks = {
+            "e": a == b, "ne": a != b,
+            "l": a < b, "ge": a >= b, "le": a <= b, "g": a > b,
+            "b": (a & MASK64) < (b & MASK64),
+            "ae": (a & MASK64) >= (b & MASK64),
+        }
+        for condition, expected in checks.items():
+            result = run_snippet(lambda asm: (
+                asm.mov_ri(RAX, a),
+                asm.mov_ri(RCX, b),
+                asm.alu_rr("cmp", RAX, RCX),
+                asm.setcc(condition, RDX),
+                asm.movzx(RAX, RDX, 8, width=32)))
+            assert result.return_value == int(expected), condition
+
+    @given(a=st.integers(-2 ** 63, 2 ** 63 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_test_sets_sign_and_zero(self, a):
+        for condition, expected in (("e", a == 0), ("s", a < 0)):
+            result = run_snippet(lambda asm: (
+                asm.mov_ri(RAX, a),
+                asm.test_rr(RAX, RAX),
+                asm.setcc(condition, RDX),
+                asm.movzx(RAX, RDX, 8, width=32)))
+            assert result.return_value == int(expected), (condition, a)
+
+
+class TestProgramEquivalence:
+    @given(seed=st.integers(0, 150))
+    @settings(max_examples=10, deadline=None)
+    def test_rewritten_binary_equivalent(self, seed):
+        """Rewriting preserves observable behavior on random binaries."""
+        from repro.core import Disassembler
+        from repro.rewrite import rewrite_binary
+        from repro.stats.training import default_models
+        from repro.synth import BinarySpec, MSVC_LIKE, generate_binary
+
+        case = generate_binary(BinarySpec(name="eq", style=MSVC_LIKE,
+                                          function_count=8, seed=seed))
+        disassembler = Disassembler(models=default_models())
+        rich = disassembler.disassemble_rich(case)
+        rewritten = rewrite_binary(rich, case.binary)
+        original = Emulator(case).run(0, max_steps=30_000)
+        copy = Emulator(rewritten.binary).run(rewritten.binary.entry,
+                                              max_steps=45_000)
+        if original.stop_reason == "steps":
+            assert copy.steps >= original.steps
+        else:
+            assert copy.stop_reason == original.stop_reason
+            assert copy.return_value == original.return_value

@@ -1,0 +1,80 @@
+"""End-to-end integration tests: the paper's headline claims in miniature.
+
+These tests reproduce the qualitative shape of the evaluation on small
+binaries: our disassembler must beat every baseline on total byte
+errors, keep near-perfect recall where recursive descent collapses, and
+keep near-perfect precision where linear sweep collapses.
+"""
+
+import pytest
+
+from repro import Disassembler
+from repro.baselines import (heuristic_descent, linear_sweep,
+                             probabilistic_disassembly, recursive_descent)
+from repro.eval.metrics import aggregate, evaluate
+
+
+@pytest.fixture(scope="module")
+def scored(all_cases, disassembler):
+    """Evaluations of every tool over the three-style test corpus."""
+    tools = {
+        "repro": lambda case: disassembler.disassemble(case),
+        "linear": lambda case: linear_sweep(case.text),
+        "rd": lambda case: recursive_descent(case.text, 0),
+        "rd-heur": lambda case: heuristic_descent(case.text, 0),
+        "prob": lambda case: probabilistic_disassembly(case.text, 0),
+    }
+    return {
+        name: aggregate([evaluate(run(case), case.truth)
+                         for case in all_cases], name)
+        for name, run in tools.items()
+    }
+
+
+class TestHeadlineClaims:
+    def test_ours_has_fewest_total_errors(self, scored):
+        ours = scored["repro"].bytes.total_errors
+        for name, evaluation in scored.items():
+            if name != "repro":
+                assert ours < evaluation.bytes.total_errors, name
+
+    def test_error_reduction_factor_at_least_three(self, scored):
+        """The paper's 3x-4x headline, as a lower bound."""
+        ours = max(scored["repro"].bytes.total_errors, 1)
+        best_baseline = min(e.bytes.total_errors
+                            for name, e in scored.items()
+                            if name != "repro")
+        assert best_baseline / ours >= 3.0
+
+    def test_ours_has_best_f1(self, scored):
+        ours = scored["repro"].instructions.f1
+        for name, evaluation in scored.items():
+            if name != "repro":
+                assert ours > evaluation.instructions.f1, name
+
+    def test_recall_where_rd_collapses(self, scored):
+        assert scored["repro"].instructions.recall > 0.99
+        assert scored["rd"].instructions.recall < 0.7
+
+    def test_precision_where_linear_collapses(self, scored):
+        assert scored["repro"].instructions.precision > 0.98
+        assert (scored["repro"].instructions.precision
+                > scored["linear"].instructions.precision)
+
+    def test_function_identification_beats_heuristic_rd(self, scored):
+        assert (scored["repro"].functions.f1
+                >= scored["rd-heur"].functions.f1)
+
+
+class TestCrossStyleBehavior:
+    def test_perfect_byte_recall_per_style(self, all_cases, disassembler):
+        for case in all_cases:
+            evaluation = evaluate(disassembler.disassemble(case),
+                                  case.truth)
+            assert evaluation.bytes.missed_code <= 10, case.name
+
+    def test_stable_across_reruns(self, msvc_case, disassembler):
+        first = disassembler.disassemble(msvc_case)
+        second = disassembler.disassemble(msvc_case)
+        assert first.instructions == second.instructions
+        assert first.data_regions == second.data_regions

@@ -1,0 +1,50 @@
+"""Tests for the listing renderer and data-region classifier."""
+
+from repro.listing import classify_data_regions, render_listing
+
+
+class TestRenderListing:
+    def test_contains_function_headers(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        listing = render_listing(msvc_case.text, result)
+        assert "<func_0000>:" in listing
+        assert listing.count("<func_") == len(result.function_entries)
+
+    def test_instruction_lines_have_hex_and_mnemonic(self, disassembler,
+                                                     msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        listing = render_listing(msvc_case.text, result, end=64)
+        first = [line for line in listing.splitlines() if "0x000000:" in line]
+        assert first and "push" in first[0]
+
+    def test_data_regions_collapsed(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        listing = render_listing(msvc_case.text, result)
+        assert "<data " in listing
+
+    def test_range_limits(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        partial = render_listing(msvc_case.text, result, start=0, end=32)
+        assert len(partial.splitlines()) < 20
+
+
+class TestClassifyDataRegions:
+    def test_kinds_cover_all_regions(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        classified = classify_data_regions(msvc_case.text, result)
+        assert len(classified) == len(result.data_regions)
+        kinds = {kind for _, _, kind in classified}
+        assert kinds <= {"jump-table", "string", "padding", "literal-pool"}
+
+    def test_finds_jump_tables(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        classified = classify_data_regions(msvc_case.text, result)
+        table_regions = [(s, e) for s, e, k in classified
+                         if k == "jump-table"]
+        assert table_regions
+        # Most classified table regions overlap true tables.
+        true_table_bytes = {o for s, e in msvc_case.truth.jump_tables
+                            for o in range(s, e)}
+        hits = sum(1 for s, e in table_regions
+                   if any(o in true_table_bytes for o in range(s, e)))
+        assert hits / len(table_regions) > 0.7

@@ -1,0 +1,61 @@
+"""Tests for the shared DisassemblyResult type."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.result import DisassemblyResult
+
+
+def sample() -> DisassemblyResult:
+    return DisassemblyResult(
+        tool="x",
+        instructions={0: 2, 2: 5, 10: 1},
+        data_regions=[(7, 10), (11, 16)],
+        function_entries={0, 10},
+    )
+
+
+class TestAccessors:
+    def test_instruction_starts(self):
+        assert sample().instruction_starts == {0, 2, 10}
+
+    def test_code_byte_offsets(self):
+        assert sample().code_byte_offsets() == {0, 1, 2, 3, 4, 5, 6, 10}
+
+    def test_data_byte_offsets(self):
+        assert sample().data_byte_offsets() == {7, 8, 9, 11, 12, 13, 14,
+                                                15}
+
+    def test_summary(self):
+        text = sample().summary()
+        assert "3 instructions" in text
+        assert "2 data regions" in text
+        assert "2 functions" in text
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        result = sample()
+        restored = DisassemblyResult.from_json(result.to_json())
+        assert restored.tool == result.tool
+        assert restored.instructions == result.instructions
+        assert restored.data_regions == result.data_regions
+        assert restored.function_entries == result.function_entries
+
+    @given(
+        instructions=st.dictionaries(st.integers(0, 1000),
+                                     st.integers(1, 15), max_size=30),
+        entries=st.sets(st.integers(0, 1000), max_size=10),
+    )
+    def test_round_trip_random(self, instructions, entries):
+        result = DisassemblyResult(tool="t", instructions=instructions,
+                                   function_entries=entries)
+        restored = DisassemblyResult.from_json(result.to_json())
+        assert restored.instructions == instructions
+        assert restored.function_entries == entries
+
+    def test_real_result_round_trips(self, disassembler, msvc_case):
+        result = disassembler.disassemble(msvc_case)
+        restored = DisassemblyResult.from_json(result.to_json())
+        assert restored.instructions == result.instructions
+        assert restored.data_regions == result.data_regions

@@ -1,0 +1,134 @@
+"""Tests for the static binary rewriter.
+
+The strongest assertions are behavioral: original and rewritten
+binaries must execute identically (same stop reason, same return value,
+same non-stub instruction count), and counters must record exactly the
+calls the emulator makes.
+"""
+
+import pytest
+
+from repro.core import Disassembler
+from repro.emulator import Emulator
+from repro.rewrite import COUNTERS_BASE, RewrittenBinary, rewrite_binary
+from repro.synth import BinarySpec, generate_binary
+from repro.synth.styles import STYLES
+
+
+@pytest.fixture(scope="module")
+def rewritten_msvc(disassembler, msvc_case):
+    rich = disassembler.disassemble_rich(msvc_case)
+    return rich, rewrite_binary(rich, msvc_case.binary)
+
+
+class TestStructure:
+    def test_rewritten_binary_has_counters_section(self, rewritten_msvc):
+        _, rewritten = rewritten_msvc
+        section = rewritten.binary.section(".counters")
+        assert section.addr == COUNTERS_BASE
+        assert section.size == 8 * len(rewritten.counters)
+
+    def test_all_instructions_mapped(self, rewritten_msvc):
+        rich, rewritten = rewritten_msvc
+        for start in rich.result.instruction_starts:
+            assert start in rewritten.address_map
+
+    def test_mapping_is_monotonic(self, rewritten_msvc):
+        _, rewritten = rewritten_msvc
+        items = sorted(rewritten.address_map.items())
+        new_offsets = [new for _, new in items]
+        assert new_offsets == sorted(new_offsets)
+
+    def test_counters_per_function_entry(self, rewritten_msvc):
+        rich, rewritten = rewritten_msvc
+        assert (set(rewritten.counters)
+                == rich.result.function_entries)
+
+    def test_entry_points_at_counter_stub(self, rewritten_msvc):
+        _, rewritten = rewritten_msvc
+        stub = rewritten.text[rewritten.binary.entry:
+                              rewritten.binary.entry + 3]
+        assert stub == b"\x48\xff\x05"
+
+    def test_uninstrumented_rewrite_preserves_size_shape(
+            self, disassembler, msvc_case):
+        rich = disassembler.disassemble_rich(msvc_case)
+        rewritten = rewrite_binary(rich, msvc_case.binary,
+                                   instrument_entries=False)
+        assert not rewritten.counters
+        # Only branch re-encoding changes sizes: within a few percent.
+        assert abs(len(rewritten.text) - len(msvc_case.text)) \
+            < len(msvc_case.text) * 0.05
+
+
+class TestBehavioralEquivalence:
+    @pytest.mark.parametrize("style_name", sorted(STYLES))
+    def test_same_behavior_from_entry(self, disassembler, style_name):
+        case = generate_binary(BinarySpec(name="rw",
+                                          style=STYLES[style_name],
+                                          function_count=15, seed=21))
+        rich = disassembler.disassemble_rich(case)
+        rewritten = rewrite_binary(rich, case.binary)
+
+        original = Emulator(case).run(0, max_steps=150_000)
+        copy = Emulator(rewritten.binary).run(rewritten.binary.entry,
+                                              max_steps=200_000)
+        if original.stop_reason == "steps":
+            # Long-running program: both runs must still be going, on
+            # the same instruction (modulo relocation).
+            assert copy.steps >= original.steps
+            return
+        assert copy.stop_reason == original.stop_reason
+        assert copy.return_value == original.return_value
+        # Extra steps are exactly the executed counter stubs.
+        counter_offsets = {rewritten.address_map[e]
+                           for e in rewritten.counters
+                           if e in rewritten.address_map}
+        stub_steps = sum(1 for o in copy.executed if o in counter_offsets)
+        assert copy.steps - stub_steps == original.steps
+
+    def test_counters_match_call_counts(self, disassembler, msvc_case):
+        rich = disassembler.disassemble_rich(msvc_case)
+        rewritten = rewrite_binary(rich, msvc_case.binary)
+        emulator = Emulator(rewritten.binary)
+        result = emulator.run(rewritten.binary.entry, max_steps=200_000)
+
+        new_entry_of = {old: rewritten.address_map[old]
+                        for old in rewritten.counters}
+        for old_entry, counter_addr in rewritten.counters.items():
+            count = emulator.memory.read(counter_addr, 8)
+            stub_offset = new_entry_of[old_entry]
+            executions = sum(1 for o in result.executed
+                             if o == stub_offset)
+            assert count == executions, hex(old_entry)
+
+    def test_equivalence_across_all_entries(self, disassembler,
+                                            clang_case):
+        rich = disassembler.disassemble_rich(clang_case)
+        rewritten = rewrite_binary(rich, clang_case.binary)
+        checked = 0
+        for entry in sorted(clang_case.truth.function_entries)[:8]:
+            if entry not in rewritten.address_map:
+                continue
+            original = Emulator(clang_case).run(entry, max_steps=60_000)
+            copy = Emulator(rewritten.binary).run(
+                rewritten.address_map[entry], max_steps=90_000)
+            assert copy.stop_reason == original.stop_reason, hex(entry)
+            if original.stop_reason in ("exit", "halt"):
+                assert copy.return_value == original.return_value, \
+                    hex(entry)
+            checked += 1
+        assert checked >= 5
+
+
+class TestSelfHosting:
+    def test_rewritten_binary_disassembles_accurately(self, disassembler,
+                                                      msvc_case):
+        """Rewriting then disassembling again must find all the moved
+        instructions (the rewritten binary is itself a complex binary)."""
+        rich = disassembler.disassemble_rich(msvc_case)
+        rewritten = rewrite_binary(rich, msvc_case.binary)
+        second = disassembler.disassemble(rewritten.binary)
+        moved_starts = set(rewritten.address_map.values())
+        recovered = len(moved_starts & second.instruction_starts)
+        assert recovered / len(moved_starts) > 0.97
