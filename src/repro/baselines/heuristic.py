@@ -11,7 +11,7 @@ that happens to look like a prologue.
 from __future__ import annotations
 
 from ..analysis.idioms import PROLOGUE_THRESHOLD, prologue_score
-from ..superset.superset import Superset
+from ..superset.superset import Superset, cached_superset
 from .recursive import recursive_descent
 
 
@@ -19,10 +19,11 @@ def heuristic_descent(text: bytes, entry: int = 0, *,
                       alignment: int = 16,
                       max_rounds: int = 10):
     """Recursive descent plus prologue scanning over unexplored gaps."""
-    superset = Superset.build(text)
+    superset = cached_superset(text)
     extra: set[int] = set()
 
-    result = recursive_descent(text, entry, tool_name="rd-heuristic")
+    result = recursive_descent(text, entry, tool_name="rd-heuristic",
+                               superset=superset)
     for _ in range(max_rounds):
         found = _scan_gaps(superset, result, alignment)
         new = found - extra - result.instruction_starts
@@ -31,7 +32,8 @@ def heuristic_descent(text: bytes, entry: int = 0, *,
         extra |= new
         result = recursive_descent(text, entry,
                                    extra_entries=tuple(sorted(extra)),
-                                   tool_name="rd-heuristic")
+                                   tool_name="rd-heuristic",
+                                   superset=superset)
         result.function_entries |= extra
     return result
 

@@ -11,17 +11,30 @@ following real instructions.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..isa.decoder import try_decode
 from ..result import DisassemblyResult
 
+if TYPE_CHECKING:
+    from ..superset.superset import Superset
 
-def linear_sweep(text: bytes, entry: int = 0) -> DisassemblyResult:
-    """Disassemble by linear sweep from offset 0."""
+
+def linear_sweep(text: bytes, entry: int = 0, *,
+                 superset: "Superset | None" = None) -> DisassemblyResult:
+    """Disassemble by linear sweep from offset 0.
+
+    An already-built superset of ``text`` may be passed to reuse its
+    candidate decodes (the evaluation driver shares one superset across
+    all tools); results are identical either way.
+    """
+    decode_at = try_decode if superset is None else (
+        lambda _text, offset: superset.at(offset))
     instructions: dict[int, int] = {}
     bad: list[int] = []
     offset = 0
     while offset < len(text):
-        instruction = try_decode(text, offset)
+        instruction = decode_at(text, offset)
         if instruction is None:
             bad.append(offset)
             offset += 1

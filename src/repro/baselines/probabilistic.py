@@ -27,7 +27,7 @@ import numpy as np
 from ..analysis.defuse import analyze_chain
 from ..isa.opcodes import FlowKind
 from ..result import DisassemblyResult
-from ..superset.superset import Superset
+from ..superset.superset import Superset, cached_superset
 
 #: Hint strengths from the original paper's formulation.
 HINT_CONVERGENCE = 0.9
@@ -44,16 +44,16 @@ def probabilistic_disassembly(text: bytes, entry: int = 0, *,
                               ) -> DisassemblyResult:
     """Disassemble with hint-propagated data probabilities."""
     if superset is None:
-        superset = Superset.build(text)
+        superset = cached_superset(text)
     size = len(text)
 
     dead = _invalid_closure(superset)
     p_data = np.ones(size)
+    alive = [offset for offset in superset.valid_offsets
+             if not dead[offset]]
 
     # Hint collection.
-    for offset in superset.valid_offsets:
-        if dead[offset]:
-            continue
+    for offset in alive:
         strength = 1.0
         convergence = len(superset.direct_predecessors.get(offset, ()))
         if convergence >= 2:
@@ -68,15 +68,17 @@ def probabilistic_disassembly(text: bytes, entry: int = 0, *,
         p_data[entry] = 0.0
 
     # Forward propagation along forced flow (a few passes suffice).
+    # Successor sets and ``dead`` are static during propagation, so the
+    # (in-range, non-dead) successor lists are computed once up front.
+    forced = [tuple(s for s in superset.successors(offset)
+                    if s < size and not dead[s])
+              for offset in alive]
     for _ in range(3):
         changed = False
-        for offset in superset.valid_offsets:
-            if dead[offset]:
-                continue
+        for offset, successors in zip(alive, forced):
             value = p_data[offset]
-            for successor in superset.successors(offset):
-                if successor < size and not dead[successor] \
-                        and p_data[successor] > value:
+            for successor in successors:
+                if p_data[successor] > value:
                     p_data[successor] = value
                     changed = True
         if not changed:
@@ -87,21 +89,23 @@ def probabilistic_disassembly(text: bytes, entry: int = 0, *,
     # same first byte is strictly more code-like (local winner-take-all
     # over the occlusion set).
     p_code = 1.0 - p_data
-    for offset in superset.valid_offsets:
-        if dead[offset]:
-            p_code[offset] = 0.0
+    p_code[dead] = 0.0
+    instructions = superset.instructions
     accepted = {}
-    for offset in superset.valid_offsets:
-        if dead[offset] or p_data[offset] >= threshold:
+    for offset in alive:
+        if p_data[offset] >= threshold:
             continue
-        instruction = superset.at(offset)
-        lo = max(0, offset - 14)
-        covering = [o for o in range(lo, offset)
-                    if superset.at(o) is not None and not dead[o]
-                    and superset.at(o).end > offset]
-        if any(p_code[o] > p_code[offset] for o in covering):
+        mine = p_code[offset]
+        overshadowed = False
+        for o in range(max(0, offset - 14), offset):
+            covering = instructions[o]
+            if covering is not None and not dead[o] \
+                    and covering.end > offset and p_code[o] > mine:
+                overshadowed = True
+                break
+        if overshadowed:
             continue
-        accepted[offset] = instruction.length
+        accepted[offset] = instructions[offset].length
 
     covered = set()
     for start, length in accepted.items():
@@ -114,45 +118,65 @@ def probabilistic_disassembly(text: bytes, entry: int = 0, *,
                              function_entries=set())
 
 
+#: Flows whose successors the decoder cannot enumerate; such candidates
+#: never join the closure (they are unconstrained, hence alive).
+_UNCONSTRAINED = frozenset((FlowKind.IJUMP, FlowKind.ICALL,
+                            FlowKind.RET, FlowKind.HALT))
+
+
 def _invalid_closure(superset: Superset) -> np.ndarray:
-    """True where a candidate must reach an undecodable offset."""
+    """True where a candidate must reach an undecodable offset.
+
+    Fixpoint: an instruction is dead when *all* of its execution
+    successors are dead (no successors => terminator, alive).  Computed
+    with a reverse-dependency worklist -- when an offset dies, only its
+    forced predecessors are re-examined -- so the closure costs one pass
+    plus O(edges) instead of repeated full sweeps over the section.
+    """
     size = len(superset)
     dead = np.zeros(size, dtype=bool)
-    for offset in range(size):
-        if not superset.is_valid(offset):
-            dead[offset] = True
-    # Iterate to fixpoint: an instruction is dead when *all* of its
-    # execution successors are dead (no successors => terminator, alive).
-    changed = True
-    passes = 0
-    while changed and passes < 50:
-        changed = False
-        passes += 1
-        for offset in range(size - 1, -1, -1):
+    live_successors = [0] * size            # constrained candidates only
+    predecessors: dict[int, list[int]] = {}
+    worklist: list[int] = []
+
+    def kill(offset: int) -> None:
+        dead[offset] = True
+        worklist.append(offset)
+
+    for offset, instruction in enumerate(superset.instructions):
+        if instruction is None:
+            kill(offset)
+            continue
+        target = instruction.branch_target
+        if target is not None and not 0 <= target < size:
+            # Direct branch outside the section: treat as invalid.
+            kill(offset)
+            continue
+        if instruction.flow in _UNCONSTRAINED:
+            continue
+        successors = []
+        if instruction.falls_through:
+            successors.append(instruction.end)
+        if target is not None:
+            successors.append(target)
+        if not successors:
+            continue
+        if successors[0] >= size:
+            # Fall-through off the end of the section.
+            kill(offset)
+            continue
+        live_successors[offset] = len(successors)
+        for successor in successors:
+            predecessors.setdefault(successor, []).append(offset)
+
+    while worklist:
+        victim = worklist.pop()
+        for offset in predecessors.get(victim, ()):
             if dead[offset]:
                 continue
-            instruction = superset.at(offset)
-            if instruction is None:
-                continue
-            successors = []
-            if instruction.falls_through:
-                successors.append(instruction.end)
-            target = instruction.branch_target
-            if target is not None and 0 <= target < size:
-                successors.append(target)
-            elif target is not None:
-                # Direct branch outside the section: treat as invalid.
-                dead[offset] = True
-                changed = True
-                continue
-            if instruction.flow in (FlowKind.IJUMP, FlowKind.ICALL,
-                                    FlowKind.RET, FlowKind.HALT):
-                continue
-            in_range = [s for s in successors if s < size]
-            if successors and (len(in_range) < len(successors)
-                               or all(dead[s] for s in in_range)):
-                dead[offset] = True
-                changed = True
+            live_successors[offset] -= 1
+            if live_successors[offset] == 0:
+                kill(offset)
     return dead
 
 

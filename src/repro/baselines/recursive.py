@@ -10,16 +10,28 @@ suffers exactly where complex binaries are complex.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..isa.opcodes import FlowKind
 from ..isa.decoder import try_decode
 from ..result import DisassemblyResult
 
+if TYPE_CHECKING:
+    from ..superset.superset import Superset
+
 
 def recursive_descent(text: bytes, entry: int = 0,
                       extra_entries: tuple[int, ...] = (),
-                      tool_name: str = "recursive-descent"
+                      tool_name: str = "recursive-descent", *,
+                      superset: "Superset | None" = None
                       ) -> DisassemblyResult:
-    """Disassemble by recursive traversal from the entry point(s)."""
+    """Disassemble by recursive traversal from the entry point(s).
+
+    An already-built superset of ``text`` may be passed to reuse its
+    candidate decodes; results are identical either way.
+    """
+    decode_at = try_decode if superset is None else (
+        lambda _text, offset: superset.at(offset))
     instructions: dict[int, int] = {}
     function_entries: set[int] = set()
     worklist = [entry, *extra_entries]
@@ -30,7 +42,7 @@ def recursive_descent(text: bytes, entry: int = 0,
         offset = worklist.pop()
         if offset in instructions or not 0 <= offset < len(text):
             continue
-        instruction = try_decode(text, offset)
+        instruction = decode_at(text, offset)
         if instruction is None:
             continue
         instructions[offset] = instruction.length

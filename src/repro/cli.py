@@ -46,9 +46,14 @@ def _load_binary(path: Path) -> Binary:
 def _cmd_disasm(args: argparse.Namespace) -> int:
     binary = _load_binary(Path(args.binary))
     disassembler = Disassembler()
-    result = disassembler.disassemble(binary)
+    rich = disassembler.disassemble_rich(binary)
+    result = rich.result
     text = binary.text.data
     print(result.summary())
+    if args.profile:
+        print("\nphase timings:")
+        print(rich.timings.render())
+        print()
     if args.listing:
         print(render_listing(text, result))
     else:
@@ -102,7 +107,12 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .eval.experiments import main as experiments_main
-    return experiments_main(args.ids)
+    argv = list(args.ids)
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.bench_json:
+        argv += ["--bench-json", args.bench_json]
+    return experiments_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +135,8 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.add_argument("binary")
     disasm.add_argument("--listing", action="store_true",
                         help="print the full instruction listing")
+    disasm.add_argument("--profile", action="store_true",
+                        help="print per-phase wall-clock timings")
     disasm.set_defaults(func=_cmd_disasm)
 
     evaluate_cmd = sub.add_parser(
@@ -144,7 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments",
                                  help="run evaluation experiments")
     experiments.add_argument("ids", nargs="+",
-                             help="experiment ids (t1..t5, f1..f4, all)")
+                             help="experiment ids (t1..t5, f1..f4, v1, all)")
+    experiments.add_argument("--jobs", type=int, default=None, metavar="N",
+                             help="parallel worker processes "
+                                  "(0 = one per CPU)")
+    experiments.add_argument("--bench-json", metavar="PATH", default=None,
+                             help="write wall-clock timings as JSON")
     experiments.set_defaults(func=_cmd_experiments)
     return parser
 

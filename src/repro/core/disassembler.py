@@ -11,7 +11,7 @@ instructions, data regions, and function entries:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,11 +21,12 @@ from ..analysis.idioms import (PROLOGUE_THRESHOLD, likely_function_starts,
 from ..binary.container import Binary
 from ..binary.image import MemoryImage
 from ..binary.loader import TestCase
+from ..perf import PhaseTimings
 from ..result import DisassemblyResult
 from ..stats.datamodel import TableCandidate, find_jump_tables
 from ..stats.scoring import StatisticalScorer
 from ..stats.training import Models, default_models
-from ..superset.superset import Superset
+from ..superset.superset import Superset, cached_superset
 from .config import DEFAULT_CONFIG, DisassemblerConfig
 from .correction import CorrectionEngine
 from .evidence import Evidence, Priority
@@ -46,7 +47,8 @@ class Disassembly:
     tables: list[TableCandidate]
     log: list[str]
     noreturn_entries: set[int]
-    resolved_tables: list = None   # ResolvedTable list from the engine
+    resolved_tables: list = field(default_factory=list)   # engine's ResolvedTables
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
 
 
 class Disassembler:
@@ -78,11 +80,15 @@ class Disassembler:
         """Disassemble and return the result plus intermediate state."""
         text, entry, image = _extract(target, entry)
         config = self.config
+        timings = PhaseTimings()
 
-        superset = Superset.build(text)
-        behavior = (self._analyzer.score_all(superset)
-                    if config.use_behavior else None)
-        scores = self._combined_scores(superset, behavior)
+        with timings.phase("superset"):
+            superset = cached_superset(text)
+        with timings.phase("behavior"):
+            behavior = (self._analyzer.score_all(superset)
+                        if config.use_behavior else None)
+        with timings.phase("scoring"):
+            scores = self._combined_scores(superset, behavior)
         engine = CorrectionEngine(superset, scores, config, image=image,
                                   behavior_scores=behavior)
 
@@ -91,16 +97,17 @@ class Disassembler:
         # can mimic a table), so its targets carry STRUCTURAL priority:
         # genuinely traced code (ANCHOR) may override them, while
         # dataflow-resolved tables found during tracing stay ANCHOR.
-        tables = self._validated_tables(text, superset, scores)
-        for table in tables:
-            engine.state.mark_data(table.start, table.end,
-                                   Priority.STRUCTURAL)
-            engine.log.append(f"table {table.start:#x}-{table.end:#x} "
-                              f"({table.entry_size}-byte entries)")
-            for target in sorted(set(table.targets)):
-                engine.push(Evidence("code", target, target,
-                                     Priority.STRUCTURAL, 1.0,
-                                     "table-target"))
+        with timings.phase("tables"):
+            tables = self._validated_tables(text, superset, scores)
+            for table in tables:
+                engine.state.mark_data(table.start, table.end,
+                                       Priority.STRUCTURAL)
+                engine.log.append(f"table {table.start:#x}-{table.end:#x} "
+                                  f"({table.entry_size}-byte entries)")
+                for target in sorted(set(table.targets)):
+                    engine.push(Evidence("code", target, target,
+                                         Priority.STRUCTURAL, 1.0,
+                                         "table-target"))
 
         # Anchor phase: the program entry point.
         if 0 <= entry < len(text):
@@ -113,26 +120,29 @@ class Disassembler:
             engine.push(Evidence("code", offset, offset, Priority.IDIOM,
                                  1.0, "prologue"))
 
-        engine.drain()
-        engine.complete_gaps()
+        with timings.phase("correction"):
+            engine.drain()
+        with timings.phase("gaps"):
+            engine.complete_gaps()
 
-        state = engine.state
-        instructions = {offset: superset.at(offset).length
-                        for offset in state.instruction_starts()}
-        # Resolved pointer tables point at functions by construction;
-        # statistically detected 8-byte tables may be jump *or* pointer
-        # tables, so their targets must additionally look like openings.
-        pointer_targets = frozenset(
-            t for table in engine.resolved_tables for t in table.targets
-            if table.kind == "pointer")
-        pointer_targets |= frozenset(
-            t for table in tables for t in table.targets
-            if table.entry_size == 8
-            and prologue_score(superset, t) >= PROLOGUE_THRESHOLD)
-        functions = identify_functions(
-            superset, state, entry,
-            pointer_table_targets=pointer_targets,
-            alignment=config.alignment)
+        with timings.phase("functions"):
+            state = engine.state
+            instructions = {offset: superset.at(offset).length
+                            for offset in state.instruction_starts()}
+            # Resolved pointer tables point at functions by construction;
+            # statistically detected 8-byte tables may be jump *or* pointer
+            # tables, so their targets must additionally look like openings.
+            pointer_targets = frozenset(
+                t for table in engine.resolved_tables for t in table.targets
+                if table.kind == "pointer")
+            pointer_targets |= frozenset(
+                t for table in tables for t in table.targets
+                if table.entry_size == 8
+                and prologue_score(superset, t) >= PROLOGUE_THRESHOLD)
+            functions = identify_functions(
+                superset, state, entry,
+                pointer_table_targets=pointer_targets,
+                alignment=config.alignment)
 
         result = DisassemblyResult(
             tool="repro",
@@ -140,10 +150,12 @@ class Disassembler:
             data_regions=state.data_regions(),
             function_entries={span.entry for span in functions},
         )
+        engine.log.extend(timings.log_lines())
         return Disassembly(result=result, superset=superset, scores=scores,
                            tables=tables, log=engine.log,
                            noreturn_entries=set(engine.noreturn_entries),
-                           resolved_tables=list(engine.resolved_tables))
+                           resolved_tables=list(engine.resolved_tables),
+                           timings=timings)
 
     # ------------------------------------------------------------------
 

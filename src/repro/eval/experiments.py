@@ -4,34 +4,51 @@ Each ``run_*`` function regenerates the corresponding table or figure of
 the paper's evaluation (as indexed in DESIGN.md) and returns a
 :class:`~repro.eval.report.Table`; the module is runnable::
 
-    python -m repro.eval.experiments t2        # one experiment
-    python -m repro.eval.experiments all       # everything
+    python -m repro.eval.experiments t2             # one experiment
+    python -m repro.eval.experiments all            # everything
+    python -m repro.eval.experiments t2 --jobs 4    # parallel workers
+    python -m repro.eval.experiments all --jobs 0 --bench-json out.json
+
+Every runner takes a ``jobs`` keyword and fans (tool, binary) work out
+through :mod:`repro.eval.parallel`; results are deterministic, so a
+parallel table is byte-identical to a serial one.  T1 (pure metadata),
+F3 (measures serial wall-clock by design) and V1's emulation loop stay
+single-process.
 
 The benchmark suite under ``benchmarks/`` wraps these same runners.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
+
 from ..baselines import (heuristic_descent, linear_sweep,
                          probabilistic_disassembly, recursive_descent)
 from ..binary.loader import TestCase
 from ..core.config import ABLATION_CONFIGS, DisassemblerConfig
 from ..core.disassembler import Disassembler
+from ..perf import bench_payload, write_bench_json
 from ..synth.corpus import BinarySpec, density_style, generate_binary
 from ..synth.styles import MSVC_LIKE, STYLES
 from .dataset import EVAL_SEEDS, characteristics, evaluation_corpus
 from .metrics import Evaluation, aggregate, evaluate
+from .parallel import (ToolSpec, baseline_spec, evaluate_tool,
+                       evaluate_tools, predict_pairs, repro_spec)
 from .report import Table
 
-#: Baseline tools compared in every accuracy experiment.
+#: Baseline tools compared in every accuracy experiment (legacy
+#: callable form; the runners themselves use declarative ToolSpecs).
 BASELINES = {
     "linear-sweep": lambda case: linear_sweep(case.text),
     "recursive-descent": lambda case: recursive_descent(case.text, 0),
     "rd-heuristic": lambda case: heuristic_descent(case.text, 0),
     "probabilistic": lambda case: probabilistic_disassembly(case.text, 0),
 }
+
+#: Spec forms of the same tools, in canonical table order.
+BASELINE_SPECS = tuple(baseline_spec(name) for name in BASELINES)
 
 
 def _our_tool(config: DisassemblerConfig | None = None):
@@ -44,12 +61,18 @@ def _evaluate_tool(tool_name: str, runner, cases) -> Evaluation:
     return aggregate(evaluations, tool_name)
 
 
+def _all_tool_specs() -> list[ToolSpec]:
+    return [*BASELINE_SPECS, repro_spec()]
+
+
 # ----------------------------------------------------------------------
 # Tables
 # ----------------------------------------------------------------------
 
-def run_t1(cases: tuple[TestCase, ...] | None = None) -> Table:
-    """T1: dataset characteristics."""
+def run_t1(cases: tuple[TestCase, ...] | None = None, *,
+           jobs: int | None = None) -> Table:
+    """T1: dataset characteristics (metadata only; ``jobs`` unused)."""
+    del jobs
     cases = cases or evaluation_corpus()
     table = Table(
         title="T1: Evaluation dataset characteristics",
@@ -67,23 +90,23 @@ def run_t1(cases: tuple[TestCase, ...] | None = None) -> Table:
     return table
 
 
-def run_t2(cases: tuple[TestCase, ...] | None = None) -> Table:
+def run_t2(cases: tuple[TestCase, ...] | None = None, *,
+           jobs: int | None = None) -> Table:
     """T2: instruction-level accuracy of every tool."""
     cases = cases or evaluation_corpus()
     table = Table(
         title="T2: Instruction-level accuracy (pooled over corpus)",
         columns=["tool", "precision", "recall", "f1"],
     )
-    tools = dict(BASELINES)
-    tools["repro (this paper)"] = _our_tool()
-    for name, runner in tools.items():
-        ev = _evaluate_tool(name, runner, cases)
+    for name, ev in evaluate_tools(_all_tool_specs(), cases,
+                                   jobs=jobs).items():
         table.add(tool=name, precision=ev.instructions.precision,
                   recall=ev.instructions.recall, f1=ev.instructions.f1)
     return table
 
 
-def run_t3(cases: tuple[TestCase, ...] | None = None) -> Table:
+def run_t3(cases: tuple[TestCase, ...] | None = None, *,
+           jobs: int | None = None) -> Table:
     """T3: byte-level error counts and the headline improvement factor."""
     cases = cases or evaluation_corpus()
     table = Table(
@@ -91,11 +114,9 @@ def run_t3(cases: tuple[TestCase, ...] | None = None) -> Table:
         columns=["tool", "false_code", "missed_code", "total_errors",
                  "error_rate"],
     )
-    tools = dict(BASELINES)
-    tools["repro (this paper)"] = _our_tool()
     totals = {}
-    for name, runner in tools.items():
-        ev = _evaluate_tool(name, runner, cases)
+    for name, ev in evaluate_tools(_all_tool_specs(), cases,
+                                   jobs=jobs).items():
         totals[name] = ev.bytes.total_errors
         table.add(tool=name, false_code=ev.bytes.false_code,
                   missed_code=ev.bytes.missed_code,
@@ -111,35 +132,34 @@ def run_t3(cases: tuple[TestCase, ...] | None = None) -> Table:
     return table
 
 
-def run_t4(cases: tuple[TestCase, ...] | None = None) -> Table:
+def run_t4(cases: tuple[TestCase, ...] | None = None, *,
+           jobs: int | None = None) -> Table:
     """T4: ablation of the three main components."""
     cases = cases or evaluation_corpus()
     table = Table(
         title="T4: Ablation study",
         columns=["variant", "precision", "recall", "f1", "total_errors"],
     )
-    for variant, config in ABLATION_CONFIGS.items():
-        ev = _evaluate_tool(variant, _our_tool(config), cases)
+    specs = [repro_spec(variant, config)
+             for variant, config in ABLATION_CONFIGS.items()]
+    for variant, ev in evaluate_tools(specs, cases, jobs=jobs).items():
         table.add(variant=variant, precision=ev.instructions.precision,
                   recall=ev.instructions.recall, f1=ev.instructions.f1,
                   total_errors=ev.bytes.total_errors)
     return table
 
 
-def run_t5(cases: tuple[TestCase, ...] | None = None) -> Table:
+def run_t5(cases: tuple[TestCase, ...] | None = None, *,
+           jobs: int | None = None) -> Table:
     """T5: function-boundary identification."""
     cases = cases or evaluation_corpus()
     table = Table(
         title="T5: Function-entry identification",
         columns=["tool", "precision", "recall", "f1"],
     )
-    tools = {
-        "recursive-descent": BASELINES["recursive-descent"],
-        "rd-heuristic": BASELINES["rd-heuristic"],
-        "repro (this paper)": _our_tool(),
-    }
-    for name, runner in tools.items():
-        ev = _evaluate_tool(name, runner, cases)
+    specs = [baseline_spec("recursive-descent"),
+             baseline_spec("rd-heuristic"), repro_spec()]
+    for name, ev in evaluate_tools(specs, cases, jobs=jobs).items():
         table.add(tool=name, precision=ev.functions.precision,
                   recall=ev.functions.recall, f1=ev.functions.f1)
     return table
@@ -151,14 +171,16 @@ def run_t5(cases: tuple[TestCase, ...] | None = None) -> Table:
 
 def run_f1(densities: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4),
            seeds: tuple[int, ...] = (0, 1),
-           function_count: int = 40) -> Table:
+           function_count: int = 40, *,
+           jobs: int | None = None) -> Table:
     """F1: accuracy vs embedded-data density."""
     table = Table(
         title="F1: F1-score vs embedded-data density (msvc-like base)",
         columns=["density", "data_pct", "repro", "linear-sweep",
                  "rd-heuristic", "probabilistic"],
     )
-    our = _our_tool()
+    specs = [repro_spec("repro"), baseline_spec("linear-sweep"),
+             baseline_spec("rd-heuristic"), baseline_spec("probabilistic")]
     for density in densities:
         style = density_style(MSVC_LIKE, density)
         cases = tuple(
@@ -170,23 +192,22 @@ def run_f1(densities: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4),
         data_pct = sum(c.truth.data_bytes for c in cases) / max(
             sum(c.truth.code_bytes + c.truth.data_bytes for c in cases), 1)
         row = {"density": density, "data_pct": 100.0 * data_pct}
-        row["repro"] = _evaluate_tool("repro", our, cases).instructions.f1
-        for name in ("linear-sweep", "rd-heuristic", "probabilistic"):
-            ev = _evaluate_tool(name, BASELINES[name], cases)
+        for name, ev in evaluate_tools(specs, cases, jobs=jobs).items():
             row[name] = ev.instructions.f1
         table.add(**row)
     return table
 
 
 def run_f2(seeds: tuple[int, ...] = EVAL_SEEDS,
-           function_count: int = 50) -> Table:
+           function_count: int = 50, *,
+           jobs: int | None = None) -> Table:
     """F2: accuracy per compiler style."""
     table = Table(
         title="F2: F1-score per compiler style",
         columns=["style", "repro", "linear-sweep", "recursive-descent",
                  "rd-heuristic", "probabilistic"],
     )
-    our = _our_tool()
+    specs = [repro_spec("repro"), *BASELINE_SPECS]
     for style_name in sorted(STYLES):
         cases = tuple(
             generate_binary(BinarySpec(name=f"{style_name}-s{seed}",
@@ -194,17 +215,21 @@ def run_f2(seeds: tuple[int, ...] = EVAL_SEEDS,
                                        function_count=function_count,
                                        seed=seed))
             for seed in seeds)
-        row = {"style": style_name,
-               "repro": _evaluate_tool("repro", our, cases).instructions.f1}
-        for name, runner in BASELINES.items():
-            row[name] = _evaluate_tool(name, runner, cases).instructions.f1
+        row = {"style": style_name}
+        for name, ev in evaluate_tools(specs, cases, jobs=jobs).items():
+            row[name] = ev.instructions.f1
         table.add(**row)
     return table
 
 
 def run_f3(function_counts: tuple[int, ...] = (10, 20, 40, 80),
-           seed: int = 0) -> Table:
-    """F3: disassembly runtime vs binary size."""
+           seed: int = 0, *, jobs: int | None = None) -> Table:
+    """F3: disassembly runtime vs binary size.
+
+    Runtime is the quantity under measurement, so each tool runs
+    single-process regardless of ``jobs``.
+    """
+    del jobs
     table = Table(
         title="F3: Runtime vs binary size (seconds; msvc-like)",
         columns=["functions", "text_bytes", "repro", "linear-sweep",
@@ -233,7 +258,8 @@ def run_f3(function_counts: tuple[int, ...] = (10, 20, 40, 80),
 def run_f4(thresholds: tuple[float, ...] = (-2.0, -1.0, -0.5, 0.0,
                                             0.5, 1.0, 2.0),
            seeds: tuple[int, ...] = (0, 1),
-           function_count: int = 40) -> Table:
+           function_count: int = 40, *,
+           jobs: int | None = None) -> Table:
     """F4: sensitivity to the gap-acceptance threshold."""
     cases = tuple(
         generate_binary(BinarySpec(name=f"thr-s{seed}", style=MSVC_LIKE,
@@ -243,9 +269,12 @@ def run_f4(thresholds: tuple[float, ...] = (-2.0, -1.0, -0.5, 0.0,
         title="F4: Sensitivity to code_threshold",
         columns=["threshold", "precision", "recall", "f1", "total_errors"],
     )
+    specs = [repro_spec(f"thr={threshold}",
+                        DisassemblerConfig(code_threshold=threshold))
+             for threshold in thresholds]
+    results = evaluate_tools(specs, cases, jobs=jobs)
     for threshold in thresholds:
-        config = DisassemblerConfig(code_threshold=threshold)
-        ev = _evaluate_tool(f"thr={threshold}", _our_tool(config), cases)
+        ev = results[f"thr={threshold}"]
         table.add(threshold=threshold, precision=ev.instructions.precision,
                   recall=ev.instructions.recall, f1=ev.instructions.f1,
                   total_errors=ev.bytes.total_errors)
@@ -254,18 +283,19 @@ def run_f4(thresholds: tuple[float, ...] = (-2.0, -1.0, -0.5, 0.0,
 
 def run_v1(cases: tuple[TestCase, ...] | None = None, *,
            entries_per_case: int = 12,
-           max_steps: int = 60_000) -> Table:
+           max_steps: int = 60_000,
+           jobs: int | None = None) -> Table:
     """V1: dynamic validation -- emulate binaries, check predictions.
 
     Every instruction the emulator actually executes must appear in a
     perfect disassembly; "missed" counts executed-but-unpredicted
     instructions per tool (dynamic recall gaps no static metric can
-    hide).
+    hide).  Predictions fan out in parallel; the emulation loop, which
+    cross-checks ground truth in-process, stays serial.
     """
     from ..emulator import Emulator
 
     cases = cases or evaluation_corpus()
-    our = _our_tool()
     table = Table(
         title="V1: Dynamic validation (executed instructions predicted)",
         columns=["tool", "executed", "covered", "missed"],
@@ -280,15 +310,16 @@ def run_v1(cases: tuple[TestCase, ...] | None = None, *,
             f"{case.name}: emulator escaped ground truth")
         executed_per_case.append(executed)
 
-    tools = dict(BASELINES)
-    tools["repro (this paper)"] = our
+    specs = _all_tool_specs()
+    pairs = [(spec, case) for spec in specs for case in cases]
+    predictions = predict_pairs(pairs, jobs=jobs)
     total_executed = sum(len(e) for e in executed_per_case)
-    for name, runner in tools.items():
-        covered = 0
-        for case, executed in zip(cases, executed_per_case):
-            predicted = runner(case).instruction_starts
-            covered += len(executed & predicted)
-        table.add(tool=name, executed=total_executed, covered=covered,
+    for index, spec in enumerate(specs):
+        chunk = predictions[index * len(cases):(index + 1) * len(cases)]
+        covered = sum(len(executed & predicted.instruction_starts)
+                      for executed, predicted in zip(executed_per_case,
+                                                     chunk))
+        table.add(tool=spec.name, executed=total_executed, covered=covered,
                   missed=total_executed - covered)
     table.notes.append(
         "every executed offset verified against ground truth first")
@@ -302,21 +333,48 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    if not argv or argv[0] in ("-h", "--help"):
-        names = ", ".join(EXPERIMENTS)
-        print(f"usage: python -m repro.eval.experiments <{names}|all>")
-        return 0
-    requested = list(EXPERIMENTS) if argv[0] == "all" else argv
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.experiments",
+        description="Regenerate evaluation tables/figures.")
+    parser.add_argument("ids", nargs="+",
+                        help=f"experiment ids ({', '.join(EXPERIMENTS)}) "
+                             f"or 'all'")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (0 = one per CPU; "
+                             "default serial)")
+    parser.add_argument("--bench-json", metavar="PATH", default=None,
+                        help="write per-experiment wall-clock timings as "
+                             "a machine-readable BENCH json")
+    try:
+        args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    except SystemExit as exc:       # --help / usage errors: plain return
+        return int(exc.code or 0)
+
+    requested = list(EXPERIMENTS) if "all" in args.ids else args.ids
     for name in requested:
         if name not in EXPERIMENTS:
             print(f"unknown experiment: {name}", file=sys.stderr)
             return 1
+
+    elapsed_by_experiment: dict[str, float] = {}
+    for name in requested:
         started = time.perf_counter()
-        table = EXPERIMENTS[name]()
+        table = EXPERIMENTS[name](jobs=args.jobs)
         elapsed = time.perf_counter() - started
+        elapsed_by_experiment[name] = elapsed
         print(table.render())
         print(f"[{name} completed in {elapsed:.1f}s]\n")
+
+    if args.bench_json:
+        payload = bench_payload(
+            kind="experiment-timings",
+            jobs=args.jobs,
+            experiments={name: round(seconds, 3)
+                         for name, seconds in elapsed_by_experiment.items()},
+            total_s=round(sum(elapsed_by_experiment.values()), 3),
+        )
+        path = write_bench_json(args.bench_json, payload)
+        print(f"wrote {path}")
     return 0
 
 

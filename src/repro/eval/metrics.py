@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..binary.groundtruth import ByteKind, GroundTruth
 from ..result import DisassemblyResult
 
@@ -76,36 +78,32 @@ def evaluate(result: DisassemblyResult, truth: GroundTruth) -> Evaluation:
     """Score a disassembly result against exact ground truth."""
     true_starts = truth.instruction_starts
     predicted_starts = result.instruction_starts
-
-    def scored(offset: int) -> bool:
-        return truth.kind_at(offset) != ByteKind.PADDING
+    labels = np.frombuffer(bytes(truth.labels), dtype=np.uint8)
+    padding = int(ByteKind.PADDING)
 
     tp = sum(1 for o in predicted_starts if o in true_starts)
     fp = sum(1 for o in predicted_starts
-             if o not in true_starts and scored(o))
+             if o not in true_starts and labels[o] != padding)
     fn = sum(1 for o in true_starts if o not in predicted_starts)
     instruction_metrics = PrecisionRecall(tp, fp, fn)
 
-    predicted_code = result.code_byte_offsets()
-    false_code = 0
-    missed_code = 0
-    code_bytes = 0
-    data_bytes = 0
-    for offset in range(truth.size):
-        kind = truth.kind_at(offset)
-        if kind == ByteKind.PADDING:
-            continue
-        is_code = kind in (ByteKind.INSN_START, ByteKind.INSN_INTERIOR)
-        if is_code:
-            code_bytes += 1
-            if offset not in predicted_code:
-                missed_code += 1
-        else:
-            data_bytes += 1
-            if offset in predicted_code:
-                false_code += 1
-    byte_errors = ByteErrors(false_code=false_code, missed_code=missed_code,
-                             code_bytes=code_bytes, data_bytes=data_bytes)
+    # Byte-level confusion, vectorized over the label array: a text byte
+    # is scored unless it is padding, and counts as ground-truth code
+    # when it starts or continues a true instruction.
+    predicted = np.zeros(truth.size, dtype=bool)
+    covered = result.code_byte_offsets()
+    if covered:
+        indices = np.fromiter(covered, dtype=np.intp, count=len(covered))
+        predicted[indices[(indices >= 0) & (indices < truth.size)]] = True
+    code = ((labels == int(ByteKind.INSN_START))
+            | (labels == int(ByteKind.INSN_INTERIOR)))
+    data = (labels != padding) & ~code
+    byte_errors = ByteErrors(
+        false_code=int(np.count_nonzero(data & predicted)),
+        missed_code=int(np.count_nonzero(code & ~predicted)),
+        code_bytes=int(np.count_nonzero(code)),
+        data_bytes=int(np.count_nonzero(data)),
+    )
 
     true_entries = truth.function_entries
     predicted_entries = result.function_entries

@@ -1,0 +1,206 @@
+"""Parallel evaluation driver: many (tool, binary) runs across processes.
+
+Corpus evaluation is embarrassingly parallel -- every (tool, binary)
+pair is independent -- so the experiment runners fan the pairs out over
+a :class:`~concurrent.futures.ProcessPoolExecutor`.  Three properties
+the driver guarantees:
+
+* **Determinism**: results come back in submission order regardless of
+  worker scheduling, so every table is byte-identical to a serial run.
+* **Worker reuse**: each worker process keeps one
+  :class:`~repro.core.disassembler.Disassembler` per distinct
+  :class:`ToolSpec` and loads its models from the on-disk cache
+  (:mod:`repro.stats.cache`) instead of retraining.
+* **Picklability**: tools cross the process boundary as declarative
+  :class:`ToolSpec` values (name + config), never as closures.
+
+``jobs=None`` or ``jobs=1`` runs serially in-process (no pool, no
+pickling); ``jobs=0`` means "one per CPU".
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..baselines import (heuristic_descent, linear_sweep,
+                         probabilistic_disassembly, recursive_descent)
+from ..binary.loader import TestCase
+from ..core.config import DisassemblerConfig
+from ..core.disassembler import Disassembler
+from ..result import DisassemblyResult
+from ..superset.superset import cached_superset
+from .metrics import Evaluation, aggregate, evaluate
+
+
+@dataclass(frozen=True)
+class ToolSpec:
+    """A declarative, picklable description of one tool under test."""
+
+    kind: str                               # "baseline" | "repro"
+    name: str                               # display / registry name
+    config: DisassemblerConfig | None = None   # repro-only override
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("baseline", "repro"):
+            raise ValueError(f"unknown tool kind: {self.kind!r}")
+        if self.kind == "baseline" and self.name not in BASELINE_RUNNERS:
+            raise ValueError(f"unknown baseline: {self.name!r}")
+
+
+def baseline_spec(name: str) -> ToolSpec:
+    return ToolSpec(kind="baseline", name=name)
+
+
+def repro_spec(name: str = "repro (this paper)",
+               config: DisassemblerConfig | None = None) -> ToolSpec:
+    return ToolSpec(kind="repro", name=name, config=config)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _run_linear_sweep(case: TestCase) -> DisassemblyResult:
+    return linear_sweep(case.text, superset=cached_superset(case.text))
+
+
+def _run_recursive_descent(case: TestCase) -> DisassemblyResult:
+    return recursive_descent(case.text, 0,
+                             superset=cached_superset(case.text))
+
+
+def _run_heuristic_descent(case: TestCase) -> DisassemblyResult:
+    return heuristic_descent(case.text, 0)
+
+
+def _run_probabilistic(case: TestCase) -> DisassemblyResult:
+    return probabilistic_disassembly(case.text, 0)
+
+
+#: Baseline registry; keys are the names used throughout the tables.
+BASELINE_RUNNERS = {
+    "linear-sweep": _run_linear_sweep,
+    "recursive-descent": _run_recursive_descent,
+    "rd-heuristic": _run_heuristic_descent,
+    "probabilistic": _run_probabilistic,
+}
+
+#: Per-worker disassembler instances, one per distinct spec, so a worker
+#: evaluating many binaries with the same tool builds models/scorers once.
+_WORKER_DISASSEMBLERS: dict[ToolSpec, Disassembler] = {}
+
+
+def run_tool(spec: ToolSpec, case: TestCase) -> DisassemblyResult:
+    """Run one tool on one binary (reusing per-process disassemblers)."""
+    if spec.kind == "baseline":
+        return BASELINE_RUNNERS[spec.name](case)
+    disassembler = _WORKER_DISASSEMBLERS.get(spec)
+    if disassembler is None:
+        disassembler = (Disassembler(config=spec.config)
+                        if spec.config is not None else Disassembler())
+        _WORKER_DISASSEMBLERS[spec] = disassembler
+    return disassembler.disassemble(case)
+
+
+def _evaluate_pair(pair: tuple[ToolSpec, TestCase]) -> Evaluation:
+    spec, case = pair
+    return evaluate(run_tool(spec, case), case.truth)
+
+
+def _predict_pair(pair: tuple[ToolSpec, TestCase]) -> DisassemblyResult:
+    return run_tool(*pair)
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+
+def effective_jobs(jobs: int | None) -> int:
+    """Resolve a ``--jobs`` value: None/1 serial, 0 one-per-CPU."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _warm_models(specs) -> None:
+    """Train/load models once in the parent before any worker needs them.
+
+    Forked workers inherit the in-process cache outright; spawned
+    workers find the trained models in the disk cache.  Either way no
+    worker ever regenerates the training corpus.
+    """
+    from ..stats.training import default_models
+
+    if any(spec.kind == "repro" and spec.config is None for spec in specs):
+        default_models()
+
+
+def evaluate_pairs(pairs: list[tuple[ToolSpec, TestCase]],
+                   jobs: int | None = None, *,
+                   chunk: int = 1) -> list[Evaluation]:
+    """Evaluate (tool, case) pairs, preserving submission order exactly.
+
+    ``chunk`` batches consecutive pairs into one worker task; callers
+    that order pairs case-major pass the tool count so all runs over a
+    given binary share one worker's superset cache.
+    """
+    workers = effective_jobs(jobs)
+    if workers <= 1 or len(pairs) <= 1:
+        return [_evaluate_pair(pair) for pair in pairs]
+    _warm_models({spec for spec, _ in pairs})
+    workers = min(workers, len(pairs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # map() yields results in submission order: determinism for free.
+        return list(pool.map(_evaluate_pair, pairs,
+                             chunksize=max(1, chunk)))
+
+
+def predict_pairs(pairs: list[tuple[ToolSpec, TestCase]],
+                  jobs: int | None = None, *,
+                  chunk: int = 1) -> list[DisassemblyResult]:
+    """Raw tool outputs for (tool, case) pairs, in submission order.
+
+    For experiments that need the predictions themselves (e.g. dynamic
+    validation) rather than scored metrics.
+    """
+    workers = effective_jobs(jobs)
+    if workers <= 1 or len(pairs) <= 1:
+        return [_predict_pair(pair) for pair in pairs]
+    _warm_models({spec for spec, _ in pairs})
+    workers = min(workers, len(pairs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_predict_pair, pairs,
+                             chunksize=max(1, chunk)))
+
+
+def evaluate_tool(spec: ToolSpec, cases, jobs: int | None = None,
+                  name: str | None = None) -> Evaluation:
+    """Pooled evaluation of one tool over a corpus."""
+    evaluations = evaluate_pairs([(spec, case) for case in cases], jobs)
+    return aggregate(evaluations, name or spec.name)
+
+
+def evaluate_tools(specs: list[ToolSpec], cases,
+                   jobs: int | None = None) -> dict[str, Evaluation]:
+    """Pooled evaluation of many tools over a corpus in one fan-out.
+
+    Submitting the full (tool x case) cross product to a single pool
+    load-balances better than per-tool batches: slow repro runs overlap
+    with fast baseline runs.  Pairs go out case-major so consecutive
+    runs share the per-process superset cache (every tool decodes the
+    same section); results keep tool insertion order regardless.
+    """
+    cases = tuple(cases)
+    pairs = [(spec, case) for case in cases for spec in specs]
+    evaluations = evaluate_pairs(pairs, jobs, chunk=len(specs))
+    width = len(specs)
+    return {
+        spec.name: aggregate([evaluations[case_index * width + spec_index]
+                              for case_index in range(len(cases))],
+                             spec.name)
+        for spec_index, spec in enumerate(specs)
+    }

@@ -1,0 +1,98 @@
+"""Phase-timing instrumentation for the disassembly pipeline.
+
+The disassembler is a sequence of well-separated phases (superset
+construction, statistical/behavioral scoring, table detection,
+prioritized correction, gap completion, function identification).
+:class:`PhaseTimings` is a lightweight context-manager timer the engine
+threads through those phases; the result is surfaced three ways:
+
+* appended to the engine log (``repro.core.disassembler``),
+* printed by the CLI under ``--profile``,
+* dumped machine-readably via :func:`write_bench_json` so benchmark
+  runs leave a ``BENCH_*.json`` artifact later PRs can diff against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+
+class PhaseTimings:
+    """Named wall-clock phase durations, in insertion order.
+
+    Re-entering a phase name accumulates into the same bucket, so
+    per-item phases (one timer around each correction pass, say) sum
+    naturally.
+    """
+
+    def __init__(self) -> None:
+        self.phases: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a ``with`` block under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase -> seconds, plus a ``total`` key (machine readable)."""
+        out = dict(self.phases)
+        out["total"] = self.total
+        return out
+
+    def log_lines(self, prefix: str = "phase ") -> list[str]:
+        """One compact line per phase, for the engine log."""
+        return [f"{prefix}{name}: {seconds * 1000:.1f}ms"
+                for name, seconds in self.phases.items()]
+
+    def render(self) -> str:
+        """Human-readable profile block for CLI ``--profile`` output."""
+        if not self.phases:
+            return "no phases recorded"
+        width = max(len(name) for name in self.phases)
+        total = self.total or 1.0
+        lines = []
+        for name, seconds in self.phases.items():
+            share = 100.0 * seconds / total
+            lines.append(f"{name.ljust(width)}  {seconds * 1000:9.1f}ms"
+                         f"  {share:5.1f}%")
+        lines.append(f"{'total'.ljust(width)}  {self.total * 1000:9.1f}ms")
+        return "\n".join(lines)
+
+
+def bench_payload(**extra) -> dict:
+    """Common envelope for BENCH_*.json dumps (environment + payload)."""
+    payload = {
+        "schema": "repro-bench-v1",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+    payload.update(extra)
+    return payload
+
+
+def write_bench_json(path: str | Path, payload: dict) -> Path:
+    """Write a benchmark payload as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

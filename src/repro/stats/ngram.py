@@ -61,12 +61,18 @@ class NgramModel:
         self.bigram_context: Counter[str] = Counter()
         self.trigram_context: Counter[tuple[str, str]] = Counter()
         self.total = 0
+        # (token, context) -> log-prob memo.  Scoring a section queries
+        # the same few thousand pairs hundreds of thousands of times
+        # (overlapping fall-through chains), so this is a hot cache; it
+        # is invalidated whenever counts change.
+        self._log_prob_cache: dict[tuple[str, tuple[str, str]], float] = {}
 
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
 
     def train(self, sequences: Iterable[list[str]]) -> None:
+        self._log_prob_cache.clear()
         for sequence in sequences:
             padded = [START, START] + list(sequence) + [END]
             for i in range(2, len(padded)):
@@ -87,7 +93,11 @@ class NgramModel:
     # ------------------------------------------------------------------
 
     def log_prob(self, token: str, context: tuple[str, str]) -> float:
-        """log P(token | context) under the interpolated model."""
+        """log P(token | context) under the interpolated model (memoized)."""
+        key = (token, context)
+        cached = self._log_prob_cache.get(key)
+        if cached is not None:
+            return cached
         w3, w2, w1, w0 = self.weights
         t1, t2 = context
         p = w0 / self.vocabulary_size
@@ -99,7 +109,9 @@ class NgramModel:
         c3 = self.trigram_context.get((t1, t2), 0)
         if c3:
             p += w3 * self.trigrams.get((t1, t2, token), 0) / c3
-        return math.log(p)
+        result = math.log(p)
+        self._log_prob_cache[key] = result
+        return result
 
     def score_sequence(self, tokens: list[str]) -> float:
         """Total log-probability of a token sequence (without END)."""

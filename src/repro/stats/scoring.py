@@ -10,12 +10,13 @@ large negative values say *data*.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..superset.superset import Superset
-from .datamodel import DataByteModel, find_ascii_runs
+from .datamodel import AsciiRun, DataByteModel, find_ascii_runs
 from .ngram import NgramModel, START, token_of
 
 #: Score assigned to offsets with no valid candidate at all.
@@ -24,6 +25,18 @@ UNDECODABLE_SCORE = -10.0
 #: Per-byte penalty applied inside NUL-terminated printable runs: a
 #: C-string-shaped region is data no matter how well it decodes.
 ASCII_PENALTY = 3.0
+
+
+@functools.lru_cache(maxsize=16)
+def terminated_ascii_runs(text: bytes) -> tuple[AsciiRun, ...]:
+    """NUL-terminated printable runs of ``text`` (cached per section).
+
+    Both :meth:`StatisticalScorer.score_offset` and
+    :meth:`StatisticalScorer.score_all` consult these runs; scanning the
+    whole section again for every scored offset would make per-offset
+    scoring O(n^2), so the scan happens once per distinct text.
+    """
+    return tuple(run for run in find_ascii_runs(text) if run.terminated)
 
 
 @dataclass
@@ -43,8 +56,8 @@ class StatisticalScorer:
         code_lp = self.code_model.score_instructions(chain)
         data_lp = self.data_model.log_prob(superset.text[offset:offset + span])
         score = (code_lp - data_lp) / span
-        for run in find_ascii_runs(superset.text):
-            if run.terminated and run.start <= offset < run.end:
+        for run in terminated_ascii_runs(superset.text):
+            if run.start <= offset < run.end:
                 score -= ASCII_PENALTY
                 break
         return score
@@ -65,9 +78,8 @@ class StatisticalScorer:
         data_prefix = np.concatenate(([0.0], np.cumsum(data_lp_byte)))
 
         ascii_penalty = np.zeros(size)
-        for run in find_ascii_runs(superset.text):
-            if run.terminated:
-                ascii_penalty[run.start:run.end] = ASCII_PENALTY
+        for run in terminated_ascii_runs(superset.text):
+            ascii_penalty[run.start:run.end] = ASCII_PENALTY
 
         scores = np.full(size, UNDECODABLE_SCORE)
         for offset in superset.valid_offsets:

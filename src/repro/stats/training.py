@@ -19,6 +19,9 @@ from .ngram import NgramModel, token_of
 #: Seeds reserved for training binaries (evaluation uses small seeds).
 TRAINING_SEEDS = (90001, 90002, 90003)
 
+#: Function count per training binary of the standard corpus.
+TRAINING_FUNCTIONS = 40
+
 
 @dataclass
 class Models:
@@ -67,12 +70,43 @@ def train_models(cases: list[TestCase]) -> Models:
     return Models(code=code, data=data)
 
 
+def default_training_key() -> str:
+    """Disk-cache key of the standard training configuration."""
+    from .cache import training_key
+
+    return training_key(TRAINING_SEEDS, TRAINING_FUNCTIONS,
+                        NgramModel().weights,
+                        DataByteModel.UNIFORM_WEIGHT)
+
+
 @functools.lru_cache(maxsize=1)
 def default_models() -> Models:
-    """Models trained on the standard training corpus (cached)."""
+    """Models trained on the standard training corpus.
+
+    Cached twice over: in-process via ``lru_cache``, and on disk (see
+    :mod:`repro.stats.cache`) so fresh processes -- in particular the
+    workers of the parallel evaluation driver -- load in milliseconds
+    instead of regenerating the training corpus.
+    """
+    from . import cache
+
+    key = default_training_key()
+    use_disk = not cache.cache_disabled()
+    if use_disk:
+        loaded = cache.load_models(key)
+        if loaded is not None:
+            return Models(code=loaded[0], data=loaded[1])
+
     # Imported here to avoid a package cycle (synth does not depend on
     # stats, but stats' default training data comes from synth).
     from ..synth.corpus import generate_corpus
 
-    cases = generate_corpus(seeds=TRAINING_SEEDS, function_count=40)
-    return train_models(cases)
+    cases = generate_corpus(seeds=TRAINING_SEEDS,
+                            function_count=TRAINING_FUNCTIONS)
+    models = train_models(cases)
+    if use_disk:
+        try:
+            cache.save_models(key, models.code, models.data)
+        except OSError:
+            pass   # read-only cache dir: still usable, just untrained-cached
+    return models

@@ -9,12 +9,42 @@ the paper's approach.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import functools
+from dataclasses import dataclass, replace
 from functools import cached_property
 
 from ..isa.decoder import try_decode
 from ..isa.instruction import Instruction
 from ..isa.opcodes import FlowKind
+from ..isa.operands import MemOp, RelOp
+from ..isa.tables import MAX_INSTRUCTION_LENGTH
+
+#: Identical bytes that must remain ahead of an offset before its decode
+#: is guaranteed byte-for-byte identical (shifted) to the next offset's.
+#: The decoder never commits to a result after reading more than
+#: MAX_INSTRUCTION_LENGTH + a bounded overrun of prefix/immediate bytes,
+#: so doubling the architectural limit is a safely conservative window.
+_RUN_FAST_WINDOW = 2 * MAX_INSTRUCTION_LENGTH + 2
+
+
+def _shifted(ins: Instruction, delta: int) -> Instruction:
+    """The same encoding decoded ``delta`` bytes away: every absolute
+    position (offset, branch targets, RIP-relative targets) moves by
+    ``delta``; everything else is unchanged."""
+    operands = []
+    changed = False
+    for op in ins.operands:
+        if isinstance(op, RelOp):
+            operands.append(RelOp(op.target + delta))
+            changed = True
+        elif isinstance(op, MemOp) and op.rip_relative \
+                and op.target is not None:
+            operands.append(replace(op, target=op.target + delta))
+            changed = True
+        else:
+            operands.append(op)
+    return replace(ins, offset=ins.offset + delta,
+                   operands=tuple(operands) if changed else ins.operands)
 
 
 @dataclass
@@ -26,10 +56,27 @@ class Superset:
 
     @classmethod
     def build(cls, text: bytes) -> "Superset":
-        """Decode a candidate at every offset (None where decoding fails)."""
-        return cls(text=text,
-                   instructions=[try_decode(text, o)
-                                 for o in range(len(text))])
+        """Decode a candidate at every offset (None where decoding fails).
+
+        Long repeated-byte runs (alignment padding, NUL regions) take a
+        fast path: deep inside such a run every offset sees an identical
+        byte window, so its candidate is the next offset's candidate
+        shifted by one byte -- no repeated decoding.  Building right to
+        left makes that a single backward sweep.
+        """
+        n = len(text)
+        instructions: list[Instruction | None] = [None] * n
+        run = 0   # identical bytes starting at the current offset
+        for offset in range(n - 1, -1, -1):
+            run = (run + 1 if offset + 1 < n
+                   and text[offset] == text[offset + 1] else 1)
+            if run > _RUN_FAST_WINDOW:
+                prototype = instructions[offset + 1]
+                instructions[offset] = (None if prototype is None
+                                        else _shifted(prototype, -1))
+            else:
+                instructions[offset] = try_decode(text, offset)
+        return cls(text=text, instructions=instructions)
 
     def __len__(self) -> int:
         return len(self.text)
@@ -120,6 +167,21 @@ class Superset:
                 counts[target] = counts.get(target, 0) + 1
         return counts
 
+    @cached_property
+    def _fallthrough_next(self) -> list[int]:
+        """Per-offset fall-through successor (-1 where execution stops).
+
+        Chain walks are the hottest inner loop of both scoring passes;
+        precomputing the next-offset array once removes the per-step
+        property lookups (``falls_through`` tests enum membership) that
+        otherwise dominate.
+        """
+        nxt = [-1] * len(self.instructions)
+        for offset, ins in enumerate(self.instructions):
+            if ins is not None and ins.falls_through:
+                nxt[offset] = ins.end
+        return nxt
+
     def fallthrough_chain(self, offset: int, limit: int) -> list[Instruction]:
         """Up to ``limit`` candidates following only fall-through edges.
 
@@ -128,15 +190,16 @@ class Superset:
         scoring, both of which examine a bounded execution window.
         """
         chain: list[Instruction] = []
+        instructions = self.instructions
+        nxt = self._fallthrough_next
+        size = len(instructions)
         current = offset
-        while len(chain) < limit:
-            ins = self.at(current)
+        while 0 <= current < size and len(chain) < limit:
+            ins = instructions[current]
             if ins is None:
                 break
             chain.append(ins)
-            if not ins.falls_through:
-                break
-            current = ins.end
+            current = nxt[current]
         return chain
 
     def occluded_by(self, offset: int) -> list[int]:
@@ -145,3 +208,16 @@ class Superset:
         if ins is None:
             return []
         return list(range(offset + 1, min(ins.end, len(self.text))))
+
+
+@functools.lru_cache(maxsize=4)
+def cached_superset(text: bytes) -> Superset:
+    """A process-wide :meth:`Superset.build` cache keyed by section bytes.
+
+    Evaluating a corpus runs several tools over the *same* text section,
+    and superset construction is the single most expensive step each of
+    them shares.  Consumers treat the superset as read-only, so handing
+    every tool the same instance is safe.  The small LRU bound keeps at
+    most a few sections' candidate lists alive.
+    """
+    return Superset.build(text)

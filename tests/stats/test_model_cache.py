@@ -1,0 +1,117 @@
+"""Tests for the on-disk model cache (`repro.stats.cache`)."""
+
+import json
+
+import pytest
+
+from repro.stats import cache
+from repro.stats.datamodel import DataByteModel
+from repro.stats.ngram import NgramModel, START
+from repro.stats.training import default_models, default_training_key
+
+
+@pytest.fixture
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_MODEL_CACHE", raising=False)
+    return tmp_path
+
+
+def small_models() -> tuple[NgramModel, DataByteModel]:
+    code = NgramModel()
+    code.train([["push:r64", "mov:r64r64", "sub:r64i"],
+                ["push:r64", "ret:"]])
+    data = DataByteModel()
+    data.train([bytes(16), b"hello world\x00"])
+    return code, data
+
+
+class TestRoundTrip:
+    def test_save_then_load_is_exact(self, tmp_cache):
+        code, data = small_models()
+        cache.save_models("k1", code, data)
+        loaded = cache.load_models("k1")
+        assert loaded is not None
+        loaded_code, loaded_data = loaded
+        assert loaded_code.weights == code.weights
+        assert loaded_code.total == code.total
+        assert dict(loaded_code.unigrams) == dict(code.unigrams)
+        assert dict(loaded_code.bigrams) == dict(code.bigrams)
+        assert dict(loaded_code.trigrams) == dict(code.trigrams)
+        assert dict(loaded_code.bigram_context) == dict(code.bigram_context)
+        assert (dict(loaded_code.trigram_context)
+                == dict(code.trigram_context))
+        assert loaded_data.counts == data.counts
+        assert loaded_data.total == data.total
+
+    def test_loaded_model_scores_identically(self, tmp_cache):
+        code, data = small_models()
+        cache.save_models("k2", code, data)
+        loaded_code, loaded_data = cache.load_models("k2")
+        queries = [("push:r64", (START, START)),
+                   ("mov:r64r64", (START, "push:r64")),
+                   ("never-seen:", ("push:r64", "mov:r64r64"))]
+        for token, context in queries:
+            assert loaded_code.log_prob(token, context) \
+                == code.log_prob(token, context)
+        assert loaded_data.log_prob(b"\x00hello") == data.log_prob(b"\x00hello")
+
+
+class TestMissAndCorruption:
+    def test_missing_key_is_a_miss(self, tmp_cache):
+        assert cache.load_models("nope") is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_cache):
+        cache.model_path("bad").parent.mkdir(parents=True, exist_ok=True)
+        cache.model_path("bad").write_text("{not json")
+        assert cache.load_models("bad") is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_cache):
+        code, data = small_models()
+        path = cache.save_models("old", code, data)
+        raw = json.loads(path.read_text())
+        raw["version"] = -1
+        path.write_text(json.dumps(raw))
+        assert cache.load_models("old") is None
+
+    def test_cache_disabled_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_MODEL_CACHE", "1")
+        assert cache.cache_disabled()
+        monkeypatch.setenv("REPRO_NO_MODEL_CACHE", "0")
+        assert not cache.cache_disabled()
+
+
+class TestTrainingKey:
+    def test_key_is_stable(self):
+        a = cache.training_key((1, 2), 40, (0.5, 0.3, 0.19, 0.01), 0.5)
+        b = cache.training_key((1, 2), 40, (0.5, 0.3, 0.19, 0.01), 0.5)
+        assert a == b
+
+    def test_key_depends_on_config(self):
+        a = cache.training_key((1, 2), 40, (0.5, 0.3, 0.19, 0.01), 0.5)
+        b = cache.training_key((1, 3), 40, (0.5, 0.3, 0.19, 0.01), 0.5)
+        c = cache.training_key((1, 2), 41, (0.5, 0.3, 0.19, 0.01), 0.5)
+        assert len({a, b, c}) == 3
+
+
+class TestDefaultModels:
+    def test_default_models_round_trip_through_disk(self, tmp_cache):
+        default_models.cache_clear()
+        try:
+            trained = default_models()          # trains, writes the cache
+            key = default_training_key()
+            assert cache.model_path(key).exists()
+            loaded = cache.load_models(key)
+            assert loaded is not None
+            code, data = loaded
+            assert dict(code.unigrams) == dict(trained.code.unigrams)
+            assert dict(code.trigrams) == dict(trained.code.trigrams)
+            assert data.counts == trained.data.counts
+
+            default_models.cache_clear()
+            reloaded = default_models()         # must hit the disk cache
+            assert (dict(reloaded.code.trigrams)
+                    == dict(trained.code.trigrams))
+            assert reloaded.data.total == trained.data.total
+        finally:
+            default_models.cache_clear()

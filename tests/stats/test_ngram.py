@@ -117,3 +117,21 @@ class TestOnRealCode:
         assert data_scores, "test binary has no data regions"
         mean = lambda xs: sum(xs) / len(xs)
         assert mean(code_scores) > mean(data_scores) + 1.0
+
+
+class TestMemoization:
+    def test_log_prob_is_cached(self):
+        model = NgramModel()
+        model.train([["a", "b", "c"]])
+        first = model.log_prob("b", (START, "a"))
+        assert model._log_prob_cache[("b", (START, "a"))] == first
+        assert model.log_prob("b", (START, "a")) == first
+
+    def test_training_invalidates_cache(self):
+        model = NgramModel()
+        model.train([["a", "b"]])
+        before = model.log_prob("b", (START, "a"))
+        model.train([["a", "c"], ["a", "c"]])
+        assert not model._log_prob_cache
+        after = model.log_prob("b", (START, "a"))
+        assert after < before    # "b" after "a" is now relatively rarer

@@ -42,3 +42,27 @@ class TestScoreAll:
         superset = Superset.build(b"\x90" * 8 + b"\xc3")
         value = short.score_offset(superset, 0)
         assert np.isfinite(value)
+
+class TestAsciiRunCaching:
+    def test_ascii_scan_runs_once_per_section(self, models):
+        """score_offset must not rescan the section for ASCII runs on
+        every call (that made per-offset scoring O(n^2))."""
+        from repro.stats.scoring import terminated_ascii_runs
+
+        scorer = StatisticalScorer(models.code, models.data)
+        text = b"\x90" * 64 + b"a string literal!\x00" + b"\xc3"
+        superset = Superset.build(text)
+        terminated_ascii_runs.cache_clear()
+        for offset in range(32):
+            scorer.score_offset(superset, offset)
+        info = terminated_ascii_runs.cache_info()
+        assert info.misses == 1
+        assert info.hits >= 31
+
+    def test_penalty_still_applied_inside_terminated_run(self, models):
+        scorer = StatisticalScorer(models.code, models.data)
+        text = b"PLAIN ASCII TEXT HERE\x00" + b"\x90" * 8 + b"\xc3"
+        superset = Superset.build(text)
+        inside = scorer.score_offset(superset, 2)
+        scores = scorer.score_all(superset)
+        assert np.isclose(scores[2], inside)

@@ -117,3 +117,42 @@ class TestChains:
         a.mov_ri(RAX, 1, width=32)    # 5 bytes at offset 0
         superset = Superset.build(a.finish() + b"\x90")
         assert superset.occluded_by(0) == [1, 2, 3, 4]
+
+
+class TestRepeatedRunFastPath:
+    """Long identical-byte runs must decode exactly like the naive path."""
+
+    def naive(self, text: bytes):
+        from repro.isa.decoder import try_decode
+        return [try_decode(text, o) for o in range(len(text))]
+
+    def assert_equivalent(self, text: bytes):
+        assert Superset.build(text).instructions == self.naive(text)
+
+    def test_long_nul_run(self):
+        self.assert_equivalent(b"\x90" * 4 + b"\x00" * 100 + b"\xc3")
+
+    def test_long_int3_padding_run(self):
+        self.assert_equivalent(b"\xc3" + b"\xcc" * 80 + b"\x90\xc3")
+
+    def test_long_nop_run(self):
+        self.assert_equivalent(b"\x90" * 200)
+
+    def test_relative_branch_run_shifts_targets(self):
+        # 0xEB decodes as jmp rel8: every offset in the run has a
+        # *different* absolute target, which the fast path must shift.
+        text = b"\xeb" * 64 + b"\x90" * 64
+        superset = Superset.build(text)
+        naive = self.naive(text)
+        assert superset.instructions == naive
+        targets = [ins.branch_target for ins in superset.instructions[:40]]
+        assert targets == [o + 2 - 0x15 for o in range(40)]
+
+    def test_run_at_end_of_text(self):
+        self.assert_equivalent(b"\xc3" + b"\x00" * 60)
+
+    def test_run_at_start_of_text(self):
+        self.assert_equivalent(b"\xcc" * 60 + b"\xc3")
+
+    def test_short_runs_take_slow_path_and_agree(self):
+        self.assert_equivalent(b"\x00" * 16 + b"\xcc" * 16 + b"\x90" * 16)

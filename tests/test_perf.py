@@ -1,0 +1,97 @@
+"""Tests for phase-timing instrumentation, plus the perf smoke test."""
+
+import json
+import time
+
+from repro.core.disassembler import Disassembler
+from repro.perf import PhaseTimings, bench_payload, write_bench_json
+from repro.synth import BinarySpec, MSVC_LIKE, generate_binary
+
+#: Phases disassemble_rich must always report, in pipeline order.
+PIPELINE_PHASES = ("superset", "behavior", "scoring", "tables",
+                   "correction", "gaps", "functions")
+
+#: Generous wall-clock bound for disassembling a mid-size binary; the
+#: real cost is well under a tenth of this on any modern machine, so a
+#: failure means a genuine performance regression, not a slow runner.
+SMOKE_BUDGET_SECONDS = 90.0
+
+
+class TestPhaseTimings:
+    def test_phase_records_elapsed_time(self):
+        timings = PhaseTimings()
+        with timings.phase("work"):
+            time.sleep(0.01)
+        assert timings.phases["work"] >= 0.01
+
+    def test_reentered_phase_accumulates(self):
+        timings = PhaseTimings()
+        for _ in range(3):
+            with timings.phase("loop"):
+                pass
+        assert list(timings.phases) == ["loop"]
+        assert timings.phases["loop"] >= 0.0
+
+    def test_phase_records_on_exception(self):
+        timings = PhaseTimings()
+        try:
+            with timings.phase("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "boom" in timings.phases
+
+    def test_as_dict_includes_total(self):
+        timings = PhaseTimings()
+        timings.add("a", 1.0)
+        timings.add("b", 2.0)
+        assert timings.as_dict() == {"a": 1.0, "b": 2.0, "total": 3.0}
+
+    def test_render_and_log_lines(self):
+        timings = PhaseTimings()
+        timings.add("superset", 0.5)
+        rendered = timings.render()
+        assert "superset" in rendered and "total" in rendered
+        assert timings.log_lines() == ["phase superset: 500.0ms"]
+
+    def test_empty_render(self):
+        assert PhaseTimings().render() == "no phases recorded"
+
+
+class TestBenchJson:
+    def test_write_bench_json_round_trips(self, tmp_path):
+        payload = bench_payload(kind="unit-test", numbers={"x": 1.5})
+        path = write_bench_json(tmp_path / "sub" / "BENCH_test.json",
+                                payload)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "repro-bench-v1"
+        assert loaded["kind"] == "unit-test"
+        assert loaded["numbers"] == {"x": 1.5}
+        assert loaded["cpu_count"] >= 1
+
+
+class TestPerfSmoke:
+    def test_midsize_binary_within_budget_with_full_phase_report(
+            self, disassembler):
+        case = generate_binary(BinarySpec(name="perf-smoke",
+                                          style=MSVC_LIKE,
+                                          function_count=30, seed=11))
+        started = time.perf_counter()
+        rich = disassembler.disassemble_rich(case)
+        elapsed = time.perf_counter() - started
+
+        assert elapsed < SMOKE_BUDGET_SECONDS, (
+            f"disassembly took {elapsed:.1f}s -- performance regression")
+        for phase in PIPELINE_PHASES:
+            assert phase in rich.timings.phases, f"missing phase {phase}"
+            assert rich.timings.phases[phase] >= 0.0
+        assert rich.timings.total <= elapsed
+        # Timings are surfaced through the engine log as well.
+        logged = [line for line in rich.log if line.startswith("phase ")]
+        assert len(logged) == len(PIPELINE_PHASES)
+
+    def test_disassembly_intermediates_still_exposed(self, disassembler,
+                                                     msvc_case):
+        rich = disassembler.disassemble_rich(msvc_case)
+        assert isinstance(rich.resolved_tables, list)
+        assert rich.result.instructions
