@@ -8,6 +8,7 @@ structure a binary-rewriting client would use).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -47,8 +48,12 @@ class ControlFlowGraph:
     def predecessors(self, start: int) -> list[int]:
         return sorted(self.graph.predecessors(start))
 
-    def reachable_from(self, roots: list[int]) -> set[int]:
-        """Block starts reachable from any root (intraprocedural edges)."""
+    def reachable_from(self, roots: Iterable[int]) -> set[int]:
+        """Block starts reachable from any root (intraprocedural edges).
+
+        ``roots`` may be any iterable of offsets (list, set, generator);
+        offsets that are not block starts are ignored.
+        """
         seen: set[int] = set()
         stack = [r for r in roots if r in self.blocks]
         while stack:

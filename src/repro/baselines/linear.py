@@ -21,7 +21,7 @@ if TYPE_CHECKING:
 
 
 def linear_sweep(text: bytes, entry: int = 0, *,
-                 superset: "Superset | None" = None) -> DisassemblyResult:
+                 superset: Superset | None = None) -> DisassemblyResult:
     """Disassemble by linear sweep from offset 0.
 
     An already-built superset of ``text`` may be passed to reuse its

@@ -23,7 +23,7 @@ if TYPE_CHECKING:
 def recursive_descent(text: bytes, entry: int = 0,
                       extra_entries: tuple[int, ...] = (),
                       tool_name: str = "recursive-descent", *,
-                      superset: "Superset | None" = None
+                      superset: Superset | None = None
                       ) -> DisassemblyResult:
     """Disassemble by recursive traversal from the entry point(s).
 

@@ -24,11 +24,11 @@ class MemoryImage:
     sections: list[Section]
 
     @classmethod
-    def from_binary(cls, binary: Binary) -> "MemoryImage":
+    def from_binary(cls, binary: Binary) -> MemoryImage:
         return cls(sections=list(binary.sections))
 
     @classmethod
-    def from_text(cls, text: bytes) -> "MemoryImage":
+    def from_text(cls, text: bytes) -> MemoryImage:
         """An image holding only a text section at address 0."""
         return cls(sections=[Section(".text", 0, text, executable=True)])
 

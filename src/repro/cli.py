@@ -17,6 +17,7 @@ from pathlib import Path
 
 from .binary.container import Binary
 from .binary.loader import TestCase
+from .core.config import DisassemblerConfig
 from .core.disassembler import Disassembler
 from .eval.metrics import evaluate
 from .listing import classify_data_regions, render_listing
@@ -63,6 +64,43 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
             print(f"data {start:#08x}-{end:#08x}  {end - start:5d} bytes  "
                   f"{kind}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (DEFAULT_REGISTRY, LintConfig, Severity,
+                       lint_disassembly)
+
+    if args.list_rules:
+        for rule in DEFAULT_REGISTRY:
+            print(f"{rule.id:28s} {rule.severity.name.lower():8s} "
+                  f"{rule.description}")
+        return 0
+
+    if args.binary is None:
+        print("lint: a binary is required unless --list-rules is given",
+              file=sys.stderr)
+        return 2
+    binary = _load_binary(Path(args.binary))
+    config = DisassemblerConfig(use_lint_feedback=args.feedback)
+    disassembler = Disassembler(config=config)
+    result = disassembler.disassemble(binary)
+    try:
+        lint_config = LintConfig(disabled=tuple(args.disable or ()))
+        report = lint_disassembly(result, binary.text.data,
+                                  config=lint_config)
+    except KeyError as error:
+        print(f"unknown rule: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(report.to_json(indent=2))
+    else:
+        print(report.render_text())
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.parse(args.fail_on)
+    return 1 if report.at_least(threshold) else 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -139,6 +177,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print per-phase wall-clock timings")
     disasm.set_defaults(func=_cmd_disasm)
 
+    lint = sub.add_parser(
+        "lint", help="verify a disassembly without ground truth")
+    lint.add_argument("binary", nargs="?",
+                      help="path to a .bin container")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="diagnostic output format")
+    lint.add_argument("--fail-on", default="error",
+                      choices=("error", "warning", "info", "never"),
+                      help="exit 1 if any diagnostic reaches this "
+                           "severity (default: error)")
+    lint.add_argument("--disable", action="append", metavar="RULE",
+                      help="disable a rule by id (repeatable)")
+    lint.add_argument("--feedback", action="store_true",
+                      help="enable the lint-feedback correction round "
+                           "before linting")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list available rules and exit")
+    lint.set_defaults(func=_cmd_lint)
+
     evaluate_cmd = sub.add_parser(
         "evaluate", help="score the disassembler against ground truth")
     evaluate_cmd.add_argument("case", help="path prefix of .bin/.gt.json")
@@ -156,7 +213,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments",
                                  help="run evaluation experiments")
     experiments.add_argument("ids", nargs="+",
-                             help="experiment ids (t1..t5, f1..f4, v1, all)")
+                             help="experiment ids (t1..t5, f1..f4, v1, "
+                                  "l1, all)")
     experiments.add_argument("--jobs", type=int, default=None, metavar="N",
                              help="parallel worker processes "
                                   "(0 = one per CPU)")

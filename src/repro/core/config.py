@@ -40,12 +40,18 @@ class DisassemblerConfig:
         min_padding_run: minimum padding-run length treated as
             structural padding evidence.
         alignment: function alignment assumed for prologue scanning.
+        use_lint_feedback: run the oracle-free verifier
+            (:mod:`repro.lint`) over the first-pass result and feed its
+            actionable diagnostics back through the correction engine
+            as structural evidence.  Off by default so published
+            evaluation tables are unchanged.
     """
 
     use_statistics: bool = True
     use_behavior: bool = True
     use_prioritized_correction: bool = True
     use_table_resolution: bool = True
+    use_lint_feedback: bool = False
     code_threshold: float = 0.0
     behavior_veto: float = 0.0
     stat_weight: float = 1.0

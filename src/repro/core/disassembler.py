@@ -126,30 +126,15 @@ class Disassembler:
             engine.complete_gaps()
 
         with timings.phase("functions"):
-            state = engine.state
-            instructions = {offset: superset.at(offset).length
-                            for offset in state.instruction_starts()}
-            # Resolved pointer tables point at functions by construction;
-            # statistically detected 8-byte tables may be jump *or* pointer
-            # tables, so their targets must additionally look like openings.
-            pointer_targets = frozenset(
-                t for table in engine.resolved_tables for t in table.targets
-                if table.kind == "pointer")
-            pointer_targets |= frozenset(
-                t for table in tables for t in table.targets
-                if table.entry_size == 8
-                and prologue_score(superset, t) >= PROLOGUE_THRESHOLD)
-            functions = identify_functions(
-                superset, state, entry,
-                pointer_table_targets=pointer_targets,
-                alignment=config.alignment)
+            result = self._finalize(engine, superset, tables, entry)
 
-        result = DisassemblyResult(
-            tool="repro",
-            instructions=instructions,
-            data_regions=state.data_regions(),
-            function_entries={span.entry for span in functions},
-        )
+        # Optional oracle-free feedback round: lint our own claim and
+        # feed actionable diagnostics back as structural evidence.
+        if config.use_lint_feedback:
+            with timings.phase("lint-feedback"):
+                result = self._lint_refine(engine, superset, tables,
+                                           entry, result)
+
         engine.log.extend(timings.log_lines())
         return Disassembly(result=result, superset=superset, scores=scores,
                            tables=tables, log=engine.log,
@@ -158,6 +143,60 @@ class Disassembler:
                            timings=timings)
 
     # ------------------------------------------------------------------
+
+    def _finalize(self, engine: CorrectionEngine, superset: Superset,
+                  tables: list[TableCandidate],
+                  entry: int) -> DisassemblyResult:
+        """Build a :class:`DisassemblyResult` from the engine's state."""
+        state = engine.state
+        instructions = {offset: superset.at(offset).length
+                        for offset in state.instruction_starts()}
+        # Resolved pointer tables point at functions by construction;
+        # statistically detected 8-byte tables may be jump *or* pointer
+        # tables, so their targets must additionally look like openings.
+        pointer_targets = frozenset(
+            t for table in engine.resolved_tables for t in table.targets
+            if table.kind == "pointer")
+        pointer_targets |= frozenset(
+            t for table in tables for t in table.targets
+            if table.entry_size == 8
+            and prologue_score(superset, t) >= PROLOGUE_THRESHOLD)
+        functions = identify_functions(
+            superset, state, entry,
+            pointer_table_targets=pointer_targets,
+            alignment=self.config.alignment)
+        return DisassemblyResult(
+            tool="repro",
+            instructions=instructions,
+            data_regions=state.data_regions(),
+            function_entries={span.entry for span in functions},
+        )
+
+    def _lint_refine(self, engine: CorrectionEngine, superset: Superset,
+                     tables: list[TableCandidate], entry: int,
+                     result: DisassemblyResult) -> DisassemblyResult:
+        """One oracle-free feedback round.
+
+        Lints the first-pass result and converts actionable diagnostics
+        (regions shaped like data accepted as code, branch targets that
+        must be code) into structural evidence for the correction
+        engine, then rebuilds the result.  The engine's priority rules
+        still apply: lint evidence cannot displace anchored traces.
+        """
+        # Imported lazily: repro.lint imports core types, so a module-
+        # level import here would create a cycle through core.__init__.
+        from ..lint import diagnostics_to_evidence, lint_disassembly
+        report = lint_disassembly(result, superset)
+        evidence = diagnostics_to_evidence(report)
+        engine.log.append(f"lint-feedback: {len(report.diagnostics)} "
+                          f"diagnostics, {len(evidence)} actionable")
+        if not evidence:
+            return result
+        for item in evidence:
+            engine.push(item)
+        engine.drain()
+        engine.complete_gaps()
+        return self._finalize(engine, superset, tables, entry)
 
     def _combined_scores(self, superset: Superset,
                          behavior: np.ndarray | None) -> np.ndarray:

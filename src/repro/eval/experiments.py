@@ -34,7 +34,7 @@ from ..synth.corpus import BinarySpec, density_style, generate_binary
 from ..synth.styles import MSVC_LIKE, STYLES
 from .dataset import EVAL_SEEDS, characteristics, evaluation_corpus
 from .metrics import Evaluation, aggregate, evaluate
-from .parallel import (ToolSpec, baseline_spec, evaluate_tool,
+from .parallel import (ToolSpec, baseline_spec,
                        evaluate_tools, predict_pairs, repro_spec)
 from .report import Table
 
@@ -242,10 +242,11 @@ def run_f3(function_counts: tuple[int, ...] = (10, 20, 40, 80),
                                           function_count=count, seed=seed))
         row = {"functions": count, "text_bytes": len(case.text)}
         timers = {
-            "repro": lambda: disassembler.disassemble(case),
-            "linear-sweep": lambda: linear_sweep(case.text),
-            "rd-heuristic": lambda: heuristic_descent(case.text, 0),
-            "probabilistic": lambda: probabilistic_disassembly(case.text, 0),
+            "repro": lambda c=case: disassembler.disassemble(c),
+            "linear-sweep": lambda c=case: linear_sweep(c.text),
+            "rd-heuristic": lambda c=case: heuristic_descent(c.text, 0),
+            "probabilistic": lambda c=case: probabilistic_disassembly(
+                c.text, 0),
         }
         for name, thunk in timers.items():
             start = time.perf_counter()
@@ -326,9 +327,53 @@ def run_v1(cases: tuple[TestCase, ...] | None = None, *,
     return table
 
 
+def run_l1(cases: tuple[TestCase, ...] | None = None, *,
+           flips: int = 12, seed: int = 1,
+           jobs: int | None = None) -> Table:
+    """L1: oracle-free linter accuracy against injected errors.
+
+    For every corpus binary, the ground-truth disassembly is linted
+    (it must produce zero error-severity diagnostics), then corrupted
+    with ``flips`` injected misclassifications and linted again.
+    Recall counts injected flips overlapped by at least one ERROR
+    diagnostic; precision counts ERROR diagnostics overlapping some
+    flip.  Linting is cheap, so ``jobs`` is unused.
+    """
+    del jobs
+    from ..lint.evaluation import measure_case, pool
+
+    cases = cases or evaluation_corpus()
+    table = Table(
+        title="L1: Oracle-free linter accuracy (injected errors)",
+        columns=["binary", "perfect_errors", "injected", "detected",
+                 "recall", "error_diags", "precision"],
+    )
+    results = []
+    for case in cases:
+        accuracy = measure_case(case, flips=flips, seed=seed)
+        results.append(accuracy)
+        table.add(binary=accuracy.name,
+                  perfect_errors=accuracy.perfect_errors,
+                  injected=accuracy.injected,
+                  detected=accuracy.detected,
+                  recall=accuracy.recall,
+                  error_diags=accuracy.error_diagnostics,
+                  precision=accuracy.precision)
+    pooled = pool(results)
+    table.add(binary=pooled.name, perfect_errors=pooled.perfect_errors,
+              injected=pooled.injected, detected=pooled.detected,
+              recall=pooled.recall, error_diags=pooled.error_diagnostics,
+              precision=pooled.precision)
+    table.notes.append(
+        f"{flips} flips per binary (seed {seed}); perfect_errors is the "
+        f"soundness check: ERROR diagnostics on the ground-truth claim")
+    return table
+
+
 EXPERIMENTS = {
     "t1": run_t1, "t2": run_t2, "t3": run_t3, "t4": run_t4, "t5": run_t5,
     "f1": run_f1, "f2": run_f2, "f3": run_f3, "f4": run_f4, "v1": run_v1,
+    "l1": run_l1,
 }
 
 

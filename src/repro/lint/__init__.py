@@ -1,0 +1,34 @@
+"""Oracle-free disassembly verification (``repro.lint``).
+
+A static-analysis pass over a :class:`~repro.result.DisassemblyResult`
+that checks the structural invariants every correct disassembly must
+satisfy -- no ground truth required.  See DESIGN.md ("Oracle-free
+verification") for the invariant catalog and README for CLI usage.
+
+>>> from repro.lint import lint_disassembly
+>>> report = lint_disassembly(result, text)            # doctest: +SKIP
+>>> report.errors                                      # doctest: +SKIP
+"""
+
+from .context import ByteClaim, LintContext
+from .diagnostics import Diagnostic, LintReport, Severity
+from .engine import (DEFAULT_LINT_CONFIG, LintConfig, Linter,
+                     lint_disassembly)
+from .feedback import diagnostics_to_evidence
+from .registry import DEFAULT_REGISTRY, LintRule, RuleRegistry
+
+__all__ = [
+    "ByteClaim",
+    "DEFAULT_LINT_CONFIG",
+    "DEFAULT_REGISTRY",
+    "Diagnostic",
+    "LintConfig",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "Linter",
+    "RuleRegistry",
+    "Severity",
+    "diagnostics_to_evidence",
+    "lint_disassembly",
+]

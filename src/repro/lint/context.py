@@ -1,0 +1,209 @@
+"""Shared, precomputed state every lint rule reads.
+
+Rules need the same handful of views over a disassembly claim: a
+per-byte classification, the accepted instruction at or covering an
+offset, branch cross-references among accepted instructions, and the
+structural shapes (ASCII runs, padding runs, pointer-table candidates)
+of the raw bytes.  Computing them once here keeps each rule a short
+declarative check.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..analysis.cfg import ControlFlowGraph, build_cfg
+from ..isa.instruction import Instruction
+from ..isa.opcodes import FlowKind
+from ..result import DisassemblyResult
+from ..stats.datamodel import (AsciiRun, TableCandidate, find_ascii_runs,
+                               find_jump_tables, find_padding_runs)
+from ..superset.superset import Superset
+
+
+class ByteClaim(enum.IntEnum):
+    """What the disassembly result claims one byte is."""
+
+    UNCLAIMED = 0       # neither code nor data (typically padding)
+    CODE_START = 1
+    CODE_INTERIOR = 2
+    DATA = 3
+
+
+@dataclass
+class LintContext:
+    """One disassembly claim plus the derived views the rules consume."""
+
+    result: DisassemblyResult
+    superset: Superset
+    text: bytes
+
+    @classmethod
+    def build(cls, result: DisassemblyResult, superset: Superset
+              ) -> LintContext:
+        return cls(result=result, superset=superset, text=superset.text)
+
+    # ------------------------------------------------------------------
+    # Per-byte claims
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def claims(self) -> bytearray:
+        """Per-byte :class:`ByteClaim` values.
+
+        Data claims are written first so that a (bogus) overlap between
+        an accepted instruction and a data region surfaces as code bytes
+        for the cross-reference rules; the dedicated overlap rule
+        reports the conflict itself from the raw result.
+        """
+        claims = bytearray(len(self.text))
+        for start, end in self.result.data_regions:
+            for i in range(max(start, 0), min(end, len(claims))):
+                claims[i] = ByteClaim.DATA
+        for start, length in self.result.instructions.items():
+            if not 0 <= start < len(claims):
+                continue
+            claims[start] = ByteClaim.CODE_START
+            for i in range(start + 1, min(start + length, len(claims))):
+                claims[i] = ByteClaim.CODE_INTERIOR
+        return claims
+
+    def claim_at(self, offset: int) -> ByteClaim:
+        if 0 <= offset < len(self.claims):
+            return ByteClaim(self.claims[offset])
+        return ByteClaim.UNCLAIMED
+
+    def is_accepted_start(self, offset: int) -> bool:
+        return self.claim_at(offset) == ByteClaim.CODE_START
+
+    def is_data(self, offset: int) -> bool:
+        return self.claim_at(offset) == ByteClaim.DATA
+
+    # ------------------------------------------------------------------
+    # Accepted instructions
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def sorted_starts(self) -> list[int]:
+        return sorted(self.result.instructions)
+
+    @cached_property
+    def accepted(self) -> dict[int, Instruction]:
+        """Accepted starts that decode, mapped to their instructions."""
+        accepted = {}
+        for start in self.sorted_starts:
+            instruction = self.superset.at(start)
+            if instruction is not None:
+                accepted[start] = instruction
+        return accepted
+
+    @cached_property
+    def covering_start(self) -> dict[int, int]:
+        """Every claimed code byte -> the accepted start covering it."""
+        covering = {}
+        for start, length in self.result.instructions.items():
+            for i in range(start, min(start + length, len(self.text))):
+                covering[i] = start
+        return covering
+
+    @cached_property
+    def data_region_at(self) -> dict[int, tuple[int, int]]:
+        """Every claimed data byte -> its maximal [start, end) region."""
+        regions = {}
+        for start, end in self.result.data_regions:
+            for i in range(max(start, 0), min(end, len(self.text))):
+                regions[i] = (start, end)
+        return regions
+
+    # ------------------------------------------------------------------
+    # Cross-references among accepted instructions
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def branch_sites(self) -> list[tuple[int, Instruction, int]]:
+        """(site, instruction, target) for accepted direct jumps/calls."""
+        sites = []
+        for start, ins in self.accepted.items():
+            if not ins.is_direct_branch:
+                continue
+            target = ins.branch_target
+            if target is not None:
+                sites.append((start, ins, target))
+        return sites
+
+    @cached_property
+    def referenced_targets(self) -> set[int]:
+        """Offsets referenced by accepted code or claimed structure.
+
+        Union of direct branch/call targets, RIP-relative references,
+        claimed function entries, and the targets of pointer-table
+        candidates found in claimed data bytes.  Used by the orphan rule
+        as "has any incoming reference".
+        """
+        referenced: set[int] = set()
+        for _, _, target in self.branch_sites:
+            referenced.add(target)
+        for start, ins in self.accepted.items():
+            rip_target = ins.rip_target
+            if rip_target is not None:
+                referenced.add(rip_target)
+        referenced |= self.result.function_entries
+        for table in self.data_table_candidates:
+            referenced.update(table.targets)
+        return referenced
+
+    # ------------------------------------------------------------------
+    # Structural shapes of the raw bytes
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def ascii_runs(self) -> list[AsciiRun]:
+        return find_ascii_runs(self.text)
+
+    @cached_property
+    def padding_runs(self) -> list[tuple[int, int]]:
+        return find_padding_runs(self.text, min_length=4,
+                                 padding_bytes=(0xCC, 0x00, 0x90))
+
+    @cached_property
+    def table_candidates(self) -> list[TableCandidate]:
+        """Aligned pointer-run candidates anywhere in the section."""
+        return find_jump_tables(self.text,
+                                is_plausible_target=self.superset.is_valid)
+
+    @cached_property
+    def data_table_candidates(self) -> list[TableCandidate]:
+        """Table candidates lying (mostly) in claimed data bytes."""
+        chosen = []
+        for table in self.table_candidates:
+            span = range(table.start, table.end)
+            data = sum(1 for i in span if self.is_data(i))
+            if 2 * data >= len(span):
+                chosen.append(table)
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Control-flow graph over the accepted set
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def cfg(self) -> ControlFlowGraph:
+        return build_cfg(self.superset, set(self.accepted))
+
+    # ------------------------------------------------------------------
+    # Flow helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def stops_execution(ins: Instruction) -> bool:
+        """Fall-through past ``ins`` is impossible or conventional.
+
+        CALL/ICALL fall-throughs are exempted because a noreturn callee
+        legitimately leaves data after the call site; TRAP (int3) never
+        proceeds; the NO_FALLTHROUGH kinds have no fall-through at all.
+        """
+        return (not ins.falls_through
+                or ins.flow in (FlowKind.CALL, FlowKind.ICALL,
+                                FlowKind.TRAP))

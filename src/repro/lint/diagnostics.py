@@ -1,0 +1,153 @@
+"""Structured diagnostics emitted by the oracle-free verifier.
+
+A :class:`Diagnostic` pins one invariant violation to a byte range of
+the text section; a :class:`LintReport` aggregates them with severity
+accounting and renders both the human text format and the stable JSON
+schema the CLI exposes (see README, "Linting a disassembly").
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How strongly a diagnostic indicates a real disassembly error.
+
+    ERROR diagnostics are sound on well-formed output: a correct
+    disassembly of a conventional binary never produces one.  WARNING
+    diagnostics are strong heuristics with known benign causes (e.g.
+    functions reachable only through out-of-section pointer tables look
+    like orphan code).  INFO records conventions worth surfacing but not
+    acting on.
+    """
+
+    INFO = 1
+    WARNING = 2
+    ERROR = 3
+
+    @classmethod
+    def parse(cls, name: str) -> Severity:
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity: {name!r}") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One invariant violation over [start, end) of the text section.
+
+    Attributes:
+        rule: identifier of the producing rule (stable, kebab-case).
+        severity: see :class:`Severity`.
+        start / end: byte range the violation is anchored to.
+        message: human explanation with concrete offsets.
+        suggestion: proposed reclassification of [start, end) --
+            ``"data"`` (accepted code that looks like data), ``"code"``
+            (classified data that must be code), or None when the
+            violation does not imply a unique fix.
+    """
+
+    rule: str
+    severity: Severity
+    start: int
+    end: int
+    message: str
+    suggestion: str | None = None
+
+    def overlaps(self, start: int, end: int) -> bool:
+        return self.start < end and start < self.end
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "start": self.start,
+            "end": self.end,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }
+
+
+@dataclass
+class LintReport:
+    """Every diagnostic one lint run produced, plus rendering helpers."""
+
+    tool: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Rules that actually ran (after enable/disable filtering).
+    rules_run: list[str] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def extend(self, diagnostics) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        by_name = {s.name.lower(): 0 for s in Severity}
+        for diagnostic in self.diagnostics:
+            by_name[diagnostic.severity.name.lower()] += 1
+        return by_name
+
+    def sorted(self) -> list[Diagnostic]:
+        """Severity-descending, then address-ascending."""
+        return sorted(self.diagnostics,
+                      key=lambda d: (-int(d.severity), d.start, d.rule))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render_text(self) -> str:
+        lines = []
+        for d in self.sorted():
+            suffix = f"  [suggest: {d.suggestion}]" if d.suggestion else ""
+            lines.append(f"{d.severity.name.lower():<7s} "
+                         f"{d.rule:<24s} {d.start:#08x}-{d.end:#08x}  "
+                         f"{d.message}{suffix}")
+        counts = self.counts()
+        lines.append(f"{len(self.diagnostics)} diagnostics "
+                     f"({counts['error']} errors, {counts['warning']} "
+                     f"warnings, {counts['info']} info)")
+        return "\n".join(lines)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps({
+            "tool": self.tool,
+            "rules_run": list(self.rules_run),
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> LintReport:
+        raw = json.loads(text)
+        report = cls(tool=raw["tool"], rules_run=list(raw["rules_run"]))
+        for item in raw["diagnostics"]:
+            report.diagnostics.append(Diagnostic(
+                rule=item["rule"],
+                severity=Severity.parse(item["severity"]),
+                start=item["start"], end=item["end"],
+                message=item["message"],
+                suggestion=item.get("suggestion")))
+        return report

@@ -1,0 +1,71 @@
+"""The lint driver: run a configured rule selection over one claim."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..result import DisassemblyResult
+from ..superset.superset import Superset, cached_superset
+from .context import LintContext
+from .diagnostics import LintReport, Severity
+from .registry import DEFAULT_REGISTRY, RuleRegistry
+
+# Importing the rule module attaches the built-in battery to
+# DEFAULT_REGISTRY exactly once.
+from . import rules as _builtin_rules  # noqa: F401  (import for effect)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """One lint run's rule selection.
+
+    Attributes:
+        enabled: rule ids to run (None = every registered rule).
+        disabled: rule ids removed from the selection.
+        severity_overrides: per-rule severity rebindings.
+    """
+
+    enabled: tuple[str, ...] | None = None
+    disabled: tuple[str, ...] = ()
+    severity_overrides: dict[str, Severity] = field(default_factory=dict)
+
+
+DEFAULT_LINT_CONFIG = LintConfig()
+
+
+class Linter:
+    """Runs a rule selection from a registry over disassembly claims."""
+
+    def __init__(self, registry: RuleRegistry | None = None,
+                 config: LintConfig = DEFAULT_LINT_CONFIG) -> None:
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.config = config
+
+    def run(self, context: LintContext) -> LintReport:
+        report = LintReport(tool=context.result.tool)
+        for rule in self.registry.select(
+                enabled=self.config.enabled,
+                disabled=self.config.disabled,
+                severity_overrides=self.config.severity_overrides):
+            report.rules_run.append(rule.id)
+            report.extend(rule.check(context, rule.severity))
+        return report
+
+    def lint(self, result: DisassemblyResult,
+             superset: Superset) -> LintReport:
+        return self.run(LintContext.build(result, superset))
+
+
+def lint_disassembly(result: DisassemblyResult,
+                     text: bytes | Superset, *,
+                     config: LintConfig = DEFAULT_LINT_CONFIG,
+                     registry: RuleRegistry | None = None) -> LintReport:
+    """Lint one disassembly claim against the oracle-free invariants.
+
+    ``text`` may be the raw section bytes (the superset is built or
+    fetched from the process-wide cache) or an already-built
+    :class:`Superset`.
+    """
+    superset = (text if isinstance(text, Superset)
+                else cached_superset(bytes(text)))
+    return Linter(registry=registry, config=config).lint(result, superset)

@@ -1,0 +1,245 @@
+"""Does the oracle-free signal find real errors?  (Experiment L1.)
+
+The linter is useful only if its diagnostics correlate with actual
+disassembly errors.  With synthetic ground truth we can measure that
+directly:
+
+1. Build the *perfect* disassembly of a corpus binary from its ground
+   truth.  The linter must stay silent at ERROR severity (soundness).
+2. Inject known misclassifications -- flip runs of ground-truth code
+   bytes to data and runs of data bytes to (decodable) code, the two
+   error classes every disassembler exhibits.
+3. Lint the corrupted claim.  Recall is the fraction of injected flips
+   overlapped by at least one ERROR diagnostic; precision is the
+   fraction of ERROR diagnostics overlapping some injected flip.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..binary.groundtruth import ByteKind, GroundTruth
+from ..binary.loader import TestCase
+from ..result import DisassemblyResult
+from ..superset.superset import cached_superset
+from .diagnostics import LintReport, Severity
+from .engine import lint_disassembly
+
+#: Minimum bytes one injected flip must change to count as an error.
+MIN_FLIP_BYTES = 6
+
+
+def perfect_result(truth: GroundTruth) -> DisassemblyResult:
+    """The ground-truth disassembly in result form.
+
+    Padding stays unclaimed (matching the metric convention that tools
+    are not judged on padding either way).
+    """
+    labels = truth.labels
+    instructions: dict[int, int] = {}
+    for start in sorted(truth.instruction_starts):
+        length = 1
+        while start + length < truth.size \
+                and labels[start + length] == ByteKind.INSN_INTERIOR:
+            length += 1
+        instructions[start] = length
+    return DisassemblyResult(
+        tool="ground-truth",
+        instructions=instructions,
+        data_regions=truth.data_regions(),
+        function_entries=set(truth.function_entries),
+    )
+
+
+@dataclass(frozen=True)
+class InjectedError:
+    """One deliberate misclassification written into a perfect claim."""
+
+    kind: str    # "code-to-data" | "data-to-code"
+    start: int
+    end: int
+
+    def overlapped_by(self, report_errors) -> bool:
+        return any(d.overlaps(self.start, self.end) for d in report_errors)
+
+
+def inject_errors(case: TestCase, result: DisassemblyResult, *,
+                  flips: int = 12, seed: int = 0
+                  ) -> tuple[DisassemblyResult, list[InjectedError]]:
+    """Corrupt a perfect claim with ``flips`` known misclassifications.
+
+    Alternates the two error directions.  Flips never overlap each
+    other; a data-to-code flip only happens where the data actually
+    decodes (a real disassembler cannot claim undecodable bytes).
+    """
+    rng = random.Random(seed)
+    instructions = dict(result.instructions)
+    data_regions = sorted(result.data_regions)
+    injected: list[InjectedError] = []
+    touched: set[int] = set()
+
+    def free(start: int, end: int) -> bool:
+        return not any(i in touched for i in range(start, end))
+
+    starts = sorted(instructions)
+    superset = cached_superset(case.text)
+
+    code_budget = (flips + 1) // 2
+    attempts = 0
+    while code_budget and attempts < 40 * flips:
+        attempts += 1
+        flip = _flip_code_to_data(rng, starts, instructions)
+        if flip is None or not free(*flip):
+            continue
+        start, end = flip
+        for offset in list(instructions):
+            if start <= offset < end:
+                del instructions[offset]
+        data_regions.append((start, end))
+        touched.update(range(start, end))
+        injected.append(InjectedError("code-to-data", start, end))
+        code_budget -= 1
+
+    data_budget = flips - len(injected)
+    attempts = 0
+    while data_budget and attempts < 40 * flips:
+        attempts += 1
+        flip = _flip_data_to_code(rng, data_regions, superset)
+        if flip is None:
+            continue
+        region_index, start, end, tiling = flip
+        if not free(start, end):
+            continue
+        region_start, region_end = data_regions[region_index]
+        replacement = []
+        if region_start < start:
+            replacement.append((region_start, start))
+        if end < region_end:
+            replacement.append((end, region_end))
+        data_regions[region_index:region_index + 1] = replacement
+        instructions.update(tiling)
+        touched.update(range(start, end))
+        injected.append(InjectedError("data-to-code", start, end))
+        data_budget -= 1
+
+    corrupted = DisassemblyResult(
+        tool=f"{result.tool}+injected",
+        instructions=instructions,
+        data_regions=sorted(data_regions),
+        function_entries=set(result.function_entries),
+    )
+    return corrupted, injected
+
+
+def _flip_code_to_data(rng: random.Random, starts: list[int],
+                       instructions: dict[int, int]
+                       ) -> tuple[int, int] | None:
+    """A run of 1-3 surviving instructions totaling >= MIN_FLIP_BYTES."""
+    anchor = rng.choice(starts)
+    if anchor not in instructions:
+        return None
+    start = anchor
+    end = anchor
+    count = 0
+    while count < 3 and end in instructions:
+        end = end + instructions[end]
+        count += 1
+        if end - start >= MIN_FLIP_BYTES:
+            break
+    if end - start < MIN_FLIP_BYTES:
+        return None
+    return start, end
+
+
+def _flip_data_to_code(rng: random.Random,
+                       data_regions: list[tuple[int, int]], superset
+                       ) -> tuple[int, int, int, dict[int, int]] | None:
+    """Tile a decodable prefix of a data region as instructions."""
+    candidates = [i for i, (s, e) in enumerate(data_regions)
+                  if e - s >= MIN_FLIP_BYTES]
+    if not candidates:
+        return None
+    region_index = rng.choice(candidates)
+    region_start, region_end = data_regions[region_index]
+    tiling: dict[int, int] = {}
+    cursor = region_start
+    while cursor < region_end:
+        candidate = superset.at(cursor)
+        if candidate is None or candidate.end > region_end:
+            break
+        tiling[cursor] = candidate.length
+        cursor = candidate.end
+    if cursor - region_start < MIN_FLIP_BYTES or len(tiling) < 2:
+        return None
+    return region_index, region_start, cursor, tiling
+
+
+# ----------------------------------------------------------------------
+# Per-case measurement
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LintAccuracy:
+    """Diagnostic accuracy of one linted case."""
+
+    name: str
+    perfect_errors: int      # ERROR diagnostics on the perfect claim
+    injected: int
+    detected: int            # injected flips overlapped by an ERROR
+    error_diagnostics: int   # ERROR diagnostics on the corrupted claim
+    true_hits: int           # ERROR diagnostics overlapping some flip
+
+    @property
+    def recall(self) -> float:
+        return self.detected / self.injected if self.injected else 1.0
+
+    @property
+    def precision(self) -> float:
+        return (self.true_hits / self.error_diagnostics
+                if self.error_diagnostics else 1.0)
+
+
+def measure_case(case: TestCase, *, flips: int = 12,
+                 seed: int = 0) -> LintAccuracy:
+    """Soundness + injection detection for one corpus binary."""
+    superset = cached_superset(case.text)
+    perfect = perfect_result(case.truth)
+    perfect_report = lint_disassembly(perfect, superset)
+
+    corrupted, injected = inject_errors(case, perfect, flips=flips,
+                                        seed=seed)
+    report = lint_disassembly(corrupted, superset)
+    errors = report.errors
+    detected = sum(1 for flip in injected if flip.overlapped_by(errors))
+    true_hits = sum(1 for d in errors
+                    if any(d.overlaps(f.start, f.end) for f in injected))
+    return LintAccuracy(
+        name=case.name,
+        perfect_errors=len(perfect_report.errors),
+        injected=len(injected),
+        detected=detected,
+        error_diagnostics=len(errors),
+        true_hits=true_hits,
+    )
+
+
+def pool(results: list[LintAccuracy], name: str = "pooled") -> LintAccuracy:
+    return LintAccuracy(
+        name=name,
+        perfect_errors=sum(r.perfect_errors for r in results),
+        injected=sum(r.injected for r in results),
+        detected=sum(r.detected for r in results),
+        error_diagnostics=sum(r.error_diagnostics for r in results),
+        true_hits=sum(r.true_hits for r in results),
+    )
+
+
+def perfect_report(case: TestCase) -> LintReport:
+    """Lint the ground-truth claim of one case (soundness check)."""
+    return lint_disassembly(perfect_result(case.truth),
+                            cached_superset(case.text))
+
+
+def error_count(report: LintReport) -> int:
+    return len(report.at_least(Severity.ERROR))

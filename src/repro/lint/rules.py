@@ -1,0 +1,378 @@
+"""Built-in oracle-free invariant rules.
+
+Each rule checks one structural property that a *correct* disassembly
+of a conventionally compiled binary must satisfy -- no ground truth is
+consulted.  ERROR-severity rules are sound by design: on a perfect
+disassembly they stay silent (the property-test suite enforces this on
+the synthetic corpus); WARNING/INFO rules are heuristics with known
+benign triggers.
+
+The battery follows the invariant catalog of the binary-only
+error-detection literature (Wijayadi et al.; Pang et al.'s SoK): branch
+targets must land on instruction starts, code must not overlap data,
+fall-through must not run into data, tables must target code, and
+data-shaped byte runs (NUL-terminated strings, aligned pointer arrays)
+must not be claimed as instructions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..analysis.idioms import prologue_score
+from ..isa.opcodes import FlowKind
+from .context import ByteClaim, LintContext
+from .diagnostics import Diagnostic, Severity
+from .registry import DEFAULT_REGISTRY as R
+
+#: Minimum NUL-terminated printable run treated as a definite string.
+MIN_STRING_RUN = 8
+
+#: Minimum int3 run whose acceptance as code is suspicious.
+MIN_INT3_RUN = 4
+
+#: Minimum padding run surfaced by the informational padding rule.
+MIN_PADDING_RUN = 8
+
+#: Fall-through chain probed past an unaccepted call target.
+CALL_PROBE_DEPTH = 4
+
+
+# ----------------------------------------------------------------------
+# Self-consistency of the accepted instruction set
+# ----------------------------------------------------------------------
+
+@R.register("undecodable-instruction", Severity.ERROR,
+            "accepted instruction does not decode at its claimed length")
+def check_undecodable(ctx: LintContext,
+                     severity: Severity) -> Iterator[Diagnostic]:
+    for start in ctx.sorted_starts:
+        length = ctx.result.instructions[start]
+        candidate = ctx.superset.at(start)
+        if candidate is None:
+            yield Diagnostic(
+                "undecodable-instruction", severity, start, start + length,
+                f"accepted instruction at {start:#x} does not decode",
+                suggestion="data")
+        elif candidate.length != length:
+            yield Diagnostic(
+                "undecodable-instruction", severity, start, start + length,
+                f"accepted instruction at {start:#x} claims {length} bytes "
+                f"but decodes to {candidate.length}")
+
+
+@R.register("instruction-overlap", Severity.ERROR,
+            "two accepted instructions overlap")
+def check_overlap(ctx: LintContext,
+                  severity: Severity) -> Iterator[Diagnostic]:
+    previous_start = previous_end = -1
+    for start in ctx.sorted_starts:
+        if start < previous_end:
+            yield Diagnostic(
+                "instruction-overlap", severity, start, previous_end,
+                f"accepted instruction at {start:#x} starts inside the "
+                f"accepted instruction at {previous_start:#x}")
+        end = start + ctx.result.instructions[start]
+        if end > previous_end:
+            previous_start, previous_end = start, end
+
+
+@R.register("code-data-overlap", Severity.ERROR,
+            "byte range claimed as both code and data")
+def check_code_data_overlap(ctx: LintContext,
+                            severity: Severity) -> Iterator[Diagnostic]:
+    covering = ctx.covering_start
+    for region_start, region_end in ctx.result.data_regions:
+        overlap = [i for i in range(max(region_start, 0),
+                                    min(region_end, len(ctx.text)))
+                   if i in covering]
+        if overlap:
+            yield Diagnostic(
+                "code-data-overlap", severity, overlap[0], overlap[-1] + 1,
+                f"data region {region_start:#x}-{region_end:#x} overlaps "
+                f"{len(overlap)} bytes of accepted instructions")
+
+
+@R.register("function-entry-not-code", Severity.ERROR,
+            "claimed function entry is not an accepted instruction start")
+def check_function_entries(ctx: LintContext,
+                           severity: Severity) -> Iterator[Diagnostic]:
+    for entry in sorted(ctx.result.function_entries):
+        if not 0 <= entry < len(ctx.text):
+            continue
+        if not ctx.is_accepted_start(entry):
+            yield Diagnostic(
+                "function-entry-not-code", severity, entry, entry + 1,
+                f"function entry {entry:#x} is not an accepted "
+                f"instruction start", suggestion="code")
+
+
+# ----------------------------------------------------------------------
+# Control-flow cross-references
+# ----------------------------------------------------------------------
+
+@R.register("branch-into-instruction", Severity.ERROR,
+            "direct branch/call target lands inside an accepted "
+            "instruction")
+def check_branch_into_instruction(ctx: LintContext,
+                                  severity: Severity) -> Iterator[Diagnostic]:
+    covering = ctx.covering_start
+    for site, ins, target in ctx.branch_sites:
+        if not 0 <= target < len(ctx.text):
+            continue
+        start = covering.get(target)
+        if start is not None and start != target:
+            yield Diagnostic(
+                "branch-into-instruction", severity, target, target + 1,
+                f"{ins.display_mnemonic} at {site:#x} targets {target:#x}, "
+                f"inside the accepted instruction at {start:#x}")
+
+
+@R.register("branch-into-data", Severity.ERROR,
+            "direct branch/call target lands in a claimed data region")
+def check_branch_into_data(ctx: LintContext,
+                           severity: Severity) -> Iterator[Diagnostic]:
+    for site, ins, target in ctx.branch_sites:
+        if not 0 <= target < len(ctx.text):
+            continue
+        if ctx.is_data(target):
+            region = ctx.data_region_at.get(target, (target, target + 1))
+            yield Diagnostic(
+                "branch-into-data", severity, target, target + 1,
+                f"{ins.display_mnemonic} at {site:#x} targets {target:#x}, "
+                f"inside the data region {region[0]:#x}-{region[1]:#x}",
+                suggestion="code")
+
+
+@R.register("dangling-fallthrough", Severity.ERROR,
+            "accepted instruction falls through into data or into the "
+            "middle of another instruction")
+def check_dangling_fallthrough(ctx: LintContext,
+                               severity: Severity) -> Iterator[Diagnostic]:
+    for start, ins in ctx.accepted.items():
+        if ctx.stops_execution(ins):
+            continue
+        landing = ins.end
+        if landing >= len(ctx.text):
+            yield Diagnostic(
+                "dangling-fallthrough", severity, start, len(ctx.text),
+                f"instruction at {start:#x} falls through past the end "
+                f"of the section")
+            continue
+        claim = ctx.claim_at(landing)
+        if claim == ByteClaim.DATA:
+            region = ctx.data_region_at.get(landing,
+                                            (landing, landing + 1))
+            yield Diagnostic(
+                "dangling-fallthrough", severity, start, landing + 1,
+                f"instruction at {start:#x} falls through into the data "
+                f"region {region[0]:#x}-{region[1]:#x} with no "
+                f"intervening terminator")
+        elif claim == ByteClaim.CODE_INTERIOR:
+            covering = ctx.covering_start.get(landing, landing)
+            yield Diagnostic(
+                "dangling-fallthrough", severity, start, landing + 1,
+                f"instruction at {start:#x} falls through into the "
+                f"middle of the accepted instruction at {covering:#x}")
+
+
+@R.register("fallthrough-unclaimed", Severity.WARNING,
+            "accepted instruction falls through into unclaimed bytes")
+def check_fallthrough_unclaimed(ctx: LintContext,
+                                severity: Severity) -> Iterator[Diagnostic]:
+    for start, ins in ctx.accepted.items():
+        if ctx.stops_execution(ins):
+            continue
+        landing = ins.end
+        if landing < len(ctx.text) \
+                and ctx.claim_at(landing) == ByteClaim.UNCLAIMED:
+            yield Diagnostic(
+                "fallthrough-unclaimed", severity, start, landing + 1,
+                f"instruction at {start:#x} falls through into bytes "
+                f"claimed neither code nor data")
+
+
+# ----------------------------------------------------------------------
+# Call-target plausibility
+# ----------------------------------------------------------------------
+
+@R.register("call-target-garbage", Severity.ERROR,
+            "direct call target does not decode to a plausible opening")
+def check_call_target_garbage(ctx: LintContext,
+                              severity: Severity) -> Iterator[Diagnostic]:
+    for site, ins, target in ctx.branch_sites:
+        if ins.flow is not FlowKind.CALL:
+            continue
+        if not 0 <= target < len(ctx.text):
+            continue
+        if ctx.claim_at(target) != ByteClaim.UNCLAIMED:
+            continue     # accepted / data / interior handled elsewhere
+        if ctx.superset.at(target) is None:
+            yield Diagnostic(
+                "call-target-garbage", severity, target, target + 1,
+                f"call at {site:#x} targets {target:#x}, which does not "
+                f"decode to any instruction")
+            continue
+        chain = ctx.superset.fallthrough_chain(target, CALL_PROBE_DEPTH)
+        last = chain[-1]
+        if len(chain) < CALL_PROBE_DEPTH and last.falls_through \
+                and last.flow is not FlowKind.TRAP \
+                and last.end < len(ctx.text):
+            yield Diagnostic(
+                "call-target-garbage", severity, target, last.end,
+                f"call at {site:#x} targets {target:#x}, whose "
+                f"instruction chain hits undecodable bytes after "
+                f"{len(chain)} instructions")
+
+
+@R.register("call-target-non-prologue", Severity.WARNING,
+            "unaccepted direct call target does not look like a "
+            "function opening")
+def check_call_target_non_prologue(ctx: LintContext,
+                                   severity: Severity
+                                   ) -> Iterator[Diagnostic]:
+    for site, ins, target in ctx.branch_sites:
+        if ins.flow is not FlowKind.CALL:
+            continue
+        if not 0 <= target < len(ctx.text):
+            continue
+        if ctx.claim_at(target) != ByteClaim.UNCLAIMED:
+            continue
+        if ctx.superset.at(target) is None:
+            continue     # call-target-garbage reports it
+        if prologue_score(ctx.superset, target) == 0:
+            yield Diagnostic(
+                "call-target-non-prologue", severity, target, target + 1,
+                f"call at {site:#x} targets unaccepted {target:#x}, "
+                f"which does not open like a function",
+                suggestion="code")
+
+
+# ----------------------------------------------------------------------
+# Table shape consistency
+# ----------------------------------------------------------------------
+
+@R.register("jump-table-target-misaligned", Severity.ERROR,
+            "jump-table entry does not target an accepted instruction "
+            "start")
+def check_table_targets(ctx: LintContext,
+                        severity: Severity) -> Iterator[Diagnostic]:
+    for table in ctx.data_table_candidates:
+        good = [i for i, t in enumerate(table.targets)
+                if ctx.is_accepted_start(t)]
+        if not good:
+            continue     # probably a misdetected literal pool, not a table
+        # Entries past the last code-targeting one are detector
+        # over-extension into neighboring bytes, not table entries.
+        for index, target in enumerate(table.targets[:good[-1]]):
+            if ctx.is_accepted_start(target):
+                continue
+            entry = table.start + index * table.entry_size
+            yield Diagnostic(
+                "jump-table-target-misaligned", severity, entry,
+                entry + table.entry_size,
+                f"table {table.start:#x}-{table.end:#x} entry {index} "
+                f"targets {target:#x}, not an accepted instruction start")
+
+
+# ----------------------------------------------------------------------
+# Data-shaped byte runs accepted as code
+# ----------------------------------------------------------------------
+
+@R.register("string-as-code", Severity.ERROR,
+            "NUL-terminated ASCII run fully accepted as instructions")
+def check_string_as_code(ctx: LintContext,
+                         severity: Severity) -> Iterator[Diagnostic]:
+    for run in ctx.ascii_runs:
+        if not run.terminated or run.length < MIN_STRING_RUN:
+            continue
+        span = range(run.start, min(run.end, len(ctx.text)))
+        if all(ctx.claim_at(i) in (ByteClaim.CODE_START,
+                                   ByteClaim.CODE_INTERIOR)
+               for i in span):
+            yield Diagnostic(
+                "string-as-code", severity, run.start, run.end,
+                f"{run.length}-byte NUL-terminated ASCII run at "
+                f"{run.start:#x} is fully accepted as instructions",
+                suggestion="data")
+
+
+@R.register("pointer-run-as-code", Severity.ERROR,
+            "aligned pointer-array run fully accepted as instructions")
+def check_pointer_run_as_code(ctx: LintContext,
+                              severity: Severity) -> Iterator[Diagnostic]:
+    for table in ctx.table_candidates:
+        span = range(table.start, min(table.end, len(ctx.text)))
+        if len(span) < 12:
+            continue
+        if all(ctx.claim_at(i) in (ByteClaim.CODE_START,
+                                   ByteClaim.CODE_INTERIOR)
+               for i in span):
+            yield Diagnostic(
+                "pointer-run-as-code", severity, table.start, table.end,
+                f"{table.entry_count}-entry pointer run at "
+                f"{table.start:#x} ({table.entry_size}-byte entries, all "
+                f"targeting this section) is fully accepted as "
+                f"instructions", suggestion="data")
+
+
+# ----------------------------------------------------------------------
+# Reachability
+# ----------------------------------------------------------------------
+
+@R.register("orphan-code", Severity.WARNING,
+            "accepted code with no incoming reference")
+def check_orphan_code(ctx: LintContext,
+                      severity: Severity) -> Iterator[Diagnostic]:
+    cfg = ctx.cfg
+    referenced = ctx.referenced_targets
+    for block_start in sorted(cfg.blocks):
+        if block_start == 0:
+            continue     # conventional entry point
+        if cfg.predecessors(block_start):
+            continue
+        if block_start in referenced:
+            continue
+        block = cfg.blocks[block_start]
+        yield Diagnostic(
+            "orphan-code", severity, block_start, block.end,
+            f"accepted block {block_start:#x}-{block.end:#x} has no "
+            f"incoming branch, fall-through, table entry, or claimed "
+            f"function entry", suggestion="data")
+
+
+# ----------------------------------------------------------------------
+# Padding conventions
+# ----------------------------------------------------------------------
+
+@R.register("padding-as-code", Severity.WARNING,
+            "int3 padding run accepted as instructions")
+def check_padding_as_code(ctx: LintContext,
+                         severity: Severity) -> Iterator[Diagnostic]:
+    for start, end in ctx.padding_runs:
+        if end - start < MIN_INT3_RUN or ctx.text[start] != 0xCC:
+            continue
+        span = range(start, min(end, len(ctx.text)))
+        accepted = sum(1 for i in span
+                       if ctx.claim_at(i) in (ByteClaim.CODE_START,
+                                              ByteClaim.CODE_INTERIOR))
+        if accepted == len(span):
+            yield Diagnostic(
+                "padding-as-code", severity, start, end,
+                f"{end - start}-byte int3 padding run at {start:#x} is "
+                f"accepted as instructions", suggestion="data")
+
+
+@R.register("padding-as-data", Severity.INFO,
+            "inter-function padding run claimed as data")
+def check_padding_as_data(ctx: LintContext,
+                         severity: Severity) -> Iterator[Diagnostic]:
+    for start, end in ctx.padding_runs:
+        if end - start < MIN_PADDING_RUN:
+            continue
+        span = range(start, min(end, len(ctx.text)))
+        if all(ctx.is_data(i) for i in span):
+            yield Diagnostic(
+                "padding-as-data", severity, start, end,
+                f"{end - start}-byte padding run at {start:#x} is "
+                f"claimed as data (conventionally neutral)")

@@ -60,7 +60,7 @@ class DisassemblyResult:
         })
 
     @classmethod
-    def from_json(cls, text: str) -> "DisassemblyResult":
+    def from_json(cls, text: str) -> DisassemblyResult:
         raw = json.loads(text)
         return cls(
             tool=raw["tool"],

@@ -60,7 +60,7 @@ class DataByteModel:
         return json.dumps({"counts": self.counts, "total": self.total})
 
     @classmethod
-    def from_json(cls, text: str) -> "DataByteModel":
+    def from_json(cls, text: str) -> DataByteModel:
         raw = json.loads(text)
         model = cls()
         model.counts = list(raw["counts"])

@@ -141,7 +141,7 @@ class NgramModel:
         })
 
     @classmethod
-    def from_json(cls, text: str) -> "NgramModel":
+    def from_json(cls, text: str) -> NgramModel:
         raw = json.loads(text)
         model = cls(weights=tuple(raw["weights"]))
         model.total = raw["total"]

@@ -55,7 +55,7 @@ class Superset:
     instructions: list[Instruction | None]
 
     @classmethod
-    def build(cls, text: bytes) -> "Superset":
+    def build(cls, text: bytes) -> Superset:
         """Decode a candidate at every offset (None where decoding fails).
 
         Long repeated-byte runs (alignment padding, NUL regions) take a

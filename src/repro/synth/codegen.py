@@ -57,7 +57,7 @@ class FunctionGenerator:
     def __init__(self, asm: TrackedAssembler, rng: random.Random,
                  style: CompilerStyle, name: str,
                  callees: list[str],
-                 rodata_allocator: "RodataAllocator", *,
+                 rodata_allocator: RodataAllocator, *,
                  noreturn_callees: list[str] = (),
                  must_call_noreturn: list[str] = (),
                  is_noreturn: bool = False,

@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.analysis.behavior import BehaviorAnalyzer, BehaviorWeights
 from repro.isa import Assembler
-from repro.isa.registers import RAX, RBP, RCX, RSP
+from repro.isa.registers import RAX, RBP, RSP
 from repro.superset import Superset
 
 

@@ -87,6 +87,58 @@ class TestBasicBlocks:
         assert 6 in reached     # the jump target block
         assert 5 not in reached  # the dead ret
 
+    def test_reachable_from_accepts_any_iterable(self):
+        def body(a):
+            a.jmp("end")
+            a.ret()       # unreachable
+            a.bind("end")
+            a.ret()
+        superset, accepted = make(body)
+        cfg = build_cfg(superset, accepted)
+        from_list = cfg.reachable_from([0])
+        assert cfg.reachable_from({0}) == from_list
+        assert cfg.reachable_from(iter((0,))) == from_list
+        assert cfg.reachable_from(frozenset({0})) == from_list
+        # Non-block offsets are ignored, not an error.
+        assert cfg.reachable_from({0, 999}) == from_list
+        assert cfg.reachable_from(()) == set()
+
+    def test_successors_and_predecessors(self):
+        def body(a):
+            a.test_rr(RAX, RAX)
+            a.jcc("e", "out")
+            a.inc(RAX)
+            a.bind("out")
+            a.ret()
+        superset, accepted = make(body)
+        cfg = build_cfg(superset, accepted)
+        starts = sorted(cfg.blocks)
+        entry, taken, out = starts
+        # The entry block branches to both the fall-through block and
+        # the jump-target block; both converge on "out".
+        assert cfg.successors(entry) == [taken, out]
+        assert cfg.predecessors(entry) == []
+        assert cfg.successors(taken) == [out]
+        assert sorted(cfg.predecessors(out)) == [entry, taken]
+        assert cfg.successors(out) == []
+
+    def test_call_fallthrough_edge_exists(self):
+        def body(a):
+            a.call("f")
+            a.inc(RAX)
+            a.bind("f")
+            a.ret()
+        superset, accepted = make(body)
+        cfg = build_cfg(superset, accepted)
+        callee = superset.at(0).branch_target
+        # The callee is a leader, which splits the caller's block; the
+        # fall-through edge from call to the next instruction remains
+        # intraprocedural only if a block boundary exists there.
+        assert callee in cfg.blocks
+        in_blocks = [i.offset for b in cfg.blocks.values()
+                     for i in b.instructions]
+        assert set(in_blocks) == accepted
+
     def test_blocks_partition_instructions(self, msvc_case, msvc_superset):
         accepted = msvc_case.truth.instruction_starts
         cfg = build_cfg(msvc_superset, accepted)

@@ -1,7 +1,7 @@
 """Tests for register def-use chain analysis."""
 
 from repro.isa import Assembler, decode
-from repro.isa.registers import R10, R11, R13, RAX, RBP, RCX, RDI, RSP
+from repro.isa.registers import R10, R11, R13, RAX, RCX, RDI
 from repro.analysis.defuse import (CONVENTIONALLY_LIVE, analyze_chain,
                                    _is_zeroing_idiom)
 

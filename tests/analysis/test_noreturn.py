@@ -2,7 +2,7 @@
 
 from repro.analysis.noreturn import compute_returning
 from repro.isa import Assembler, Mem
-from repro.isa.registers import RAX, RBP, RDI, RSP
+from repro.isa.registers import RAX, RBP, RDI
 from repro.superset import Superset
 
 

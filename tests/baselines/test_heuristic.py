@@ -3,7 +3,7 @@
 from repro.baselines import heuristic_descent, recursive_descent
 from repro.eval.metrics import evaluate
 from repro.isa import Assembler
-from repro.isa.registers import RAX, RBP, RSP
+from repro.isa.registers import RBP, RSP
 
 
 class TestHeuristicDescent:

@@ -1,6 +1,5 @@
 """Tests for the probabilistic-disassembly baseline."""
 
-import numpy as np
 
 from repro.baselines import probabilistic_disassembly
 from repro.baselines.probabilistic import _invalid_closure

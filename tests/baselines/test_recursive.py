@@ -3,7 +3,6 @@
 from repro.baselines import recursive_descent
 from repro.eval.metrics import evaluate
 from repro.isa import Assembler
-from repro.isa.registers import RAX
 
 
 class TestRecursiveDescent:

@@ -1,6 +1,6 @@
 """Tests for the flat memory image used by table resolution."""
 
-from repro.binary.container import Binary, Section
+from repro.binary.container import Section
 from repro.binary.image import MemoryImage
 
 

@@ -1,13 +1,12 @@
 """Tests for the prioritized error-correction engine."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import DEFAULT_CONFIG
 from repro.core.correction import CorrectionEngine
 from repro.core.evidence import Evidence, Priority
 from repro.isa import Assembler
-from repro.isa.registers import RAX, RBP, RCX, RSP
+from repro.isa.registers import RAX, RBP, RSP
 from repro.superset import Superset
 
 

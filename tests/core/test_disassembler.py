@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.binary import ByteKind
 from repro.core import (ABLATION_CONFIGS, Disassembler, DisassemblerConfig)
 from repro.eval.metrics import evaluate
 

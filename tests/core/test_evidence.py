@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.evidence import (Classification, ClassificationState,
+from repro.core.evidence import (ClassificationState,
                                  Evidence, Priority)
 
 

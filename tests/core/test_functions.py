@@ -1,6 +1,5 @@
 """Tests for function-boundary identification."""
 
-from repro.core import Disassembler
 
 
 class TestFunctionIdentification:
@@ -24,10 +23,8 @@ class TestFunctionIdentification:
         assert result.function_entries <= result.instruction_starts
 
     def test_spans_are_ordered_and_disjoint(self, disassembler, msvc_case):
-        from repro.core.functions import identify_functions
         rich = disassembler.disassemble_rich(msvc_case)
         # Recompute spans to inspect extents directly.
-        from repro.core.correction import CorrectionEngine
         entries = sorted(rich.result.function_entries)
         for first, second in zip(entries, entries[1:]):
             assert first < second

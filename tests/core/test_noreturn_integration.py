@@ -6,7 +6,7 @@ from repro.core.config import DEFAULT_CONFIG
 from repro.core.correction import CorrectionEngine
 from repro.core.evidence import Evidence, Priority
 from repro.isa import Assembler
-from repro.isa.registers import RAX, RBP, RDI, RSP
+from repro.isa.registers import RAX, RDI
 from repro.superset import Superset
 
 

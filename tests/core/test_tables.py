@@ -2,15 +2,15 @@
 
 import numpy as np
 
-from repro.binary.container import Binary, Section
+from repro.binary.container import Section
 from repro.binary.image import MemoryImage
 from repro.core.config import DEFAULT_CONFIG
 from repro.core.correction import CorrectionEngine
 from repro.core.evidence import Priority
-from repro.core.tables import (backward_chain, resolve_indirect_call,
+from repro.core.tables import (backward_chain,
                                resolve_indirect_jump)
 from repro.isa import Assembler, Mem, mem, rip
-from repro.isa.registers import R10, R11, RAX, RBP, RCX, RDI, RSP
+from repro.isa.registers import R10, R11, RAX, RBP, RDI, RSP
 from repro.superset import Superset
 
 

@@ -1,6 +1,6 @@
 """Tests for the evaluation dataset."""
 
-from repro.eval.dataset import (CaseCharacteristics, characteristics,
+from repro.eval.dataset import (characteristics,
                                 evaluation_corpus)
 
 

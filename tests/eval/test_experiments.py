@@ -63,7 +63,7 @@ class TestFigureRunners:
 class TestCli:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"t1", "t2", "t3", "t4", "t5",
-                                    "f1", "f2", "f3", "f4", "v1"}
+                                    "f1", "f2", "f3", "f4", "v1", "l1"}
 
     def test_help(self, capsys):
         assert main(["--help"]) == 0

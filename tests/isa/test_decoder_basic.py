@@ -6,7 +6,7 @@ from repro.isa import decode, try_decode
 from repro.isa.errors import (InvalidOpcodeError, TooLongError,
                               TruncatedError)
 from repro.isa.opcodes import FlowKind
-from repro.isa.operands import ImmOp, MemOp, RegOp, RelOp
+from repro.isa.operands import ImmOp, MemOp, RegOp
 from repro.isa.registers import R15, RAX, RBP, RCX, RDI, RSP
 
 

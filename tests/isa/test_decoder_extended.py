@@ -5,7 +5,7 @@ import pytest
 from repro.isa import decode, try_decode
 from repro.isa.errors import InvalidOpcodeError
 from repro.isa.opcodes import FlowKind
-from repro.isa.operands import ImmOp, MemOp, RegOp
+from repro.isa.operands import ImmOp
 from repro.isa.registers import RAX, RCX, RDI, RDX, RSI, RSP
 
 

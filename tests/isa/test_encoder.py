@@ -3,8 +3,8 @@
 import pytest
 
 from repro.isa import Assembler, AssemblyError, mem, rip
-from repro.isa.registers import (R8, R9, R10, R12, R13, R15, RAX, RBP, RBX,
-                                 RCX, RDI, RDX, RSI, RSP)
+from repro.isa.registers import (R12, R13, R15, RAX, RBP,
+                                 RCX, RDI, RSP)
 
 
 def emit(fn) -> bytes:

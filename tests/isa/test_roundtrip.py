@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.isa import decode, try_decode
 from repro.isa.encoder import Assembler, mem
 from repro.isa.errors import DecodeError
-from repro.isa.registers import RBP, RSP
+from repro.isa.registers import RSP
 from repro.isa.tables import MAX_INSTRUCTION_LENGTH
 
 # Register numbers excluding the stack registers (their special ModRM

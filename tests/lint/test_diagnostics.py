@@ -1,0 +1,85 @@
+"""Diagnostic and report datamodel behavior."""
+
+import json
+
+import pytest
+
+from repro.lint import Diagnostic, LintReport, Severity
+
+
+def diag(rule="instruction-overlap", severity=Severity.ERROR,
+         start=0, end=4, message="m", suggestion=None):
+    return Diagnostic(rule=rule, severity=severity, start=start, end=end,
+                      message=message, suggestion=suggestion)
+
+
+class TestSeverity:
+    def test_parse_accepts_any_case(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("Warning") is Severity.WARNING
+        assert Severity.parse("INFO") is Severity.INFO
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+
+class TestDiagnosticOverlaps:
+    def test_overlap_is_half_open(self):
+        d = diag(start=4, end=8)
+        assert d.overlaps(7, 12)
+        assert d.overlaps(0, 5)
+        assert not d.overlaps(8, 12)   # touching at end: no overlap
+        assert not d.overlaps(0, 4)    # touching at start: no overlap
+
+
+class TestLintReport:
+    def build(self):
+        report = LintReport(tool="test")
+        report.extend([
+            diag(rule="padding-as-data", severity=Severity.INFO,
+                 start=30, end=40),
+            diag(rule="orphan-code", severity=Severity.WARNING,
+                 start=20, end=28),
+            diag(rule="string-as-code", severity=Severity.ERROR,
+                 start=10, end=18, suggestion="data"),
+            diag(rule="instruction-overlap", severity=Severity.ERROR,
+                 start=2, end=5),
+        ])
+        report.rules_run = ["instruction-overlap", "orphan-code",
+                            "string-as-code", "padding-as-data"]
+        return report
+
+    def test_counts_and_filters(self):
+        report = self.build()
+        assert report.counts() == {"error": 2, "warning": 1, "info": 1}
+        assert len(report.at_least(Severity.WARNING)) == 3
+        assert [d.rule for d in report.errors] == \
+            ["string-as-code", "instruction-overlap"]
+        assert report.max_severity is Severity.ERROR
+        assert LintReport(tool="empty").max_severity is None
+
+    def test_sorted_is_severity_then_address(self):
+        ordered = self.build().sorted()
+        assert [(d.severity, d.start) for d in ordered] == [
+            (Severity.ERROR, 2), (Severity.ERROR, 10),
+            (Severity.WARNING, 20), (Severity.INFO, 30)]
+
+    def test_json_roundtrip(self):
+        report = self.build()
+        raw = json.loads(report.to_json())
+        assert set(raw) == {"tool", "rules_run", "counts", "diagnostics"}
+        restored = LintReport.from_json(report.to_json())
+        assert restored.tool == report.tool
+        assert restored.rules_run == report.rules_run
+        assert sorted(restored.diagnostics, key=lambda d: d.start) == \
+            sorted(report.diagnostics, key=lambda d: d.start)
+
+    def test_render_text_summary_line(self):
+        text = self.build().render_text()
+        assert text.splitlines()[-1] == \
+            "4 diagnostics (2 errors, 1 warnings, 1 info)"
+        assert "[suggest: data]" in text

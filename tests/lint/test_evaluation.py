@@ -1,0 +1,58 @@
+"""Experiment L1 plumbing: perfect claims, error injection, measurement."""
+
+from repro.lint.evaluation import (MIN_FLIP_BYTES, inject_errors,
+                                   measure_case, perfect_result, pool)
+
+
+class TestPerfectResult:
+    def test_matches_ground_truth_exactly(self, msvc_case):
+        truth = msvc_case.truth
+        result = perfect_result(truth)
+        assert set(result.instructions) == set(truth.instruction_starts)
+        assert result.function_entries == set(truth.function_entries)
+        assert result.data_regions == truth.data_regions()
+        # Claimed lengths tile each instruction without crossing starts.
+        starts = sorted(result.instructions)
+        for offset, following in zip(starts, starts[1:]):
+            assert offset + result.instructions[offset] <= following
+
+
+class TestInjectErrors:
+    def test_injection_invariants(self, msvc_case):
+        perfect = perfect_result(msvc_case.truth)
+        corrupted, injected = inject_errors(msvc_case, perfect,
+                                            flips=12, seed=1)
+        assert 0 < len(injected) <= 12
+        claimed = set()
+        for flip in injected:
+            assert flip.kind in ("code-to-data", "data-to-code")
+            assert flip.end - flip.start >= MIN_FLIP_BYTES
+            span = set(range(flip.start, flip.end))
+            assert not span & claimed      # flips never overlap
+            claimed |= span
+        assert corrupted.tool == "ground-truth+injected"
+        assert corrupted.instructions != perfect.instructions
+
+    def test_deterministic_for_fixed_seed(self, msvc_case):
+        perfect = perfect_result(msvc_case.truth)
+        first = inject_errors(msvc_case, perfect, flips=8, seed=3)
+        second = inject_errors(msvc_case, perfect, flips=8, seed=3)
+        assert first[1] == second[1]
+        assert first[0].instructions == second[0].instructions
+
+
+class TestMeasureCase:
+    def test_meets_detection_bar(self, msvc_case):
+        accuracy = measure_case(msvc_case, flips=12, seed=1)
+        assert accuracy.perfect_errors == 0      # sound on perfect output
+        assert accuracy.injected > 0
+        assert accuracy.recall >= 0.7            # acceptance bar
+        assert 0.0 <= accuracy.precision <= 1.0
+
+    def test_pool_sums_counts(self, msvc_case):
+        one = measure_case(msvc_case, flips=6, seed=0)
+        combined = pool([one, one])
+        assert combined.injected == 2 * one.injected
+        assert combined.detected == 2 * one.detected
+        assert combined.error_diagnostics == 2 * one.error_diagnostics
+        assert combined.recall == one.recall

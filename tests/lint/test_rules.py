@@ -1,0 +1,289 @@
+"""One focused test per built-in lint rule.
+
+Each test hand-builds a tiny text section (via the encoder or raw
+bytes), a deliberately flawed claim over it, and runs exactly one rule,
+so a failure pinpoints the rule rather than the battery.
+"""
+
+import struct
+
+from repro.lint import LintConfig, Severity, lint_disassembly
+from repro.result import DisassemblyResult
+from repro.superset import Superset
+
+NOP, RET, INT3, BAD = 0x90, 0xC3, 0xCC, 0x06
+
+
+def claim(text, instructions=None, data=None, entries=None):
+    return DisassemblyResult(tool="test",
+                             instructions=dict(instructions or {}),
+                             data_regions=list(data or []),
+                             function_entries=set(entries or ()))
+
+
+def run_rule(rule_id, text, **kwargs):
+    report = lint_disassembly(claim(text, **kwargs), Superset.build(text),
+                              config=LintConfig(enabled=(rule_id,)))
+    assert report.rules_run == [rule_id]
+    return list(report)
+
+
+def jmp_to(target, site=0):
+    return bytes([0xE9]) + struct.pack("<i", target - site - 5)
+
+
+def call_to(target, site=0):
+    return bytes([0xE8]) + struct.pack("<i", target - site - 5)
+
+
+def pack8(value):
+    return struct.pack("<Q", value)
+
+
+class TestUndecodableInstruction:
+    def test_flags_undecodable_start(self):
+        text = bytes([RET, BAD, BAD, BAD])
+        diags = run_rule("undecodable-instruction", text,
+                         instructions={1: 1})
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.ERROR
+        assert diags[0].suggestion == "data"
+
+    def test_flags_wrong_length(self):
+        text = bytes([RET, NOP, NOP, NOP])
+        diags = run_rule("undecodable-instruction", text,
+                         instructions={0: 3})
+        assert len(diags) == 1
+        assert "claims 3" in diags[0].message
+
+    def test_silent_on_correct_claim(self):
+        text = bytes([RET, NOP])
+        assert run_rule("undecodable-instruction", text,
+                        instructions={0: 1, 1: 1}) == []
+
+
+class TestInstructionOverlap:
+    def test_flags_overlapping_claims(self):
+        text = bytes([NOP] * 8)
+        diags = run_rule("instruction-overlap", text,
+                         instructions={0: 3, 1: 3})
+        assert len(diags) == 1
+        assert diags[0].start == 1
+
+    def test_silent_on_adjacent_claims(self):
+        text = bytes([NOP] * 8)
+        assert run_rule("instruction-overlap", text,
+                        instructions={0: 3, 3: 3}) == []
+
+
+class TestCodeDataOverlap:
+    def test_flags_shared_bytes(self):
+        text = bytes([NOP] * 8)
+        diags = run_rule("code-data-overlap", text,
+                         instructions={0: 2}, data=[(1, 4)])
+        assert len(diags) == 1
+        assert (diags[0].start, diags[0].end) == (1, 2)
+
+    def test_silent_on_disjoint_claims(self):
+        text = bytes([NOP] * 8)
+        assert run_rule("code-data-overlap", text,
+                        instructions={0: 2}, data=[(2, 4)]) == []
+
+
+class TestFunctionEntryNotCode:
+    def test_flags_entry_off_instruction(self):
+        text = bytes([NOP] * 4)
+        diags = run_rule("function-entry-not-code", text,
+                         instructions={0: 1}, entries={2})
+        assert len(diags) == 1
+        assert diags[0].start == 2
+        assert diags[0].suggestion == "code"
+
+    def test_silent_on_accepted_entry(self):
+        text = bytes([NOP] * 4)
+        assert run_rule("function-entry-not-code", text,
+                        instructions={0: 1}, entries={0}) == []
+
+
+class TestBranchIntoInstruction:
+    def test_flags_target_inside_instruction(self):
+        # jmp targets offset 6, the middle of the 7-byte mov at 5.
+        mov = bytes([0x48, 0xC7, 0xC0, 0x44, 0x33, 0x22, 0x11])
+        text = jmp_to(6) + mov
+        diags = run_rule("branch-into-instruction", text,
+                         instructions={0: 5, 5: 7})
+        assert len(diags) == 1
+        assert diags[0].start == 6
+
+    def test_silent_on_boundary_target(self):
+        mov = bytes([0x48, 0xC7, 0xC0, 0x44, 0x33, 0x22, 0x11])
+        text = jmp_to(5) + mov
+        assert run_rule("branch-into-instruction", text,
+                        instructions={0: 5, 5: 7}) == []
+
+
+class TestBranchIntoData:
+    def test_flags_target_in_data_region(self):
+        text = jmp_to(8) + bytes([NOP] * 11)
+        diags = run_rule("branch-into-data", text,
+                         instructions={0: 5}, data=[(8, 16)])
+        assert len(diags) == 1
+        assert diags[0].start == 8
+        assert diags[0].suggestion == "code"
+
+
+class TestDanglingFallthrough:
+    def test_flags_fallthrough_into_data(self):
+        text = bytes([NOP] * 8)
+        diags = run_rule("dangling-fallthrough", text,
+                         instructions={0: 1}, data=[(1, 8)])
+        assert len(diags) == 1
+        assert "data" in diags[0].message
+
+    def test_call_before_data_is_exempt(self):
+        # A noreturn callee legitimately leaves data after the call.
+        text = call_to(16) + bytes([0] * 11) + bytes([RET])
+        assert run_rule("dangling-fallthrough", text,
+                        instructions={0: 5, 16: 1}, data=[(5, 16)]) == []
+
+    def test_flags_fallthrough_off_section_end(self):
+        text = bytes([NOP])
+        diags = run_rule("dangling-fallthrough", text,
+                         instructions={0: 1})
+        assert len(diags) == 1
+        assert "end" in diags[0].message
+
+
+class TestFallthroughUnclaimed:
+    def test_flags_fallthrough_into_unclaimed(self):
+        text = bytes([NOP] * 4)
+        diags = run_rule("fallthrough-unclaimed", text,
+                         instructions={0: 1})
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.WARNING
+
+
+class TestCallTargetGarbage:
+    def test_flags_undecodable_target(self):
+        text = call_to(8) + bytes([NOP] * 3) + bytes([BAD] * 4)
+        diags = run_rule("call-target-garbage", text,
+                         instructions={0: 5})
+        assert len(diags) == 1
+        assert diags[0].start == 8
+
+    def test_flags_chain_hitting_garbage(self):
+        text = call_to(8) + bytes([NOP] * 3) + bytes([NOP, BAD, BAD, BAD])
+        diags = run_rule("call-target-garbage", text,
+                         instructions={0: 5})
+        assert len(diags) == 1
+        assert "chain" in diags[0].message
+
+    def test_silent_on_plausible_target(self):
+        text = call_to(8) + bytes([NOP] * 3) + bytes([NOP] * 3 + [RET])
+        assert run_rule("call-target-garbage", text,
+                        instructions={0: 5}) == []
+
+
+class TestCallTargetNonPrologue:
+    def test_flags_non_prologue_target(self):
+        text = call_to(8) + bytes([NOP] * 3) + bytes([NOP] * 7 + [RET])
+        diags = run_rule("call-target-non-prologue", text,
+                         instructions={0: 5})
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.WARNING
+
+    def test_silent_on_prologue_target(self):
+        # push rbp; mov rbp, rsp -- the canonical opening.
+        prologue = bytes([0x55, 0x48, 0x89, 0xE5, RET])
+        text = call_to(8) + bytes([NOP] * 3) + prologue
+        assert run_rule("call-target-non-prologue", text,
+                        instructions={0: 5}) == []
+
+
+class TestJumpTableTargetMisaligned:
+    def test_flags_entry_missing_accepted_start(self):
+        # Entries target offsets 0 and 2 (accepted) and 5 (not).
+        text = (bytes([NOP] * 8) + pack8(0) + pack8(5) + pack8(2)
+                + bytes([0xFF] * 8))
+        diags = run_rule("jump-table-target-misaligned", text,
+                         instructions={0: 1, 1: 1, 2: 1}, data=[(8, 32)])
+        assert len(diags) == 1
+        assert (diags[0].start, diags[0].end) == (16, 24)
+
+    def test_trailing_bad_entries_are_trimmed(self):
+        # The detector over-extends into neighboring plausible bytes;
+        # entries after the last code-targeting one are not reported.
+        text = (bytes([NOP] * 8) + pack8(0) + pack8(2) + pack8(5)
+                + bytes([0xFF] * 8))
+        assert run_rule("jump-table-target-misaligned", text,
+                        instructions={0: 1, 1: 1, 2: 1},
+                        data=[(8, 32)]) == []
+
+
+class TestStringAsCode:
+    TEXT = b"HELLO, WORLD\x00" + bytes([NOP] * 3)
+
+    def test_flags_string_claimed_as_code(self):
+        diags = run_rule("string-as-code", self.TEXT,
+                         instructions={0: 13})
+        assert len(diags) == 1
+        assert diags[0].suggestion == "data"
+
+    def test_silent_when_string_is_data(self):
+        assert run_rule("string-as-code", self.TEXT,
+                        data=[(0, 13)]) == []
+
+
+class TestPointerRunAsCode:
+    TEXT = (bytes([NOP] * 8) + pack8(0) + pack8(1) + pack8(2)
+            + bytes([0xFF] * 8))
+
+    def test_flags_pointer_run_claimed_as_code(self):
+        diags = run_rule("pointer-run-as-code", self.TEXT,
+                         instructions={8: 24})
+        assert len(diags) == 1
+        assert (diags[0].start, diags[0].end) == (8, 32)
+        assert diags[0].suggestion == "data"
+
+    def test_silent_when_run_is_data(self):
+        assert run_rule("pointer-run-as-code", self.TEXT,
+                        data=[(8, 32)]) == []
+
+
+class TestOrphanCode:
+    TEXT = bytes([RET]) + bytes([INT3] * 15) + bytes([NOP, RET])
+
+    def test_flags_unreferenced_block(self):
+        diags = run_rule("orphan-code", self.TEXT,
+                         instructions={0: 1, 16: 1, 17: 1})
+        assert len(diags) == 1
+        assert (diags[0].start, diags[0].end) == (16, 18)
+        assert diags[0].suggestion == "data"
+
+    def test_claimed_entry_counts_as_reference(self):
+        assert run_rule("orphan-code", self.TEXT,
+                        instructions={0: 1, 16: 1, 17: 1},
+                        entries={16}) == []
+
+
+class TestPaddingAsCode:
+    def test_flags_int3_run_accepted_as_code(self):
+        text = bytes([RET]) + bytes([INT3] * 6) + bytes([NOP])
+        diags = run_rule("padding-as-code", text,
+                         instructions={i: 1 for i in range(7)})
+        assert len(diags) == 1
+        assert diags[0].suggestion == "data"
+
+    def test_silent_when_padding_unclaimed(self):
+        text = bytes([RET]) + bytes([INT3] * 6) + bytes([NOP])
+        assert run_rule("padding-as-code", text,
+                        instructions={0: 1}) == []
+
+
+class TestPaddingAsData:
+    def test_reports_padding_claimed_as_data(self):
+        text = bytes([RET]) + bytes([0] * 10) + bytes([NOP])
+        diags = run_rule("padding-as-data", text,
+                         instructions={0: 1}, data=[(1, 11)])
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.INFO

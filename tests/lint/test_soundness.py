@@ -1,0 +1,32 @@
+"""Soundness: a ground-truth-perfect claim never produces an ERROR.
+
+This is the linter's load-bearing guarantee -- ERROR rules encode
+invariants that hold for any correct disassembly of a conventional
+binary, so the CI gate (and the feedback loop) can trust them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.evaluation import error_count, perfect_report
+from repro.synth import STYLES
+from repro.synth.corpus import BinarySpec, generate_binary
+
+
+def test_perfect_claims_are_error_free_on_corpus(all_cases):
+    for case in all_cases:
+        report = perfect_report(case)
+        errors = report.errors
+        assert error_count(report) == 0, \
+            f"{case.name}: {[d.to_dict() for d in errors]}"
+
+
+@settings(max_examples=8, deadline=None)
+@given(style=st.sampled_from(sorted(STYLES)), seed=st.integers(0, 30))
+def test_perfect_claims_are_error_free_property(style, seed):
+    case = generate_binary(BinarySpec(name=f"lint-{style}-{seed}",
+                                      style=STYLES[style],
+                                      function_count=8, seed=seed))
+    report = perfect_report(case)
+    assert error_count(report) == 0, \
+        f"{case.name}: {[d.to_dict() for d in report.errors]}"

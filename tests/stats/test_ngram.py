@@ -115,7 +115,8 @@ class TestOnRealCode:
                         code_model.score_instructions(chain)
                         / len(chain))
         assert data_scores, "test binary has no data regions"
-        mean = lambda xs: sum(xs) / len(xs)
+        def mean(xs):
+            return sum(xs) / len(xs)
         assert mean(code_scores) > mean(data_scores) + 1.0
 
 

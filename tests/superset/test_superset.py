@@ -1,7 +1,7 @@
 """Tests for superset disassembly."""
 
 from repro.isa import Assembler, decode
-from repro.isa.registers import RAX, RBP, RCX, RSP
+from repro.isa.registers import RAX
 from repro.superset import Superset
 
 

@@ -6,9 +6,8 @@ import pytest
 
 from repro.isa import decode
 from repro.isa.opcodes import FlowKind
-from repro.isa.registers import CALLEE_SAVED
 from repro.synth.codegen import FunctionGenerator, RodataAllocator
-from repro.synth.styles import GCC_LIKE, MSVC_LIKE
+from repro.synth.styles import MSVC_LIKE
 from repro.synth.tracking import TrackedAssembler
 
 

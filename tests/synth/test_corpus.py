@@ -5,7 +5,7 @@ import pytest
 from repro.binary.groundtruth import ByteKind
 from repro.isa import decode, try_decode
 from repro.isa.opcodes import FlowKind
-from repro.synth import (BinarySpec, GCC_LIKE, MSVC_LIKE, generate_binary,
+from repro.synth import (BinarySpec, MSVC_LIKE, generate_binary,
                          generate_corpus)
 
 

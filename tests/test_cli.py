@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -48,6 +50,50 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert "instruction F1:" in out
         assert "byte errors:" in out
+
+
+class TestLint:
+    def test_text_output(self, generated, capsys):
+        code = main(["lint", str(generated.with_suffix(".bin")),
+                     "--fail-on", "never"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "diagnostics (" in out.splitlines()[-1]
+
+    def test_json_schema(self, generated, capsys):
+        main(["lint", str(generated.with_suffix(".bin")),
+              "--format", "json", "--fail-on", "never"])
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"tool", "rules_run", "counts", "diagnostics"}
+        assert report["tool"] == "repro"
+        assert set(report["counts"]) == {"info", "warning", "error"}
+        for diagnostic in report["diagnostics"]:
+            assert set(diagnostic) == {"rule", "severity", "start", "end",
+                                       "message", "suggestion"}
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 16
+        assert any(line.startswith("orphan-code") for line in lines)
+
+    def test_missing_binary_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_unknown_disable_is_usage_error(self, generated, capsys):
+        code = main(["lint", str(generated.with_suffix(".bin")),
+                     "--disable", "no-such-rule"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_fail_on_threshold_controls_exit(self, generated, capsys):
+        binary = str(generated.with_suffix(".bin"))
+        assert main(["lint", binary, "--fail-on", "never"]) == 0
+        # The demo binary produces warnings but no errors.
+        assert main(["lint", binary, "--fail-on", "error"]) == 0
+        assert main(["lint", binary, "--fail-on", "info"]) == 1
+        capsys.readouterr()
 
 
 class TestExperimentsPassthrough:

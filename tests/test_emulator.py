@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.emulator import (EXIT_SENTINEL, Emulator, Flags, Memory,
-                            RunResult, validate_dynamically)
+from repro.emulator import (Emulator, Memory,
+                            validate_dynamically)
 from repro.binary.image import MemoryImage
 from repro.isa import Assembler, mem
-from repro.isa.registers import (R8, R9, R10, RAX, RBP, RCX, RDI, RDX, RSI,
+from repro.isa.registers import (RAX, RBP, RCX, RDX,
                                  RSP)
 
 

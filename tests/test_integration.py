@@ -8,7 +8,6 @@ keep near-perfect precision where linear sweep collapses.
 
 import pytest
 
-from repro import Disassembler
 from repro.baselines import (heuristic_descent, linear_sweep,
                              probabilistic_disassembly, recursive_descent)
 from repro.eval.metrics import aggregate, evaluate

@@ -3,7 +3,6 @@
 import json
 import time
 
-from repro.core.disassembler import Disassembler
 from repro.perf import PhaseTimings, bench_payload, write_bench_json
 from repro.synth import BinarySpec, MSVC_LIKE, generate_binary
 

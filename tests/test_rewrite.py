@@ -8,9 +8,8 @@ calls the emulator makes.
 
 import pytest
 
-from repro.core import Disassembler
 from repro.emulator import Emulator
-from repro.rewrite import COUNTERS_BASE, RewrittenBinary, rewrite_binary
+from repro.rewrite import COUNTERS_BASE, rewrite_binary
 from repro.synth import BinarySpec, generate_binary
 from repro.synth.styles import STYLES
 
