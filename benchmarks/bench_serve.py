@@ -1,0 +1,197 @@
+"""Closed-loop load generator for the serving layer (`repro serve`).
+
+Launches a real server subprocess through the CLI, generates a mixed
+workload of synthetic binaries (styles x seeds), and drives it with a
+fixed number of closed-loop client threads: each thread issues the next
+request as soon as the previous response arrives, so offered load
+tracks service capacity instead of overrunning it.
+
+Two passes are measured:
+
+* **cold** -- every container is unique, so every request reaches a
+  worker; reported as requests/second (the scaling headline: RPS with
+  ``--workers 4`` should be well over 2x the ``--workers 1`` figure).
+* **hot** -- the same containers again, so every request is a result
+  cache hit; cache-hit latency should be an order of magnitude below
+  cold latency.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --workers 4
+    PYTHONPATH=src python benchmarks/bench_serve.py --workers 1 \
+        --binaries 16 --concurrency 4 --json BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import socket
+import statistics
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.perf import bench_payload, write_bench_json  # noqa: E402
+from repro.serve.client import ServeClient              # noqa: E402
+from repro.synth.corpus import BinarySpec, generate_binary  # noqa: E402
+from repro.synth.styles import STYLES, style_by_name    # noqa: E402
+
+
+def build_workload(count: int, functions: int) -> list[bytes]:
+    """``count`` distinct containers cycling through all styles."""
+    styles = sorted(STYLES)
+    blobs = []
+    for index in range(count):
+        spec = BinarySpec(name=f"serve-bench-{index}",
+                          style=style_by_name(styles[index % len(styles)]),
+                          function_count=functions, seed=1000 + index)
+        blobs.append(generate_binary(spec).binary.to_bytes())
+    return blobs
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def start_server(port: int, workers: int, cache_size: int
+                 ) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--workers", str(workers), "--cache-size", str(cache_size)],
+        env=env, cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def closed_loop(client: ServeClient, blobs: list[bytes],
+                concurrency: int) -> tuple[float, list[float]]:
+    """Drive all blobs through ``concurrency`` closed-loop threads."""
+    cursor = iter(range(len(blobs)))
+    lock = threading.Lock()
+    latencies: list[float] = []
+    failures: list[Exception] = []
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            started = time.perf_counter()
+            try:
+                client.disassemble(blobs[index])
+            except Exception as error:  # noqa: BLE001 -- reported below
+                failures.append(error)
+                return
+            with lock:
+                latencies.append(time.perf_counter() - started)
+
+    threads = [threading.Thread(target=worker)
+               for _ in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if failures:
+        raise SystemExit(f"load generation failed: {failures[0]}")
+    return elapsed, latencies
+
+
+def summarize(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "count": len(ordered),
+        "mean_ms": round(statistics.mean(ordered) * 1000, 3),
+        "p50_ms": round(ordered[len(ordered) // 2] * 1000, 3),
+        "max_ms": round(ordered[-1] * 1000, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="closed-loop client threads")
+    parser.add_argument("--binaries", type=int, default=32,
+                        help="distinct containers in the workload")
+    parser.add_argument("--functions", type=int, default=12,
+                        help="functions per generated binary")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the numbers as a BENCH_*.json dump")
+    args = parser.parse_args(argv)
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cores = os.cpu_count() or 1
+    if args.workers > cores:
+        print(f"note: {args.workers} workers but only {cores} usable "
+              f"CPU(s) -- disassembly is CPU-bound, so throughput "
+              f"cannot scale past the core count on this machine")
+
+    print(f"generating {args.binaries} binaries "
+          f"({args.functions} functions each)...")
+    blobs = build_workload(args.binaries, args.functions)
+
+    port = free_port()
+    server = start_server(port, args.workers, cache_size=args.binaries * 2)
+    client = ServeClient(port=port, timeout=300.0)
+    try:
+        client.wait_ready(timeout=120.0)
+
+        cold_elapsed, cold = closed_loop(client, blobs, args.concurrency)
+        hot_elapsed, hot = closed_loop(client, blobs, args.concurrency)
+
+        cache = client.metrics()["cache"]
+        assert cache["hits"] >= len(blobs), cache
+    finally:
+        server.send_signal(signal.SIGTERM)
+        exit_code = server.wait(timeout=60)
+
+    cold_summary = summarize(cold)
+    hot_summary = summarize(hot)
+    rps = len(blobs) / cold_elapsed
+    speedup = cold_summary["mean_ms"] / max(hot_summary["mean_ms"], 1e-6)
+    print(f"workers={args.workers} concurrency={args.concurrency} "
+          f"binaries={args.binaries}")
+    print(f"cold: {rps:6.1f} req/s   "
+          f"mean {cold_summary['mean_ms']:8.1f}ms   "
+          f"p50 {cold_summary['p50_ms']:8.1f}ms")
+    print(f"hot:  {len(blobs) / hot_elapsed:6.1f} req/s   "
+          f"mean {hot_summary['mean_ms']:8.1f}ms   "
+          f"p50 {hot_summary['p50_ms']:8.1f}ms")
+    print(f"cache-hit latency is {speedup:.1f}x below cold latency")
+    print(f"server drained cleanly (exit {exit_code})")
+
+    if args.json:
+        write_bench_json(args.json, bench_payload(
+            kind="serve-load",
+            usable_cores=cores,
+            workers=args.workers,
+            concurrency=args.concurrency,
+            binaries=args.binaries,
+            cold_rps=round(rps, 2),
+            cold=cold_summary,
+            hot=hot_summary,
+            hit_speedup=round(speedup, 2),
+        ))
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

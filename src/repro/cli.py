@@ -50,6 +50,11 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     rich = disassembler.disassemble_rich(binary)
     result = rich.result
     text = binary.text.data
+    if args.json:
+        # The canonical machine-readable claim; the serving layer's
+        # /v1/disassemble response embeds exactly these bytes.
+        print(result.to_json())
+        return 0
     print(result.summary())
     if args.profile:
         print("\nphase timings:")
@@ -143,6 +148,24 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        batch_max=args.batch_max,
+        batch_window=args.batch_window_ms / 1000.0,
+        cache_size=args.cache_size,
+        max_body=args.max_body_mb * 1024 * 1024,
+        default_timeout=args.timeout_s,
+        access_log_path=args.access_log,
+    )
+    return run_server(config)
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .eval.experiments import main as experiments_main
     argv = list(args.ids)
@@ -173,6 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.add_argument("binary")
     disasm.add_argument("--listing", action="store_true",
                         help="print the full instruction listing")
+    disasm.add_argument("--json", action="store_true",
+                        help="print the result as canonical JSON "
+                             "(byte-identical to the serving API)")
     disasm.add_argument("--profile", action="store_true",
                         help="print per-phase wall-clock timings")
     disasm.set_defaults(func=_cmd_disasm)
@@ -209,6 +235,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="relocate only, without instrumentation")
     rewrite.add_argument("--map", help="write the address map as JSON")
     rewrite.set_defaults(func=_cmd_rewrite)
+
+    serve = sub.add_parser(
+        "serve", help="run the disassembly service (HTTP JSON API)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes (0 = run jobs inline)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="queued-job bound before answering 429")
+    serve.add_argument("--batch-max", type=int, default=8,
+                       help="max jobs dispatched to a worker as one batch")
+    serve.add_argument("--batch-window-ms", type=float, default=0.0,
+                       help="micro-batch linger window in milliseconds")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--max-body-mb", type=int, default=64,
+                       help="largest accepted request body in MiB")
+    serve.add_argument("--timeout-s", type=float, default=120.0,
+                       help="default per-job deadline in seconds")
+    serve.add_argument("--access-log", metavar="PATH", default=None,
+                       help="JSONL access-log path (default: stderr)")
+    serve.set_defaults(func=_cmd_serve)
 
     experiments = sub.add_parser("experiments",
                                  help="run evaluation experiments")

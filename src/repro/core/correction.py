@@ -287,10 +287,17 @@ class CorrectionEngine:
         undo: dict[int, tuple[int, int]] = {}
         worklist: list[tuple[int, int]] = [(seed, 0)]
         visited: set[int] = set()
+        # Soft seeds have no corroborating evidence: random data that
+        # happens to decode typically derails eventually, not always
+        # within STRICT_DEPTH, so for them *any* contradiction refutes
+        # the whole trace.  Stronger seeds keep the depth window --
+        # genuine code may legitimately abut older wrong decisions far
+        # from the seed, and aborting there would lose real coverage.
+        strict_everywhere = priority <= Priority.SOFT
 
         def contradiction(depth: int) -> bool:
             """Returns True when the trace must be aborted."""
-            return depth <= STRICT_DEPTH
+            return strict_everywhere or depth <= STRICT_DEPTH
 
         while worklist:
             offset, depth = worklist.pop()
@@ -487,6 +494,11 @@ class CorrectionEngine:
                 if state.is_data(i) and \
                         state.priorities[i] > Priority.SOFT:
                     return False
+                if i > current and state.is_code(i):
+                    # Overlaps confirmed code mid-instruction: the
+                    # "join" would straddle an existing instruction
+                    # start, which real leftover code never does.
+                    return False
             if not instruction.falls_through:
                 return True
             nxt = instruction.end
@@ -530,10 +542,17 @@ class CorrectionEngine:
         as a clean instruction run ending exactly at the following
         confirmed instruction, the correct fix is to accept it as code.
         """
+        text = self.superset.text
         for start, end in self.state.data_regions():
             if end - start > max_size:
                 continue
             if end >= self.state.size or not self.state.is_code_start(end):
+                continue
+            if all(text[i] in _PADDING_BYTES for i in range(start, end)):
+                # A pure padding run in front of a function entry is
+                # data by convention; int3/nop bytes always tile
+                # cleanly, so without this guard they'd be "realigned"
+                # into code.
                 continue
             if any(fall <= start < fall + 32
                    for fall in self.noreturn_fall_sites):

@@ -76,11 +76,18 @@ class Disassembler:
         return self.disassemble_rich(target, entry=entry).result
 
     def disassemble_rich(self, target: Binary | TestCase | bytes,
-                         entry: int | None = None) -> Disassembly:
-        """Disassemble and return the result plus intermediate state."""
+                         entry: int | None = None, *,
+                         timings: PhaseTimings | None = None) -> Disassembly:
+        """Disassemble and return the result plus intermediate state.
+
+        ``timings`` lets a caller accumulate phase durations across
+        many runs into one :class:`PhaseTimings` (the serving layer
+        aggregates per-batch worker timings this way); by default each
+        run gets a fresh timer.
+        """
         text, entry, image = _extract(target, entry)
         config = self.config
-        timings = PhaseTimings()
+        timings = timings if timings is not None else PhaseTimings()
 
         with timings.phase("superset"):
             superset = cached_superset(text)

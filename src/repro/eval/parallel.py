@@ -92,16 +92,28 @@ BASELINE_RUNNERS = {
 _WORKER_DISASSEMBLERS: dict[ToolSpec, Disassembler] = {}
 
 
-def run_tool(spec: ToolSpec, case: TestCase) -> DisassemblyResult:
-    """Run one tool on one binary (reusing per-process disassemblers)."""
-    if spec.kind == "baseline":
-        return BASELINE_RUNNERS[spec.name](case)
+def disassembler_for(spec: ToolSpec) -> Disassembler:
+    """The per-process cached :class:`Disassembler` for a repro spec.
+
+    Every caller that wants warm-model reuse across many runs in one
+    process -- the evaluation workers below and the serving layer's
+    job workers (:mod:`repro.serve.scheduler`) -- goes through here.
+    """
+    if spec.kind != "repro":
+        raise ValueError(f"no disassembler for tool kind {spec.kind!r}")
     disassembler = _WORKER_DISASSEMBLERS.get(spec)
     if disassembler is None:
         disassembler = (Disassembler(config=spec.config)
                         if spec.config is not None else Disassembler())
         _WORKER_DISASSEMBLERS[spec] = disassembler
-    return disassembler.disassemble(case)
+    return disassembler
+
+
+def run_tool(spec: ToolSpec, case: TestCase) -> DisassemblyResult:
+    """Run one tool on one binary (reusing per-process disassemblers)."""
+    if spec.kind == "baseline":
+        return BASELINE_RUNNERS[spec.name](case)
+    return disassembler_for(spec).disassemble(case)
 
 
 def _evaluate_pair(pair: tuple[ToolSpec, TestCase]) -> Evaluation:

@@ -48,6 +48,20 @@ class PhaseTimings:
         """Record an externally measured duration."""
         self.phases[name] = self.phases.get(name, 0.0) + seconds
 
+    def merge(self, other: PhaseTimings | dict[str, float]) -> None:
+        """Accumulate another timing set phase-by-phase.
+
+        The serving layer's metrics aggregate worker-side phase
+        timings across many requests this way; a ``total`` key from
+        :meth:`as_dict` output is skipped so merging a dump never
+        double-counts.
+        """
+        phases = other.phases if isinstance(other, PhaseTimings) else other
+        for name, seconds in phases.items():
+            if name == "total":
+                continue
+            self.add(name, seconds)
+
     @property
     def total(self) -> float:
         return sum(self.phases.values())

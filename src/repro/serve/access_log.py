@@ -1,0 +1,65 @@
+"""Structured JSONL access logging for the serving layer.
+
+One JSON object per line, one line per HTTP request, flushed eagerly
+so a crash or SIGKILL loses at most the in-flight request.  Fields are
+stable and sorted, so downstream tooling (grep, jq, log shippers) can
+rely on the shape::
+
+    {"cached": false, "endpoint": "/v1/disassemble", "id": "r00000003",
+     "latency_ms": 412.7, "method": "POST", "status": 200, "ts": ...}
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import IO
+
+
+class AccessLog:
+    """Append-only JSONL writer; ``path=None`` writes to stderr."""
+
+    def __init__(self, path: str | Path | None = None,
+                 stream: IO[str] | None = None,
+                 enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.path = Path(path) if path is not None else None
+        self._owns_stream = False
+        if not enabled:
+            self._stream: IO[str] | None = None
+        elif stream is not None:
+            self._stream = stream
+        elif self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = sys.stderr
+        self.lines_written = 0
+
+    def record(self, **fields) -> None:
+        """Write one access-log line (timestamped unless given)."""
+        if not self.enabled or self._stream is None:
+            return
+        fields.setdefault("ts", round(time.time(), 6))
+        line = json.dumps(fields, sort_keys=True, default=str)
+        try:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self.lines_written += 1
+        except (OSError, ValueError):
+            # A full disk or closed stream must never take down serving.
+            self.enabled = False
+
+    def close(self) -> None:
+        """Flush and release the file handle (part of graceful drain)."""
+        if self._stream is not None and self._owns_stream:
+            try:
+                self._stream.flush()
+                self._stream.close()
+            except (OSError, ValueError):
+                pass
+        self._stream = None
+        self.enabled = False

@@ -1,0 +1,74 @@
+"""Content-addressed result cache for the serving layer.
+
+Keys are ``sha256(container bytes)`` + the effective config
+fingerprint + the job kind, so a repeated binary under the same config
+skips disassembly entirely while any config change (or asking for lint
+instead of disassembly) is a guaranteed miss.  Values are the exact
+response payload strings a worker produced, so a cache hit serves
+byte-identical output to the original computation.
+
+The cache lives in the server process and is only touched from the
+event-loop thread, so it needs no locking; it is bounded LRU with
+hit/miss/eviction counters surfaced on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from .protocol import config_fingerprint
+
+
+def result_key(blob: bytes, kind: str,
+               config_overrides: dict | None,
+               extra: str = "") -> str:
+    """The full cache key of one (container, kind, config) request."""
+    digest = hashlib.sha256(blob).hexdigest()
+    key = f"{kind}:{digest}:{config_fingerprint(config_overrides)}"
+    return f"{key}:{extra}" if extra else key
+
+
+class ResultCache:
+    """Bounded LRU mapping result keys to response payload strings."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max(0, int(max_entries))
+        self._entries: OrderedDict[str, str] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> str | None:
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: str) -> None:
+        if self.max_entries == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = payload
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

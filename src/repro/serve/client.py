@@ -1,0 +1,153 @@
+"""A small blocking client for the serving API.
+
+Used by the test suite, the CI smoke job, and the closed-loop load
+generator (``benchmarks/bench_serve.py``).  One HTTP connection per
+request keeps it trivially thread-safe: a load generator can share one
+:class:`ServeClient` across worker threads.
+
+>>> client = ServeClient(port=8080)                    # doctest: +SKIP
+>>> body = client.disassemble(binary.to_bytes())       # doctest: +SKIP
+>>> body["result"]["function_entries"]                 # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any
+
+from ..result import DisassemblyResult
+from .protocol import encode_binary
+
+
+class ServeError(Exception):
+    """A non-2xx response; carries status and the decoded body."""
+
+    def __init__(self, status: int, body: Any) -> None:
+        message = body.get("error") if isinstance(body, dict) else str(body)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body
+
+
+class BackpressureError(ServeError):
+    """HTTP 429: the queue is full.  ``retry_after`` is in seconds."""
+
+    def __init__(self, status: int, body: Any,
+                 retry_after: float) -> None:
+        super().__init__(status, body)
+        self.retry_after = retry_after
+
+
+class DeadlineError(ServeError):
+    """HTTP 504: the job's deadline expired."""
+
+
+class ServeClient:
+    """Blocking JSON client for one ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: dict | None = None
+                ) -> tuple[int, dict[str, str], Any]:
+        """One raw round trip: (status, headers, decoded body)."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") \
+                if body is not None else None
+            connection.request(method, path, body=payload,
+                               headers={"Content-Type": "application/json"}
+                               if payload else {})
+            response = connection.getresponse()
+            raw = response.read()
+            headers = {name.lower(): value
+                       for name, value in response.getheaders()}
+            try:
+                decoded = json.loads(raw) if raw else None
+            except json.JSONDecodeError:
+                decoded = raw.decode("utf-8", "replace")
+            return response.status, headers, decoded
+        finally:
+            connection.close()
+
+    def _checked(self, method: str, path: str,
+                 body: dict | None = None) -> Any:
+        status, headers, decoded = self.request(method, path, body)
+        if 200 <= status < 300:
+            return decoded
+        if status == 429:
+            retry_after = float(headers.get("retry-after", "1"))
+            raise BackpressureError(status, decoded, retry_after)
+        if status == 504:
+            raise DeadlineError(status, decoded)
+        raise ServeError(status, decoded)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def disassemble(self, blob: bytes, *, config: dict | None = None,
+                    timeout_ms: int | None = None) -> dict:
+        """POST /v1/disassemble; returns the full response body."""
+        body: dict = {"binary_b64": encode_binary(blob)}
+        if config is not None:
+            body["config"] = config
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        return self._checked("POST", "/v1/disassemble", body)
+
+    def disassemble_result(self, blob: bytes, *,
+                           config: dict | None = None,
+                           timeout_ms: int | None = None
+                           ) -> DisassemblyResult:
+        """Like :meth:`disassemble`, decoded to a DisassemblyResult."""
+        body = self.disassemble(blob, config=config, timeout_ms=timeout_ms)
+        return DisassemblyResult.from_json(json.dumps(body["result"]))
+
+    def lint(self, blob: bytes, *, config: dict | None = None,
+             disable: tuple[str, ...] = (),
+             timeout_ms: int | None = None) -> dict:
+        """POST /v1/lint; returns the full response body."""
+        body: dict = {"binary_b64": encode_binary(blob)}
+        if config is not None:
+            body["config"] = config
+        if disable:
+            body["disable"] = list(disable)
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        return self._checked("POST", "/v1/lint", body)
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._checked("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 30.0,
+                   interval: float = 0.05) -> dict:
+        """Poll ``/healthz`` until the server answers (or time out)."""
+        deadline = time.monotonic() + timeout
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (ConnectionError, socket.error, ServeError) as error:
+                last_error = error
+                time.sleep(interval)
+        raise TimeoutError(
+            f"server at {self.host}:{self.port} not ready after "
+            f"{timeout:.0f}s: {last_error}")

@@ -1,0 +1,129 @@
+"""Operational counters for the serving layer, exposed on ``/metrics``.
+
+Everything here is plain in-process counting -- no background threads,
+no sampling.  Worker-side phase durations arrive as
+:meth:`~repro.perf.PhaseTimings.as_dict` dumps attached to batch
+results and are merged into one process-wide
+:class:`~repro.perf.PhaseTimings`, so ``/metrics`` shows where worker
+time actually goes (superset, scoring, correction, ...) using the same
+instrumentation the offline CLI prints under ``--profile``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..perf import PhaseTimings
+
+
+class LatencySummary:
+    """Streaming min/max/mean summary of a duration series (seconds)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": round(self.total, 6),
+            "mean_s": round(self.mean, 6),
+            "min_s": round(self.min, 6) if self.count else 0.0,
+            "max_s": round(self.max, 6),
+        }
+
+
+class ServeMetrics:
+    """All counters one serving process exports."""
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        #: (endpoint, status) -> count, e.g. ("/v1/disassemble", 200).
+        self.requests: dict[tuple[str, int], int] = {}
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0      # expired before a worker ran them
+        self.jobs_timed_out = 0      # deadline passed while running
+        self.rejected_queue_full = 0
+        self.batches = 0
+        self.batched_jobs = 0
+        self.queue_depth = 0
+        self.queue_peak = 0
+        self.in_flight = 0
+        self.latency: dict[str, LatencySummary] = {}
+        self.worker_phases = PhaseTimings()
+
+    # ------------------------------------------------------------------
+
+    def record_request(self, endpoint: str, status: int,
+                       seconds: float) -> None:
+        key = (endpoint, status)
+        self.requests[key] = self.requests.get(key, 0) + 1
+        self.latency.setdefault(endpoint, LatencySummary()).record(seconds)
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_jobs += size
+
+    def record_queue_depth(self, depth: int) -> None:
+        self.queue_depth = depth
+        self.queue_peak = max(self.queue_peak, depth)
+
+    def merge_worker_phases(self, phases: dict[str, float]) -> None:
+        self.worker_phases.merge(phases)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self, *, cache_stats: dict | None = None,
+                 extra: dict | None = None) -> dict:
+        """The ``/metrics`` response body."""
+        out = {
+            "uptime_s": round(time.time() - self.started, 3),
+            "requests": {
+                f"{endpoint}:{status}": count
+                for (endpoint, status), count in sorted(self.requests.items())
+            },
+            "jobs": {
+                "submitted": self.jobs_submitted,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "cancelled": self.jobs_cancelled,
+                "timed_out": self.jobs_timed_out,
+                "rejected_queue_full": self.rejected_queue_full,
+            },
+            "batching": {
+                "batches": self.batches,
+                "batched_jobs": self.batched_jobs,
+                "mean_batch_size": (round(self.batched_jobs / self.batches, 3)
+                                    if self.batches else 0.0),
+            },
+            "queue": {
+                "depth": self.queue_depth,
+                "peak": self.queue_peak,
+                "in_flight": self.in_flight,
+            },
+            "latency": {endpoint: summary.as_dict()
+                        for endpoint, summary in sorted(self.latency.items())},
+            "worker_phases_s": {
+                name: round(seconds, 6)
+                for name, seconds in self.worker_phases.as_dict().items()
+            },
+        }
+        if cache_stats is not None:
+            out["cache"] = cache_stats
+        if extra:
+            out.update(extra)
+        return out

@@ -1,0 +1,166 @@
+"""Wire shapes of the serving API: jobs, config handling, errors.
+
+The service speaks plain JSON.  A disassembly request carries the
+binary as a base64 ``.bin`` container plus optional
+:class:`~repro.core.config.DisassemblerConfig` field overrides; the
+response embeds the exact :meth:`DisassemblyResult.to_json
+<repro.result.DisassemblyResult.to_json>` object, so serving output is
+byte-identical to the offline CLI for the same container and config
+(the acceptance bar of the serving layer).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.config import DEFAULT_CONFIG, DisassemblerConfig
+from ..stats.cache import stable_digest
+
+#: Bump when request/response shapes or job semantics change.
+PROTOCOL_VERSION = 1
+
+#: Job kinds the scheduler understands.
+KINDS = ("disassemble", "lint")
+
+
+class ProtocolError(ValueError):
+    """A malformed request; carries the HTTP status to answer with."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class JobRequest:
+    """One unit of work as it travels to the scheduler and workers."""
+
+    id: str
+    kind: str                               # member of KINDS
+    blob: bytes                             # serialized .bin container
+    config_overrides: dict[str, Any] | None = None
+    lint_disable: tuple[str, ...] = ()
+    #: Absolute monotonic deadline; the scheduler refuses to start the
+    #: job after it (the job is *cancelled*, not merely late).
+    deadline: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ProtocolError(f"unknown job kind {self.kind!r}")
+
+    def worker_item(self) -> tuple:
+        """The picklable tuple shipped to a worker process."""
+        return (self.id, self.kind, self.blob, self.config_overrides,
+                self.lint_disable)
+
+
+@dataclass
+class JobResult:
+    """What a worker returns for one job."""
+
+    id: str
+    ok: bool
+    #: On success: the payload JSON string (``DisassemblyResult.to_json``
+    #: or ``LintReport.to_json``).  On failure: an error message.
+    payload: str
+    error_kind: str = ""
+
+
+# ----------------------------------------------------------------------
+# Config handling
+# ----------------------------------------------------------------------
+
+_CONFIG_FIELDS = {f.name: f.type for f in
+                  dataclasses.fields(DisassemblerConfig)}
+
+
+def config_from_overrides(overrides: dict[str, Any] | None
+                          ) -> DisassemblerConfig:
+    """A :class:`DisassemblerConfig` from a request's override dict.
+
+    Unknown field names are a client error (400), not silently
+    ignored: a typo would otherwise serve results under the wrong
+    cache key forever.
+    """
+    if not overrides:
+        return DEFAULT_CONFIG
+    unknown = sorted(set(overrides) - set(_CONFIG_FIELDS))
+    if unknown:
+        raise ProtocolError(f"unknown config field(s): {', '.join(unknown)}")
+    try:
+        return DisassemblerConfig(**overrides)
+    except TypeError as error:
+        raise ProtocolError(f"bad config: {error}") from error
+
+
+def config_fingerprint(overrides: dict[str, Any] | None) -> str:
+    """Stable digest of the *effective* config for cache keying.
+
+    Computed over the full resolved config (defaults included), so two
+    override dicts that resolve to the same effective config share one
+    fingerprint, and a default-config request keys identically to an
+    empty override dict.
+    """
+    config = config_from_overrides(overrides)
+    return stable_digest({"protocol": PROTOCOL_VERSION,
+                          **dataclasses.asdict(config)})
+
+
+# ----------------------------------------------------------------------
+# Body parsing
+# ----------------------------------------------------------------------
+
+def decode_binary_field(body: dict[str, Any]) -> bytes:
+    """Extract and base64-decode the ``binary_b64`` request field."""
+    encoded = body.get("binary_b64")
+    if not isinstance(encoded, str) or not encoded:
+        raise ProtocolError("missing or non-string 'binary_b64' field")
+    try:
+        return base64.b64decode(encoded, validate=True)
+    except (binascii.Error, ValueError) as error:
+        raise ProtocolError(f"bad base64 in 'binary_b64': {error}") \
+            from error
+
+
+def encode_binary(blob: bytes) -> str:
+    """The client-side counterpart of :func:`decode_binary_field`."""
+    return base64.b64encode(blob).decode("ascii")
+
+
+@dataclass
+class ParsedRequest:
+    """A validated ``/v1/*`` request body."""
+
+    blob: bytes
+    config_overrides: dict[str, Any] | None
+    lint_disable: tuple[str, ...] = ()
+    timeout_ms: int | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+def parse_job_body(body: Any, kind: str) -> ParsedRequest:
+    """Validate a request body for ``POST /v1/disassemble`` or ``/v1/lint``."""
+    if not isinstance(body, dict):
+        raise ProtocolError("request body must be a JSON object")
+    blob = decode_binary_field(body)
+    overrides = body.get("config")
+    if overrides is not None and not isinstance(overrides, dict):
+        raise ProtocolError("'config' must be a JSON object")
+    config_from_overrides(overrides)        # validate field names early
+    timeout_ms = body.get("timeout_ms")
+    if timeout_ms is not None:
+        if not isinstance(timeout_ms, int) or timeout_ms <= 0:
+            raise ProtocolError("'timeout_ms' must be a positive integer")
+    disable: tuple[str, ...] = ()
+    if kind == "lint":
+        raw = body.get("disable", [])
+        if not isinstance(raw, list) or \
+                not all(isinstance(r, str) for r in raw):
+            raise ProtocolError("'disable' must be a list of rule ids")
+        disable = tuple(raw)
+    return ParsedRequest(blob=blob, config_overrides=overrides,
+                         lint_disable=disable, timeout_ms=timeout_ms)

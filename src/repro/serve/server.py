@@ -1,0 +1,392 @@
+"""The asyncio HTTP/1.1 JSON API of the serving layer.
+
+Stdlib-only (``asyncio`` + ``json``): a hand-rolled HTTP/1.1 request
+parser over :func:`asyncio.start_server`, which is all four endpoints
+need::
+
+    POST /v1/disassemble   {"binary_b64": ..., "config"?, "timeout_ms"?}
+    POST /v1/lint          {... same ..., "disable"?: [rule ids]}
+    GET  /healthz
+    GET  /metrics
+
+Every request gets a server-assigned id (echoed as ``X-Request-Id``
+and in the body), a deadline, and a structured access-log line.
+Overload answers are explicit: 413 over ``max_body``, 429 with
+``Retry-After`` when the job queue is full, 503 while draining, 504
+when a deadline expires.  SIGTERM/SIGINT triggers a graceful drain:
+stop accepting, finish in-flight jobs, flush logs, exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import signal
+import time
+from dataclasses import dataclass
+
+from ..binary.container import Binary, BinaryFormatError
+from .access_log import AccessLog
+from .cache import ResultCache, result_key
+from .metrics import ServeMetrics
+from .protocol import (PROTOCOL_VERSION, JobRequest, ProtocolError,
+                       parse_job_body)
+from .scheduler import (DrainingError, JobCancelledError, JobFailedError,
+                        JobScheduler, JobTimeoutError, QueueFullError,
+                        SchedulerConfig)
+
+_MAX_REQUEST_LINE = 8 * 1024
+_MAX_HEADER_COUNT = 64
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080                     # 0 = ephemeral (tests)
+    workers: int = 1                     # 0 = inline execution
+    max_queue: int = 64
+    batch_max: int = 8
+    batch_window: float = 0.0            # seconds
+    cache_size: int = 256                # result-cache entries
+    max_body: int = 64 * 1024 * 1024     # bytes
+    default_timeout: float = 120.0       # per-job deadline, seconds
+    access_log_path: str | None = None   # None = stderr
+    access_log_enabled: bool = True
+
+    def scheduler_config(self) -> SchedulerConfig:
+        return SchedulerConfig(workers=self.workers,
+                               max_queue=self.max_queue,
+                               batch_max=self.batch_max,
+                               batch_window=self.batch_window)
+
+
+class ServeApp:
+    """One serving process: HTTP front end + scheduler + cache."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = ServeMetrics()
+        self.cache = ResultCache(max_entries=self.config.cache_size)
+        self.scheduler = JobScheduler(self.config.scheduler_config(),
+                                      metrics=self.metrics)
+        self.access_log = AccessLog(path=self.config.access_log_path,
+                                    enabled=self.config.access_log_enabled)
+        self._ids = itertools.count(1)
+        self._server: asyncio.base_events.Server | None = None
+        self._draining = False
+        self._active_requests = 0
+        self._stopped: asyncio.Event | None = None
+        self._drain_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves ``port=0``)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+
+    async def serve_forever(self, *, install_signals: bool = False,
+                            ready: asyncio.Event | None = None,
+                            announce=None) -> None:
+        """Start and run until :meth:`initiate_drain` completes."""
+        await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self.initiate_drain, signum)
+        if announce is not None:
+            announce(f"serving on {self.config.host}:{self.port} "
+                     f"({self.config.workers} workers, "
+                     f"queue {self.config.max_queue}, "
+                     f"cache {self.config.cache_size})")
+        if ready is not None:
+            ready.set()
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    def initiate_drain(self, signum: int | None = None) -> None:
+        """Begin graceful shutdown (idempotent, signal-safe)."""
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_task = asyncio.ensure_future(self._drain(signum))
+
+    async def _drain(self, signum: int | None) -> None:
+        self.access_log.record(event="drain-start",
+                               signal=signum if signum is not None else "api",
+                               queue_depth=self.scheduler.queue_depth(),
+                               in_flight=self.scheduler.in_flight)
+        if self._server is not None:
+            self._server.close()           # stop accepting connections
+            await self._server.wait_closed()
+        while self._active_requests > 0:   # finish requests being served
+            await asyncio.sleep(0.01)
+        await self.scheduler.drain()       # finish queued + in-flight jobs
+        self.access_log.record(event="drain-complete")
+        self.access_log.close()            # flush logs last
+        assert self._stopped is not None
+        self._stopped.set()
+
+    async def aclose(self) -> None:
+        """Non-graceful teardown for tests."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.scheduler.stop()
+        self.access_log.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body, parse_error = parsed
+                keep_alive = (not self._draining and parse_error is None
+                              and headers.get("connection", "").lower()
+                              != "close")
+                await self._serve_one(writer, method, path, headers,
+                                      body, parse_error, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request; returns None on clean EOF.
+
+        Returns ``(method, path, headers, body, error)`` where
+        ``error`` is a ready-made (status, message) for malformed input
+        whose connection is still in a recoverable state.
+        """
+        try:
+            line = await reader.readline()
+        except ValueError:
+            return ("GET", "/", {}, b"", (400, "request line too long"))
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            return ("GET", "/", {}, b"", (400, "malformed request line"))
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_COUNT + 1):
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        else:
+            return (method, target, headers, b"", (400, "too many headers"))
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            return (method, target, headers, b"",
+                    (501, "chunked bodies not supported"))
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return (method, target, headers, b"",
+                    (400, "bad Content-Length"))
+        if length > self.config.max_body:
+            # The body is not drained: answer and close the connection.
+            return (method, target, headers, b"",
+                    (413, f"body exceeds max_body={self.config.max_body}"))
+        body = await reader.readexactly(length) if length else b""
+        return (method, target, headers, body, None)
+
+    async def _serve_one(self, writer: asyncio.StreamWriter, method: str,
+                         path: str, headers: dict[str, str], body: bytes,
+                         parse_error, keep_alive: bool) -> None:
+        request_id = f"r{next(self._ids):08d}"
+        started = time.monotonic()
+        self._active_requests += 1
+        extra_headers: dict[str, str] = {}
+        cached = False
+        try:
+            if parse_error is not None:
+                status, message = parse_error
+                payload: dict = {"error": message, "id": request_id}
+            else:
+                status, payload, extra_headers, cached = \
+                    await self._dispatch(method, path, body, request_id)
+        except Exception as error:   # noqa: BLE001 -- last-resort 500
+            status = 500
+            payload = {"error": f"internal error: {error}",
+                       "id": request_id}
+        finally:
+            self._active_requests -= 1
+        elapsed = time.monotonic() - started
+        endpoint = path.split("?")[0]
+        self.metrics.record_request(endpoint, status, elapsed)
+        self.access_log.record(id=request_id, method=method,
+                               endpoint=endpoint, status=status,
+                               latency_ms=round(elapsed * 1000, 3),
+                               cached=cached,
+                               bytes_in=len(body))
+        blob = json.dumps(payload).encode("utf-8")
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(blob)}",
+                f"X-Request-Id: {request_id}"]
+        for name, value in extra_headers.items():
+            head.append(f"{name}: {value}")
+        head.append("Connection: keep-alive" if keep_alive
+                    else "Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + blob)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        request_id: str):
+        """Returns (status, payload, extra_headers, cached)."""
+        path = path.split("?")[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {}, False
+            return 200, self._healthz_body(), {}, False
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {}, False
+            snapshot = self.metrics.snapshot(
+                cache_stats=self.cache.stats(),
+                extra={"queue": {
+                    "depth": self.scheduler.queue_depth(),
+                    "peak": self.metrics.queue_peak,
+                    "in_flight": self.scheduler.in_flight,
+                }})
+            return 200, snapshot, {}, False
+        if path in ("/v1/disassemble", "/v1/lint"):
+            if method != "POST":
+                return 405, {"error": "method not allowed"}, {}, False
+            kind = "disassemble" if path == "/v1/disassemble" else "lint"
+            return await self._handle_job(kind, body, request_id)
+        return 404, {"error": f"no such endpoint: {path}"}, {}, False
+
+    def _healthz_body(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(time.time() - self.metrics.started, 3),
+            "workers": self.config.workers,
+            "queue_depth": self.scheduler.queue_depth(),
+            "in_flight": self.scheduler.in_flight,
+        }
+
+    async def _handle_job(self, kind: str, body: bytes, request_id: str):
+        if self._draining:
+            return 503, {"error": "draining", "id": request_id}, {}, False
+        try:
+            parsed = parse_job_body(json.loads(body.decode("utf-8")), kind)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            return 400, {"error": f"bad JSON body: {error}",
+                         "id": request_id}, {}, False
+        except ProtocolError as error:
+            return error.status, {"error": str(error),
+                                  "id": request_id}, {}, False
+        try:
+            Binary.from_bytes(parsed.blob)   # reject garbage pre-queue
+        except (BinaryFormatError, IndexError, ValueError) as error:
+            return 400, {"error": f"bad container: {error}",
+                         "id": request_id}, {}, False
+        if kind == "lint" and parsed.lint_disable:
+            from ..lint import DEFAULT_REGISTRY
+            known = {rule.id for rule in DEFAULT_REGISTRY}
+            unknown = sorted(set(parsed.lint_disable) - known)
+            if unknown:
+                return 400, {"error": f"unknown rule(s): "
+                                      f"{', '.join(unknown)}",
+                             "id": request_id}, {}, False
+
+        key = result_key(parsed.blob, kind, parsed.config_overrides,
+                         extra=",".join(parsed.lint_disable))
+        hit = self.cache.get(key)
+        if hit is not None:
+            return 200, self._job_envelope(request_id, kind, hit,
+                                           cached=True), {}, True
+
+        timeout = (parsed.timeout_ms / 1000.0
+                   if parsed.timeout_ms is not None
+                   else self.config.default_timeout)
+        job = JobRequest(id=request_id, kind=kind, blob=parsed.blob,
+                         config_overrides=parsed.config_overrides,
+                         lint_disable=parsed.lint_disable,
+                         deadline=time.monotonic() + timeout)
+        try:
+            payload = await self.scheduler.submit(job)
+        except QueueFullError as error:
+            return (429, {"error": "job queue full", "id": request_id,
+                          "retry_after_s": error.retry_after},
+                    {"Retry-After": f"{error.retry_after:.0f}"}, False)
+        except (JobCancelledError, JobTimeoutError):
+            return 504, {"error": "deadline exceeded",
+                         "id": request_id,
+                         "timeout_ms": int(timeout * 1000)}, {}, False
+        except DrainingError:
+            return 503, {"error": "draining", "id": request_id}, {}, False
+        except JobFailedError as error:
+            return 500, {"error": str(error), "kind": error.error_kind,
+                         "id": request_id}, {}, False
+        self.cache.put(key, payload)
+        return 200, self._job_envelope(request_id, kind, payload,
+                                       cached=False), {}, False
+
+    @staticmethod
+    def _job_envelope(request_id: str, kind: str, payload: str,
+                      cached: bool) -> dict:
+        # json.loads preserves object key order, and json.dumps with
+        # default separators reproduces DisassemblyResult.to_json /
+        # LintReport.to_json byte-identically -- the serving
+        # determinism bar depends on this round-trip.
+        field = "result" if kind == "disassemble" else "report"
+        return {"id": request_id, "cached": cached,
+                field: json.loads(payload)}
+
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    501: "Not Implemented", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def run_server(config: ServeConfig, *, announce=print) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    app = ServeApp(config)
+    try:
+        asyncio.run(app.serve_forever(install_signals=True,
+                                      announce=announce))
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -41,19 +41,29 @@ def cache_disabled() -> bool:
     return os.environ.get("REPRO_NO_MODEL_CACHE", "") not in ("", "0")
 
 
+def stable_digest(payload: dict, *, length: int = 16) -> str:
+    """Deterministic hex digest of a JSON-serializable payload.
+
+    The shared keying primitive for every content-addressed cache in
+    the project: the model cache below and the serving layer's result
+    cache (:mod:`repro.serve.cache`) both derive their keys from it, so
+    "same payload" means "same key" across processes and runs.
+    """
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:length]
+
+
 def training_key(seeds: tuple[int, ...], function_count: int,
                  ngram_weights: tuple[float, ...],
                  uniform_weight: float) -> str:
     """Stable hash of the full training configuration."""
-    config = {
+    return stable_digest({
         "version": MODEL_FORMAT_VERSION,
         "seeds": list(seeds),
         "function_count": function_count,
         "ngram_weights": list(ngram_weights),
         "uniform_weight": uniform_weight,
-    }
-    blob = json.dumps(config, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()[:16]
+    })
 
 
 def model_path(key: str) -> Path:

@@ -229,3 +229,71 @@ class TestChainGate:
         # Offset 2 is inside the mov; a chain reaching it mid-body fails.
         if engine.superset.is_valid(2):
             assert not engine._chain_terminates_cleanly(2)
+
+
+class TestSoftTraceStrictness:
+    """Soft (gap-score) seeds are refuted by *any* contradiction.
+
+    Regression guard for the seed-49 latent bug: a statistical gap
+    candidate inside a random-byte literal pool decoded into a long
+    chain that only derailed past STRICT_DEPTH, so the derailment was
+    pruned instead of refuting the trace, and 33 data bytes shipped as
+    code ending in a dangling fall-through.
+    """
+
+    def _long_chain_into_invalid(self) -> bytes:
+        # 12 single-byte instructions, then an undecodable byte: the
+        # contradiction sits deeper than STRICT_DEPTH.
+        return b"\x90" * 12 + b"\x06" + b"\x90\xc3"
+
+    def test_soft_trace_aborts_on_deep_contradiction(self):
+        text = self._long_chain_into_invalid()
+        engine = engine_for(text)
+        outcome = engine.trace(0, Priority.SOFT, "gap-score")
+        assert outcome.aborted
+        assert engine.state.is_unknown(0)
+
+    def test_anchor_trace_keeps_depth_window(self):
+        text = self._long_chain_into_invalid()
+        engine = engine_for(text)
+        outcome = engine.trace(0, Priority.ANCHOR, "entry-point")
+        assert not outcome.aborted
+        assert engine.state.is_code_start(0)
+
+
+class TestRealignPaddingGuard:
+    def test_pure_padding_residue_stays_data(self):
+        # int3 padding directly in front of confirmed code: int3 tiles
+        # cleanly (TRAP falls through for tiling purposes), but padding
+        # before a function entry is data by convention.
+        text = assemble(lambda a: (a.int3(), a.int3(), a.int3(),
+                                   a.int3(), a.ret()))
+        engine = engine_for(text)
+        engine.trace(4, Priority.ANCHOR, "anchor")
+        engine.state.mark_data(0, 4, Priority.SOFT)
+        engine.realign_residues()
+        assert engine.state.is_data(0)
+        assert engine.state.is_data(3)
+
+    def test_mixed_residue_still_realigns(self):
+        text = assemble(lambda a: (a.nop(3), a.ret()))
+        engine = engine_for(text)
+        engine.trace(3, Priority.ANCHOR, "anchor")
+        engine.state.mark_data(0, 3, Priority.SOFT)
+        engine.realign_residues()
+        assert engine.state.is_code_start(0)
+
+
+class TestSeed49Regression:
+    def test_msvc_seed49_has_no_false_code_bytes(self):
+        """The ROADMAP latent bug: msvc-like/6 functions/seed 49."""
+        from repro.eval.metrics import evaluate
+        from repro.synth import BinarySpec, MSVC_LIKE, generate_binary
+
+        case = generate_binary(BinarySpec(name="seed49", style=MSVC_LIKE,
+                                          function_count=6, seed=49))
+        from repro.core import Disassembler
+        evaluation = evaluate(Disassembler().disassemble(case), case.truth)
+        assert evaluation.bytes.false_code == 0
+        assert evaluation.bytes.total_errors == 0
+        assert evaluation.instructions.f1 == 1.0

@@ -1,0 +1,115 @@
+"""Fixtures for the serving-layer tests.
+
+The end-to-end tests run a real :class:`~repro.serve.ServeApp` on an
+ephemeral localhost port inside a background thread (its own asyncio
+event loop), driven through the blocking :class:`~repro.serve.client.
+ServeClient` -- the same path production traffic takes.  Inline job
+execution (``workers=0``) keeps them fast and lets tests monkeypatch
+``repro.serve.scheduler.run_batch`` to simulate slow or stuck workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import ServeApp, ServeClient, ServeConfig
+
+
+class ServerHarness:
+    """A ServeApp running on a daemon thread with its own event loop."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.app: ServeApp | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self.app = ServeApp(self.config)
+        ready = asyncio.Event()
+
+        async def announce_ready() -> None:
+            await ready.wait()
+            self._ready.set()
+
+        task = asyncio.ensure_future(announce_ready())
+        try:
+            await self.app.serve_forever(ready=ready)
+        finally:
+            task.cancel()
+
+    def start(self, timeout: float = 120.0) -> ServerHarness:
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("server thread did not become ready")
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self.app is not None
+        return self.app.port
+
+    def client(self, timeout: float = 120.0) -> ServeClient:
+        return ServeClient(port=self.port, timeout=timeout)
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Graceful drain (the SIGTERM path minus the signal)."""
+        assert self.loop is not None and self.app is not None
+        self.loop.call_soon_threadsafe(self.app.initiate_drain)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("server did not drain in time")
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Hard teardown for tests that already asserted what they need."""
+        if not self._thread.is_alive():
+            return
+        assert self.loop is not None and self.app is not None
+        app = self.app
+
+        def _close() -> None:
+            asyncio.ensure_future(app.aclose())
+
+        self.loop.call_soon_threadsafe(_close)
+        self._thread.join(timeout)
+
+
+@pytest.fixture
+def serve_harness(models):
+    """Factory: start a server with overridable config; always clean up.
+
+    Depends on the session ``models`` fixture so model training cost is
+    paid once, not inside a server thread's first request.
+    """
+    started: list[ServerHarness] = []
+
+    def factory(**overrides) -> ServerHarness:
+        config = ServeConfig(**{"port": 0, "workers": 0,
+                                "access_log_enabled": False,
+                                **overrides})
+        harness = ServerHarness(config).start()
+        started.append(harness)
+        return harness
+
+    yield factory
+    for harness in started:
+        harness.stop()
+
+
+@pytest.fixture(scope="session")
+def msvc_blob(msvc_case) -> bytes:
+    """The msvc test binary as serialized container bytes."""
+    return msvc_case.binary.to_bytes()
+
+
+@pytest.fixture(scope="session")
+def gcc_blob(gcc_case) -> bytes:
+    return gcc_case.binary.to_bytes()

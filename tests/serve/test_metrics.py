@@ -1,0 +1,120 @@
+"""Tests for serving metrics and the JSONL access log."""
+
+import io
+import json
+
+from repro.serve.access_log import AccessLog
+from repro.serve.metrics import LatencySummary, ServeMetrics
+
+
+class TestLatencySummary:
+    def test_empty_summary_is_all_zero(self):
+        summary = LatencySummary()
+        assert summary.mean == 0.0
+        assert summary.as_dict() == {"count": 0, "total_s": 0.0,
+                                     "mean_s": 0.0, "min_s": 0.0,
+                                     "max_s": 0.0}
+
+    def test_records_min_max_mean(self):
+        summary = LatencySummary()
+        for seconds in (0.1, 0.3, 0.2):
+            summary.record(seconds)
+        out = summary.as_dict()
+        assert out["count"] == 3
+        assert out["min_s"] == 0.1
+        assert out["max_s"] == 0.3
+        assert abs(out["mean_s"] - 0.2) < 1e-9
+
+
+class TestServeMetrics:
+    def test_request_counting_and_latency(self):
+        metrics = ServeMetrics()
+        metrics.record_request("/healthz", 200, 0.001)
+        metrics.record_request("/v1/disassemble", 200, 0.5)
+        metrics.record_request("/v1/disassemble", 429, 0.002)
+        snap = metrics.snapshot()
+        assert snap["requests"] == {"/healthz:200": 1,
+                                    "/v1/disassemble:200": 1,
+                                    "/v1/disassemble:429": 1}
+        assert snap["latency"]["/v1/disassemble"]["count"] == 2
+
+    def test_batching_and_queue_stats(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(3)
+        metrics.record_batch(5)
+        metrics.record_queue_depth(7)
+        metrics.record_queue_depth(2)
+        snap = metrics.snapshot()
+        assert snap["batching"] == {"batches": 2, "batched_jobs": 8,
+                                    "mean_batch_size": 4.0}
+        assert snap["queue"]["depth"] == 2
+        assert snap["queue"]["peak"] == 7
+
+    def test_worker_phase_merge_skips_total(self):
+        metrics = ServeMetrics()
+        metrics.merge_worker_phases({"superset": 0.5, "scoring": 0.25,
+                                     "total": 0.75})
+        metrics.merge_worker_phases({"superset": 0.5})
+        phases = metrics.snapshot()["worker_phases_s"]
+        assert phases["superset"] == 1.0
+        assert phases["scoring"] == 0.25
+        # "total" from as_dict() dumps is recomputed, never accumulated.
+        assert phases["total"] == 1.25
+
+    def test_snapshot_embeds_cache_stats_and_extra(self):
+        metrics = ServeMetrics()
+        snap = metrics.snapshot(cache_stats={"hits": 3},
+                                extra={"queue": {"depth": 9}})
+        assert snap["cache"] == {"hits": 3}
+        assert snap["queue"] == {"depth": 9}
+
+
+class TestAccessLog:
+    def test_writes_one_sorted_json_object_per_line(self):
+        stream = io.StringIO()
+        log = AccessLog(stream=stream)
+        log.record(id="r1", status=200, endpoint="/healthz")
+        log.record(id="r2", status=404, endpoint="/nope")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["id"] == "r1"
+        assert first["status"] == 200
+        assert "ts" in first
+        keys = list(json.loads(lines[1]))
+        assert keys == sorted(keys)
+        assert log.lines_written == 2
+
+    def test_file_target_appends_jsonl(self, tmp_path):
+        path = tmp_path / "logs" / "access.jsonl"
+        log = AccessLog(path=path)
+        log.record(id="r1", status=200)
+        log.close()
+        log = AccessLog(path=path)
+        log.record(id="r2", status=200)
+        log.close()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["id"] for r in records] == ["r1", "r2"]
+
+    def test_disabled_log_writes_nothing(self):
+        stream = io.StringIO()
+        log = AccessLog(stream=stream, enabled=False)
+        log.record(id="r1")
+        assert stream.getvalue() == ""
+
+    def test_write_failure_disables_instead_of_raising(self):
+        stream = io.StringIO()
+        log = AccessLog(stream=stream)
+        stream.close()
+        log.record(id="r1")          # must not raise
+        assert log.enabled is False
+        log.record(id="r2")          # still quiet after self-disable
+
+    def test_close_is_idempotent_and_silences_record(self):
+        stream = io.StringIO()
+        log = AccessLog(stream=stream)
+        log.close()
+        log.close()
+        log.record(id="r1")
+        assert log.enabled is False

@@ -1,0 +1,293 @@
+"""End-to-end tests of the serving HTTP API.
+
+A real :class:`ServeApp` runs on an ephemeral port (see ``conftest``)
+and is driven through :class:`ServeClient` -- full HTTP round trips.
+The flagship assertion is serving determinism: the ``result`` object in
+a ``/v1/disassemble`` response re-serializes byte-identically to the
+offline ``repro disasm --json`` output for the same container.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.disassembler import Disassembler
+from repro.serve import scheduler as sched_mod
+from repro.serve.client import (BackpressureError, DeadlineError,
+                                ServeError)
+
+
+def fake_echo_batch(items):
+    """run_batch stand-in whose payloads are valid JSON documents."""
+    return ([(job_id, True, json.dumps({"echo": job_id}), "")
+             for job_id, *_ in items], {})
+
+
+class GatedBatch:
+    def __init__(self):
+        self.gate = threading.Event()
+        self.calls = []
+
+    def __call__(self, items):
+        self.calls.append([job_id for job_id, *_ in items])
+        assert self.gate.wait(20.0), "test forgot to release the gate"
+        return fake_echo_batch(items)
+
+
+class TestEndToEnd:
+    def test_disassemble_matches_offline_output_byte_for_byte(
+            self, serve_harness, msvc_blob, msvc_case):
+        client = serve_harness().client()
+        body = client.disassemble(msvc_blob)
+        offline = Disassembler().disassemble_rich(msvc_case.binary)
+        served = json.dumps(body["result"])
+        assert served == offline.result.to_json()
+        assert body["cached"] is False
+        assert body["id"].startswith("r")
+
+    def test_repeat_request_served_from_cache(self, serve_harness,
+                                              msvc_blob):
+        client = serve_harness().client()
+        first = client.disassemble(msvc_blob)
+        second = client.disassemble(msvc_blob)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+        cache = client.metrics()["cache"]
+        assert cache["hits"] == 1
+        assert cache["misses"] == 1
+
+    def test_config_override_is_a_cache_miss_and_applies(
+            self, serve_harness, msvc_blob):
+        client = serve_harness().client()
+        client.disassemble(msvc_blob)
+        overridden = client.disassemble(
+            msvc_blob, config={"use_lint_feedback": True})
+        assert overridden["cached"] is False
+        assert client.metrics()["cache"]["hits"] == 0
+
+    def test_lint_endpoint_returns_report(self, serve_harness, msvc_blob):
+        client = serve_harness().client()
+        body = client.lint(msvc_blob)
+        report = body["report"]
+        assert "diagnostics" in report
+        assert body["cached"] is False
+        # A disabled rule must key separately from the default run.
+        again = client.lint(msvc_blob, disable=("orphan-code",))
+        assert again["cached"] is False
+
+    def test_healthz_and_metrics_shapes(self, serve_harness, msvc_blob):
+        client = serve_harness().client()
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 0
+        assert health["queue_depth"] == 0
+
+        client.disassemble(msvc_blob)
+        snap = client.metrics()
+        assert snap["requests"]["/v1/disassemble:200"] == 1
+        assert snap["jobs"]["submitted"] == 1
+        assert snap["jobs"]["completed"] == 1
+        assert snap["batching"]["batches"] == 1
+        assert snap["latency"]["/v1/disassemble"]["count"] == 1
+        # Worker phase timings made it back from the job execution.
+        assert snap["worker_phases_s"]["superset"] > 0
+
+    def test_access_log_records_requests(self, serve_harness, msvc_blob,
+                                         tmp_path, monkeypatch):
+        monkeypatch.setattr(sched_mod, "run_batch", fake_echo_batch)
+        path = tmp_path / "access.jsonl"
+        harness = serve_harness(access_log_enabled=True,
+                                access_log_path=str(path))
+        client = harness.client()
+        client.healthz()
+        client.disassemble(msvc_blob)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        endpoints = [r["endpoint"] for r in records if "endpoint" in r]
+        assert endpoints == ["/healthz", "/v1/disassemble"]
+        assert all("id" in r and "latency_ms" in r
+                   for r in records if "endpoint" in r)
+
+
+class TestHttpErrors:
+    @pytest.fixture
+    def client(self, serve_harness, monkeypatch):
+        monkeypatch.setattr(sched_mod, "run_batch", fake_echo_batch)
+        return serve_harness().client()
+
+    def test_unknown_endpoint_404(self, client):
+        with pytest.raises(ServeError) as exc:
+            client._checked("GET", "/v2/nope")
+        assert exc.value.status == 404
+
+    def test_wrong_method_405(self, client):
+        with pytest.raises(ServeError) as exc:
+            client._checked("GET", "/v1/disassemble")
+        assert exc.value.status == 405
+        with pytest.raises(ServeError) as exc:
+            client._checked("POST", "/healthz", {})
+        assert exc.value.status == 405
+
+    def test_malformed_json_400(self, client):
+        status, _, body = client.request("POST", "/v1/disassemble")
+        assert status == 400
+        assert "JSON" in body["error"]
+
+    def test_bad_base64_400(self, client):
+        with pytest.raises(ServeError) as exc:
+            client._checked("POST", "/v1/disassemble",
+                            {"binary_b64": "!!!"})
+        assert exc.value.status == 400
+
+    def test_garbage_container_rejected_before_queueing(self, client):
+        import base64
+        with pytest.raises(ServeError) as exc:
+            client._checked("POST", "/v1/disassemble", {
+                "binary_b64": base64.b64encode(b"not a container").decode()})
+        assert exc.value.status == 400
+        assert "container" in exc.value.body["error"]
+        assert client.metrics()["jobs"]["submitted"] == 0
+
+    def test_unknown_config_field_400(self, client, msvc_blob):
+        with pytest.raises(ServeError) as exc:
+            client.disassemble(msvc_blob, config={"no_such_knob": 1})
+        assert exc.value.status == 400
+        assert "no_such_knob" in exc.value.body["error"]
+
+    def test_unknown_lint_rule_400(self, client, msvc_blob):
+        with pytest.raises(ServeError) as exc:
+            client.lint(msvc_blob, disable=("definitely-not-a-rule",))
+        assert exc.value.status == 400
+        assert "definitely-not-a-rule" in exc.value.body["error"]
+
+    def test_oversized_body_413(self, serve_harness, monkeypatch,
+                                msvc_blob):
+        monkeypatch.setattr(sched_mod, "run_batch", fake_echo_batch)
+        client = serve_harness(max_body=1024).client()
+        with pytest.raises(ServeError) as exc:
+            client.disassemble(msvc_blob)
+        assert exc.value.status == 413
+
+    def test_every_response_carries_request_id(self, client):
+        status, headers, body = client.request("GET", "/nope")
+        assert status == 404
+        assert headers["x-request-id"].startswith("r")
+
+
+class TestOverload:
+    def test_queue_full_answers_429_with_retry_after(
+            self, serve_harness, monkeypatch, msvc_blob):
+        gated = GatedBatch()
+        monkeypatch.setattr(sched_mod, "run_batch", gated)
+        harness = serve_harness(max_queue=1, batch_max=1)
+        client = harness.client()
+
+        results = {}
+
+        def post(name):
+            try:
+                results[name] = client.disassemble(msvc_blob)
+            except Exception as error:  # noqa: BLE001 -- inspected below
+                results[name] = error
+
+        t1 = threading.Thread(target=post, args=("first",))
+        t1.start()
+        deadline = time.monotonic() + 10
+        while not gated.calls and time.monotonic() < deadline:
+            time.sleep(0.01)                # first job now holds the slot
+        t2 = threading.Thread(target=post, args=("second",))
+        t2.start()
+        deadline = time.monotonic() + 10
+        while harness.app.scheduler.queue_depth() < 1 and \
+                time.monotonic() < deadline:
+            time.sleep(0.01)                # second job fills the queue
+
+        with pytest.raises(BackpressureError) as exc:
+            client.disassemble(msvc_blob)
+        assert exc.value.status == 429
+        assert exc.value.retry_after >= 1.0
+        assert exc.value.body["retry_after_s"] >= 1.0
+
+        gated.gate.set()
+        t1.join(20)
+        t2.join(20)
+        assert results["first"]["result"] == {"echo": results["first"]["id"]}
+        # The second request was queued before the first one could
+        # populate the cache, so it computed its own result.
+        assert results["second"]["result"] == \
+            {"echo": results["second"]["id"]}
+        assert client.metrics()["jobs"]["rejected_queue_full"] == 1
+
+    def test_deadline_expiry_answers_504_and_cancels_job(
+            self, serve_harness, monkeypatch, msvc_blob):
+        gated = GatedBatch()
+        monkeypatch.setattr(sched_mod, "run_batch", gated)
+        harness = serve_harness(batch_max=1)
+        client = harness.client()
+
+        stuck = threading.Thread(target=lambda: self._swallow(
+            client.disassemble, msvc_blob))
+        stuck.start()
+        deadline = time.monotonic() + 10
+        while not gated.calls and time.monotonic() < deadline:
+            time.sleep(0.01)
+
+        # The worker slot is held, so this job expires while queued:
+        # the scheduler must cancel it without ever running it.
+        with pytest.raises(DeadlineError) as exc:
+            client.disassemble(msvc_blob, timeout_ms=100)
+        assert exc.value.status == 504
+        assert exc.value.body["timeout_ms"] == 100
+
+        gated.gate.set()
+        stuck.join(20)
+        deadline = time.monotonic() + 10
+        while client.metrics()["jobs"]["cancelled"] < 1 and \
+                time.monotonic() < deadline:
+            time.sleep(0.01)
+        jobs = client.metrics()["jobs"]
+        assert jobs["timed_out"] == 1
+        assert jobs["cancelled"] == 1
+        assert gated.calls == [[gated.calls[0][0]]]  # only the stuck job ran
+
+    @staticmethod
+    def _swallow(fn, *args):
+        try:
+            fn(*args)
+        except Exception:  # noqa: BLE001 -- irrelevant to the assertion
+            pass
+
+
+class TestGracefulDrain:
+    def test_drain_completes_in_flight_request(self, serve_harness,
+                                               monkeypatch, msvc_blob):
+        gated = GatedBatch()
+        monkeypatch.setattr(sched_mod, "run_batch", gated)
+        harness = serve_harness()
+        client = harness.client()
+
+        results = {}
+
+        def post():
+            results["body"] = client.disassemble(msvc_blob)
+
+        worker = threading.Thread(target=post)
+        worker.start()
+        deadline = time.monotonic() + 10
+        while not gated.calls and time.monotonic() < deadline:
+            time.sleep(0.01)
+
+        # Begin graceful shutdown while the job is still running (the
+        # same path the SIGTERM handler takes).
+        harness.loop.call_soon_threadsafe(harness.app.initiate_drain)
+        time.sleep(0.1)
+        assert harness._thread.is_alive()   # drain waits for the job
+
+        gated.gate.set()
+        worker.join(20)
+        harness._thread.join(20)
+        assert not harness._thread.is_alive()
+        assert results["body"]["result"] == {"echo": results["body"]["id"]}

@@ -81,6 +81,19 @@ class TestMissAndCorruption:
         assert not cache.cache_disabled()
 
 
+class TestStableDigest:
+    def test_digest_independent_of_key_order(self):
+        assert cache.stable_digest({"a": 1, "b": [2, 3]}) \
+            == cache.stable_digest({"b": [2, 3], "a": 1})
+
+    def test_digest_sensitive_to_values_and_length_knob(self):
+        a = cache.stable_digest({"a": 1})
+        assert a != cache.stable_digest({"a": 2})
+        assert len(a) == 16
+        assert len(cache.stable_digest({"a": 1}, length=8)) == 8
+        assert cache.stable_digest({"a": 1}, length=8) == a[:8]
+
+
 class TestTrainingKey:
     def test_key_is_stable(self):
         a = cache.training_key((1, 2), 40, (0.5, 0.3, 0.19, 0.01), 0.5)
@@ -92,6 +105,20 @@ class TestTrainingKey:
         b = cache.training_key((1, 3), 40, (0.5, 0.3, 0.19, 0.01), 0.5)
         c = cache.training_key((1, 2), 41, (0.5, 0.3, 0.19, 0.01), 0.5)
         assert len({a, b, c}) == 3
+
+    def test_config_change_invalidates_cached_entry(self, tmp_cache):
+        # A model pair saved under one training config must be a load
+        # miss for any different config -- key-level invalidation is
+        # the only staleness defense the cache has.
+        code, data = small_models()
+        old_key = cache.training_key((1, 2), 40,
+                                     (0.5, 0.3, 0.19, 0.01), 0.5)
+        cache.save_models(old_key, code, data)
+        new_key = cache.training_key((1, 2), 40,
+                                     (0.5, 0.3, 0.19, 0.01), 0.6)
+        assert new_key != old_key
+        assert cache.load_models(old_key) is not None
+        assert cache.load_models(new_key) is None
 
 
 class TestDefaultModels:

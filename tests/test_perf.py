@@ -56,6 +56,38 @@ class TestPhaseTimings:
     def test_empty_render(self):
         assert PhaseTimings().render() == "no phases recorded"
 
+    def test_nested_phases_account_time_to_both_levels(self):
+        # The engine nests timers (a correction pass inside the overall
+        # correction phase); the outer bucket must cover the inner one.
+        timings = PhaseTimings()
+        with timings.phase("correction"):
+            with timings.phase("correction/trace"):
+                time.sleep(0.01)
+        assert timings.phases["correction"] >= \
+            timings.phases["correction/trace"] >= 0.01
+
+    def test_merge_accumulates_phase_by_phase(self):
+        base = PhaseTimings()
+        base.add("superset", 1.0)
+        other = PhaseTimings()
+        other.add("superset", 0.5)
+        other.add("scoring", 0.25)
+        base.merge(other)
+        assert base.phases == {"superset": 1.5, "scoring": 0.25}
+
+    def test_merge_of_as_dict_dump_skips_total(self):
+        # Worker processes ship timings as as_dict() dumps; merging one
+        # must not double-count through the derived "total" key.
+        base = PhaseTimings()
+        dump = PhaseTimings()
+        dump.add("superset", 1.0)
+        dump.add("scoring", 1.0)
+        base.merge(dump.as_dict())
+        base.merge(dump.as_dict())
+        assert "total" not in base.phases
+        assert base.as_dict() == {"superset": 2.0, "scoring": 2.0,
+                                  "total": 4.0}
+
 
 class TestBenchJson:
     def test_write_bench_json_round_trips(self, tmp_path):
