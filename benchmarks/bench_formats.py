@@ -1,0 +1,136 @@
+"""Ingestion throughput: RPRB container vs real ELF64 vs PE-shaped load.
+
+Measures how much the real-format loaders (`repro.formats`) cost
+relative to the native container path, over the same corpus binaries:
+
+* **rprb** -- ``Binary.from_bytes`` on the native container.
+* **elf-parse** -- ``parse_elf`` on the ``emit_elf`` serialization of
+  the same binaries (header walk, section mapping, normalization,
+  hint collection).
+* **elf-detect** -- the full ``load_any`` front door (magic sniffing
+  included), i.e. exactly what ``repro disasm``/``repro serve`` pay.
+* **emit** -- ``emit_elf`` itself (the R1 forward direction).
+
+The parsers are pure header walks over `memoryview`-free `bytes`, so
+throughput should sit within a small constant factor of the container
+path; an order-of-magnitude regression here means a loader started
+copying section data more than once.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_formats.py
+    PYTHONPATH=src python benchmarks/bench_formats.py \
+        --binaries 12 --repeat 20 --json BENCH_formats.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.binary.container import Binary               # noqa: E402
+from repro.formats import emit_elf, load_any, parse_elf  # noqa: E402
+from repro.perf import bench_payload, write_bench_json  # noqa: E402
+from repro.synth.corpus import BinarySpec, generate_binary  # noqa: E402
+from repro.synth.styles import STYLES, style_by_name    # noqa: E402
+
+
+def build_corpus(count: int, functions: int) -> list[Binary]:
+    styles = sorted(STYLES)
+    binaries = []
+    for index in range(count):
+        spec = BinarySpec(name=f"fmt-bench-{index}",
+                          style=style_by_name(styles[index % len(styles)]),
+                          function_count=functions, seed=2000 + index)
+        binaries.append(generate_binary(spec).binary)
+    return binaries
+
+
+def timed(fn, blobs: list, repeat: int, sizes: list[int] | None = None
+          ) -> dict:
+    """Run ``fn`` over every blob ``repeat`` times; report throughput."""
+    total_bytes = sum(sizes if sizes is not None
+                      else [len(blob) for blob in blobs])
+    passes = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        for blob in blobs:
+            fn(blob)
+        passes.append(time.perf_counter() - started)
+    best = min(passes)
+    return {
+        "passes": repeat,
+        "blobs": len(blobs),
+        "bytes_per_pass": total_bytes,
+        "best_pass_ms": round(best * 1000, 3),
+        "mean_pass_ms": round(statistics.mean(passes) * 1000, 3),
+        "mib_per_s": round(total_bytes / best / (1 << 20), 1),
+        "blobs_per_s": round(len(blobs) / best, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binaries", type=int, default=9,
+                        help="corpus size (cycles through all styles)")
+    parser.add_argument("--functions", type=int, default=30,
+                        help="functions per generated binary")
+    parser.add_argument("--repeat", type=int, default=10,
+                        help="timed passes over the corpus (best wins)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the numbers as a BENCH_*.json dump")
+    args = parser.parse_args(argv)
+
+    print(f"generating {args.binaries} binaries "
+          f"({args.functions} functions each)...")
+    corpus = build_corpus(args.binaries, args.functions)
+    rprb_blobs = [binary.to_bytes() for binary in corpus]
+    elf_blobs = [emit_elf(binary) for binary in corpus]
+
+    results = {
+        "rprb": timed(Binary.from_bytes, rprb_blobs, args.repeat),
+        "elf-parse": timed(parse_elf, elf_blobs, args.repeat),
+        "elf-detect": timed(load_any, elf_blobs, args.repeat),
+        "emit": timed(emit_elf, corpus, args.repeat,
+                      sizes=[len(blob) for blob in elf_blobs]),
+    }
+
+    # Sanity: both ingestion paths must see the same binaries.
+    for binary, elf_blob in zip(corpus, elf_blobs):
+        assert parse_elf(elf_blob).binary.to_bytes() == binary.to_bytes()
+
+    width = max(len(name) for name in results)
+    print(f"{'path':<{width}}  {'best-pass':>10}  {'MiB/s':>8}  "
+          f"{'blobs/s':>8}")
+    for name, row in results.items():
+        print(f"{name:<{width}}  {row['best_pass_ms']:>8.1f}ms  "
+              f"{row['mib_per_s']:>8.1f}  {row['blobs_per_s']:>8.1f}")
+
+    ratio = (results['elf-detect']['best_pass_ms']
+             / max(results['rprb']['best_pass_ms'], 1e-9))
+    print(f"elf ingestion costs {ratio:.1f}x the native container path")
+
+    if args.json:
+        payload = bench_payload(
+            benchmark="formats",
+            binaries=args.binaries,
+            functions=args.functions,
+            repeat=args.repeat,
+            results=results,
+            elf_over_rprb_ratio=round(ratio, 2),
+        )
+        written = write_bench_json(args.json, payload)
+        print(f"wrote {written}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

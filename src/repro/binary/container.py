@@ -98,17 +98,31 @@ class Binary:
         """Deserialize a container produced by :meth:`to_bytes`."""
         if blob[:4] != _MAGIC:
             raise BinaryFormatError("bad magic")
-        version, count, entry = struct.unpack_from("<HHQ", blob, 4)
+        try:
+            version, count, entry = struct.unpack_from("<HHQ", blob, 4)
+        except struct.error as error:
+            raise BinaryFormatError(f"truncated header: {error}") from error
         if version != _VERSION:
             raise BinaryFormatError(f"unsupported version {version}")
         pos = 4 + struct.calcsize("<HHQ")
         sections = []
         for _ in range(count):
-            (name_len,) = struct.unpack_from("<H", blob, pos)
-            pos += 2
-            name = blob[pos:pos + name_len].decode("utf-8")
-            pos += name_len
-            addr, size, executable = struct.unpack_from("<QQB", blob, pos)
+            try:
+                (name_len,) = struct.unpack_from("<H", blob, pos)
+                pos += 2
+                raw_name = blob[pos:pos + name_len]
+                if len(raw_name) != name_len:
+                    raise BinaryFormatError("truncated section name")
+                name = raw_name.decode("utf-8")
+                pos += name_len
+                addr, size, executable = struct.unpack_from("<QQB", blob,
+                                                            pos)
+            except struct.error as error:
+                raise BinaryFormatError(
+                    f"truncated section header: {error}") from error
+            except UnicodeDecodeError as error:
+                raise BinaryFormatError(
+                    f"section name is not UTF-8: {error}") from error
             pos += struct.calcsize("<QQB")
             data = blob[pos:pos + size]
             if len(data) != size:

@@ -27,12 +27,28 @@ class TestCase:
     def text(self) -> bytes:
         return self.binary.text.data
 
-    def save(self, directory: str | Path) -> tuple[Path, Path]:
+    def save(self, directory: str | Path,
+             fmt: str = "rprb") -> tuple[Path, Path]:
+        """Write the binary (+ ground-truth sidecar) to ``directory``.
+
+        ``fmt`` selects the container: ``"rprb"`` writes the native
+        ``.bin``, ``"elf"`` writes a real ELF64 executable as ``.elf``
+        (via :func:`repro.formats.emit_elf`); the ground truth travels
+        in the same ``.gt.json`` sidecar either way.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        bin_path = directory / f"{self.name}.bin"
+        if fmt == "rprb":
+            bin_path = directory / f"{self.name}.bin"
+            bin_path.write_bytes(self.binary.to_bytes())
+        elif fmt == "elf":
+            from ..formats import emit_elf
+            bin_path = directory / f"{self.name}.elf"
+            bin_path.write_bytes(emit_elf(self.binary))
+        else:
+            raise ValueError(f"unknown save format {fmt!r} "
+                             f"(expected 'rprb' or 'elf')")
         gt_path = directory / f"{self.name}.gt.json"
-        bin_path.write_bytes(self.binary.to_bytes())
         gt_path.write_text(self.truth.to_json())
         return bin_path, gt_path
 

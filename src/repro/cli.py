@@ -15,11 +15,11 @@ import argparse
 import sys
 from pathlib import Path
 
-from .binary.container import Binary
 from .binary.loader import TestCase
 from .core.config import DisassemblerConfig
 from .core.disassembler import Disassembler
 from .eval.metrics import evaluate
+from .formats import FormatError, LoadedImage, load_any
 from .listing import classify_data_regions, render_listing
 from .synth.corpus import BinarySpec, generate_binary
 from .synth.styles import STYLES, style_by_name
@@ -31,7 +31,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                       function_count=args.functions, seed=args.seed)
     case = generate_binary(spec)
     bin_path, gt_path = case.save(out.parent if out.parent != Path("")
-                                  else Path("."))
+                                  else Path("."), fmt=args.format)
     stats = case.truth
     print(f"wrote {bin_path} ({stats.size} text bytes, "
           f"{len(stats.functions)} functions, "
@@ -40,12 +40,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_binary(path: Path) -> Binary:
-    return Binary.from_bytes(path.read_bytes())
+def _load_image(path: Path) -> LoadedImage:
+    """Load any supported container (RPRB / ELF64 / PE32+) by magic.
+
+    Parse failures surface as :class:`FormatError`; the command
+    handlers turn them into a one-line stderr message and exit code 2
+    instead of a traceback.
+    """
+    return load_any(path.read_bytes())
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
-    binary = _load_binary(Path(args.binary))
+    try:
+        image = _load_image(Path(args.binary))
+    except FormatError as error:
+        print(f"disasm: {args.binary}: {error}", file=sys.stderr)
+        return 2
+    binary = image.binary
     disassembler = Disassembler()
     rich = disassembler.disassemble_rich(binary)
     result = rich.result
@@ -85,14 +96,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print("lint: a binary is required unless --list-rules is given",
               file=sys.stderr)
         return 2
-    binary = _load_binary(Path(args.binary))
+    try:
+        image = _load_image(Path(args.binary))
+    except FormatError as error:
+        print(f"lint: {args.binary}: {error}", file=sys.stderr)
+        return 2
+    binary = image.binary
     config = DisassemblerConfig(use_lint_feedback=args.feedback)
     disassembler = Disassembler(config=config)
     result = disassembler.disassemble(binary)
     try:
         lint_config = LintConfig(disabled=tuple(args.disable or ()))
         report = lint_disassembly(result, binary.text.data,
-                                  config=lint_config)
+                                  config=lint_config,
+                                  hints=image.hints,
+                                  text_addr=binary.text.addr)
     except KeyError as error:
         print(f"unknown rule: {error.args[0]}", file=sys.stderr)
         return 2
@@ -127,7 +145,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_rewrite(args: argparse.Namespace) -> int:
     from .rewrite import rewrite_binary
 
-    binary = _load_binary(Path(args.binary))
+    try:
+        binary = _load_image(Path(args.binary)).binary
+    except FormatError as error:
+        print(f"rewrite: {args.binary}: {error}", file=sys.stderr)
+        return 2
     disassembler = Disassembler()
     rich = disassembler.disassemble_rich(binary)
     rewritten = rewrite_binary(rich, binary,
@@ -190,9 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=sorted(STYLES))
     generate.add_argument("--functions", type=int, default=40)
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--format", choices=("rprb", "elf"),
+                          default="rprb",
+                          help="container to write: the native .bin "
+                               "(default) or a real ELF64 .elf")
     generate.set_defaults(func=_cmd_generate)
 
-    disasm = sub.add_parser("disasm", help="disassemble a .bin container")
+    disasm = sub.add_parser(
+        "disasm", help="disassemble a binary (.bin / ELF64 / PE32+)")
     disasm.add_argument("binary")
     disasm.add_argument("--listing", action="store_true",
                         help="print the full instruction listing")
@@ -206,7 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint", help="verify a disassembly without ground truth")
     lint.add_argument("binary", nargs="?",
-                      help="path to a .bin container")
+                      help="path to a binary (.bin / ELF64 / PE32+)")
     lint.add_argument("--format", choices=("text", "json"), default="text",
                       help="diagnostic output format")
     lint.add_argument("--fail-on", default="error",
@@ -263,7 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="run evaluation experiments")
     experiments.add_argument("ids", nargs="+",
                              help="experiment ids (t1..t5, f1..f4, v1, "
-                                  "l1, all)")
+                                  "l1, r1, all)")
     experiments.add_argument("--jobs", type=int, default=None, metavar="N",
                              help="parallel worker processes "
                                   "(0 = one per CPU)")

@@ -370,10 +370,52 @@ def run_l1(cases: tuple[TestCase, ...] | None = None, *,
     return table
 
 
+def run_r1(cases: tuple[TestCase, ...] | None = None, *,
+           jobs: int | None = None) -> Table:
+    """R1: real-binary round-trip fidelity (ELF64 emit + re-ingest).
+
+    Every corpus binary is serialized as a real ELF64 executable
+    (:func:`repro.formats.emit_elf`), re-ingested through the
+    format-detecting loader, and disassembled.  The result must be
+    *byte-identical* (as canonical JSON) to the native container
+    path -- proving the ELF loader preserves text bytes, section
+    addresses, and the entry point exactly.  A mismatch is a loader
+    bug, so it raises rather than merely scoring low.  Disassembly is
+    deterministic and the corpus is small; runs serially.
+    """
+    del jobs
+    from ..formats import emit_elf, load_any
+
+    cases = cases or evaluation_corpus()
+    table = Table(
+        title="R1: ELF64 round-trip fidelity (emit, re-ingest, compare)",
+        columns=["binary", "container_bytes", "elf_bytes",
+                 "text_bytes", "identical"],
+    )
+    disassembler = Disassembler()
+    for case in cases:
+        native = disassembler.disassemble(case.binary).to_json()
+        elf_blob = emit_elf(case.binary)
+        image = load_any(elf_blob)
+        assert image.format == "elf64", image.format
+        reingested = disassembler.disassemble(image.binary).to_json()
+        identical = native == reingested
+        assert identical, (
+            f"{case.name}: ELF round-trip changed the disassembly")
+        table.add(binary=case.name,
+                  container_bytes=len(case.binary.to_bytes()),
+                  elf_bytes=len(elf_blob),
+                  text_bytes=len(image.binary.text.data),
+                  identical=identical)
+    table.notes.append(
+        "identical = DisassemblyResult JSON byte-equal, container vs ELF")
+    return table
+
+
 EXPERIMENTS = {
     "t1": run_t1, "t2": run_t2, "t3": run_t3, "t4": run_t4, "t5": run_t5,
     "f1": run_f1, "f2": run_f2, "f3": run_f3, "f4": run_f4, "v1": run_v1,
-    "l1": run_l1,
+    "l1": run_l1, "r1": run_r1,
 }
 
 

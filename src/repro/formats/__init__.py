@@ -1,0 +1,40 @@
+"""Real-binary ingestion: stdlib-only ELF64/PE32+ loaders and emitter.
+
+The reproduction's native ``RPRB`` container deliberately contains
+nothing but sections and an entry point.  This package maps *real*
+containers -- stripped ELF64 executables and PE32+ DLLs -- onto that
+same model, so the whole stack (disassembler, linter, serving API,
+evaluation) ingests them transparently:
+
+>>> from repro.formats import load_any
+>>> image = load_any(open("a.out", "rb").read())        # doctest: +SKIP
+>>> result = Disassembler().disassemble(image.binary)   # doctest: +SKIP
+
+Residual compiler metadata a real container carries (PE exception
+directories, ELF dynamic entries) is surfaced as a separate
+:class:`FormatHints` object and is never consulted by the
+disassembler -- the paper's metadata-free contract stays explicit.
+:func:`emit_elf` writes any ``Binary`` back out as a well-formed
+``ET_EXEC`` ELF for round-trip testing (experiment R1).
+"""
+
+from .detect import FORMAT_NAMES, SIGNATURES, detect_format, load_any
+from .elf import parse_elf
+from .emit_elf import emit_elf
+from .errors import FormatError
+from .hints import NO_HINTS, FormatHints, LoadedImage
+from .pe import parse_pe
+
+__all__ = [
+    "FORMAT_NAMES",
+    "FormatError",
+    "FormatHints",
+    "LoadedImage",
+    "NO_HINTS",
+    "SIGNATURES",
+    "detect_format",
+    "emit_elf",
+    "load_any",
+    "parse_elf",
+    "parse_pe",
+]

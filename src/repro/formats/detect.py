@@ -1,0 +1,84 @@
+"""Magic-byte detection and the one loader entry point, ``load_any``.
+
+Everything that ingests a binary from the outside world -- the
+``repro disasm``/``repro lint`` CLI, the serving API, the R1
+round-trip experiment -- goes through :func:`load_any`, so accepting a
+new container format means adding one row to :data:`SIGNATURES`.
+"""
+
+from __future__ import annotations
+
+from ..binary.container import Binary, BinaryFormatError
+from .elf import ELF_MAGIC, parse_elf
+from .errors import FormatError
+from .hints import NO_HINTS, LoadedImage
+from .pe import MZ_MAGIC, parse_pe
+
+#: (magic prefix, canonical format name) in match order.
+SIGNATURES: tuple[tuple[bytes, str], ...] = (
+    (b"RPRB", "rprb"),
+    (ELF_MAGIC, "elf64"),
+    (MZ_MAGIC, "pe32+"),
+)
+
+#: Format names accepted by `load_any(fmt=...)` and the serve protocol.
+FORMAT_NAMES = ("auto",) + tuple(name for _, name in SIGNATURES)
+
+
+def detect_format(blob: bytes) -> str:
+    """Canonical format name for a blob, by magic bytes.
+
+    Raises :class:`FormatError` (with the unrecognized magic rendered
+    hex) when no signature matches -- the message CLI error paths
+    print verbatim.
+    """
+    for magic, name in SIGNATURES:
+        if blob[:len(magic)] == magic:
+            return name
+    preview = blob[:4].hex() or "empty"
+    raise FormatError(f"unrecognized format (magic={preview})",
+                      offset=0, context="detect")
+
+
+def _load_rprb(blob: bytes) -> LoadedImage:
+    try:
+        binary = Binary.from_bytes(blob)
+    except BinaryFormatError as error:
+        raise FormatError(f"bad RPRB container: {error}",
+                          context="rprb") from error
+    except (IndexError, ValueError, UnicodeDecodeError) as error:
+        raise FormatError(f"corrupt RPRB container: {error}",
+                          context="rprb") from error
+    return LoadedImage(binary=binary, format="rprb", hints=NO_HINTS)
+
+
+_LOADERS = {
+    "rprb": _load_rprb,
+    "elf64": parse_elf,
+    "pe32+": parse_pe,
+}
+
+
+def load_any(blob: bytes, fmt: str = "auto") -> LoadedImage:
+    """Load a binary of any supported container format.
+
+    Args:
+        blob: raw file contents (RPRB container, ELF64, or PE32+).
+        fmt: "auto" (detect by magic) or an explicit format name;
+            an explicit name still validates the magic, so a client
+            cannot smuggle an ELF through the PE code path.
+
+    Raises:
+        FormatError: unrecognized magic, unknown ``fmt``, or any
+            structural problem inside the chosen parser.
+    """
+    detected = detect_format(blob)
+    if fmt != "auto":
+        if fmt not in _LOADERS:
+            raise FormatError(
+                f"unknown format {fmt!r} (expected one of "
+                f"{', '.join(FORMAT_NAMES)})", context="detect")
+        if fmt != detected:
+            raise FormatError(f"declared format {fmt!r} but magic says "
+                              f"{detected!r}", offset=0, context="detect")
+    return _LOADERS[detected](blob)

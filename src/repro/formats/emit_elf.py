@@ -1,0 +1,118 @@
+"""Serialize any ``Binary`` as a well-formed ELF64 ``ET_EXEC`` file.
+
+The emitter closes the loop for round-trip testing without an external
+toolchain: every synthetic-corpus binary can be written as a real ELF
+executable, re-ingested through :func:`repro.formats.load_any`, and
+must disassemble byte-identically to the native container path
+(experiment R1).  Output is fully deterministic -- no timestamps, no
+environment-dependent fields -- so emitted files are also usable as
+cache keys and golden fixtures.
+
+Layout: ELF header, one ``PT_LOAD`` program header per section (pages
+mapped with the section's permissions, ``p_offset`` congruent to
+``p_vaddr`` modulo the page size, as the System V ABI requires), the
+section payloads, then a full section-header table with a ``shstrtab``
+so names survive the trip.  Ordinary ``strip`` would leave all of that
+intact; tests exercising the header-stripped path truncate
+``e_shoff``/``e_shnum`` themselves.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..binary.container import Binary
+from .elf import ELF_MAGIC
+
+_PAGE = 0x1000
+_EHDR_SIZE = 64
+_PHDR_SIZE = 56
+_SHDR_SIZE = 64
+
+_ET_EXEC = 2
+_EM_X86_64 = 62
+_EV_CURRENT = 1
+
+_PT_LOAD = 1
+_PF_X, _PF_W, _PF_R = 1, 2, 4
+
+_SHT_PROGBITS = 1
+_SHT_STRTAB = 3
+_SHF_ALLOC = 0x2
+_SHF_EXECINSTR = 0x4
+
+
+def emit_elf(binary: Binary) -> bytes:
+    """The binary as a deterministic ELF64 ``ET_EXEC`` byte string.
+
+    Sections keep their exact names, addresses, contents, and
+    executable flags, so ``parse_elf(emit_elf(b)).binary == b`` for any
+    binary with exactly one executable section (the model's contract).
+    """
+    if not binary.sections:
+        raise ValueError("cannot emit an ELF with no sections")
+    sections = list(binary.sections)
+
+    phdr_table = _EHDR_SIZE
+    payload_start = phdr_table + len(sections) * _PHDR_SIZE
+
+    # Place each section payload at an offset congruent to its vaddr
+    # modulo the page size (required for the file to be mappable).
+    offsets: list[int] = []
+    cursor = payload_start
+    for section in sections:
+        congruent = section.addr % _PAGE
+        if cursor % _PAGE <= congruent:
+            offset = cursor - cursor % _PAGE + congruent
+        else:
+            offset = cursor - cursor % _PAGE + _PAGE + congruent
+        offsets.append(offset)
+        cursor = offset + len(section.data)
+
+    # String table for section names, then the section-header table.
+    shstrtab = bytearray(b"\0")
+    name_offsets = []
+    for section in sections:
+        name_offsets.append(len(shstrtab))
+        shstrtab += section.name.encode("utf-8") + b"\0"
+    shstrtab_name = len(shstrtab)
+    shstrtab += b".shstrtab\0"
+    shstrtab_offset = cursor
+    shoff = shstrtab_offset + len(shstrtab)
+    shoff += (-shoff) % 8                   # natural alignment
+    section_count = len(sections) + 2       # null + sections + shstrtab
+
+    out = bytearray()
+    out += ELF_MAGIC
+    out += bytes([2, 1, _EV_CURRENT, 0])    # ELF64, little-endian, SysV
+    out += b"\0" * 8
+    out += struct.pack("<HHIQQQIHHHHHH",
+                       _ET_EXEC, _EM_X86_64, _EV_CURRENT, binary.entry,
+                       phdr_table, shoff, 0, _EHDR_SIZE,
+                       _PHDR_SIZE, len(sections),
+                       _SHDR_SIZE, section_count, section_count - 1)
+
+    for section, offset in zip(sections, offsets):
+        flags = _PF_R | (_PF_X if section.executable else 0)
+        out += struct.pack("<IIQQQQQQ", _PT_LOAD, flags, offset,
+                           section.addr, section.addr,
+                           len(section.data), len(section.data), _PAGE)
+
+    for section, offset in zip(sections, offsets):
+        out += b"\0" * (offset - len(out))
+        out += section.data
+
+    out += b"\0" * (shstrtab_offset - len(out))
+    out += shstrtab
+    out += b"\0" * (shoff - len(out))
+
+    out += bytes(_SHDR_SIZE)                # SHN_UNDEF null header
+    for section, offset, name_offset in zip(sections, offsets,
+                                            name_offsets):
+        flags = _SHF_ALLOC | (_SHF_EXECINSTR if section.executable else 0)
+        out += struct.pack("<IIQQQQIIQQ", name_offset, _SHT_PROGBITS,
+                           flags, section.addr, offset,
+                           len(section.data), 0, 0, 1, 0)
+    out += struct.pack("<IIQQQQIIQQ", shstrtab_name, _SHT_STRTAB, 0, 0,
+                       shstrtab_offset, len(shstrtab), 0, 0, 1, 0)
+    return bytes(out)

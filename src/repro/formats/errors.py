@@ -1,0 +1,89 @@
+"""Structured parse failures for the binary-format subsystem.
+
+Real-world loaders see hostile input: truncated headers, absurd
+counts, offsets pointing past the end of the file.  Every parse
+failure in :mod:`repro.formats` is reported as a :class:`FormatError`
+carrying the file offset and the header field being decoded when the
+input stopped making sense -- never a bare ``struct.error`` or
+``IndexError`` leaking out of the parser internals.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class FormatError(ValueError):
+    """A malformed or unsupported binary file.
+
+    Attributes:
+        offset: file offset at which parsing failed (None when the
+            failure is not anchored to a single offset).
+        context: the header field or structure being decoded.
+    """
+
+    def __init__(self, message: str, *, offset: int | None = None,
+                 context: str | None = None) -> None:
+        detail = message
+        if context is not None:
+            detail = f"{context}: {detail}"
+        if offset is not None:
+            detail = f"{detail} (at offset {offset:#x})"
+        super().__init__(detail)
+        self.offset = offset
+        self.context = context
+
+
+class Cursor:
+    """Bounds-checked reads over an immutable blob.
+
+    Every accessor raises :class:`FormatError` -- with the offset and a
+    caller-supplied field name -- instead of ``struct.error`` or a
+    short slice, so parser code never needs its own bounds arithmetic.
+    """
+
+    def __init__(self, blob: bytes, *, context: str = "file") -> None:
+        self.blob = blob
+        self.context = context
+
+    def __len__(self) -> int:
+        return len(self.blob)
+
+    def bytes_at(self, offset: int, size: int, what: str) -> bytes:
+        if offset < 0 or size < 0:
+            raise FormatError(f"negative range for {what}",
+                              offset=max(offset, 0), context=self.context)
+        chunk = self.blob[offset:offset + size]
+        if len(chunk) != size:
+            raise FormatError(
+                f"truncated {what}: need {size} bytes, have {len(chunk)}",
+                offset=offset, context=self.context)
+        return chunk
+
+    def unpack(self, fmt: str, offset: int, what: str) -> tuple:
+        size = struct.calcsize(fmt)
+        return struct.unpack(fmt, self.bytes_at(offset, size, what))
+
+    def u16(self, offset: int, what: str) -> int:
+        return self.unpack("<H", offset, what)[0]
+
+    def u32(self, offset: int, what: str) -> int:
+        return self.unpack("<I", offset, what)[0]
+
+    def u64(self, offset: int, what: str) -> int:
+        return self.unpack("<Q", offset, what)[0]
+
+    def cstring(self, offset: int, what: str, *, limit: int = 4096) -> str:
+        """A NUL-terminated string (for section-name tables)."""
+        if offset < 0 or offset > len(self.blob):
+            raise FormatError(f"{what} offset out of bounds",
+                              offset=max(offset, 0), context=self.context)
+        end = self.blob.find(b"\0", offset, offset + limit)
+        if end < 0:
+            raise FormatError(f"unterminated {what}", offset=offset,
+                              context=self.context)
+        try:
+            return self.blob[offset:end].decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise FormatError(f"undecodable {what}: {error}",
+                              offset=offset, context=self.context) from None

@@ -1,0 +1,96 @@
+"""Collapse real-world section layouts onto the single-text model.
+
+The downstream model (:class:`repro.binary.container.Binary`) requires
+exactly one executable section; real ELF/PE images routinely carry
+several (``.init``/``.plt``/``.text``/``.fini``) that the runtime
+loader maps as one contiguous executable region anyway.  The loaders
+reproduce that view: adjacent executable sections are merged into one
+``.text`` (alignment gaps between them filled with zero bytes, which
+decode as harmless padding), and any *disjoint* executable region left
+over is demoted to a data section so the contract holds.
+
+Binaries with a single executable section -- including everything the
+native emitter produces -- pass through untouched, names and all.
+"""
+
+from __future__ import annotations
+
+from ..binary.container import Section
+from .errors import FormatError
+
+#: Largest inter-section gap (bytes) still merged into one text region.
+#: Covers page/function alignment padding between .init/.plt/.text
+#: while keeping genuinely separate code regions (split by whole data
+#: segments) apart.
+MERGE_GAP = 0x1000
+
+
+def normalize_sections(sections: list[Section], entry: int
+                       ) -> tuple[list[Section], list[str]]:
+    """Return (sections with exactly one executable member, notes)."""
+    executable = sorted((s for s in sections if s.executable),
+                        key=lambda s: s.addr)
+    if not executable:
+        raise FormatError("no executable section or segment",
+                          context="layout")
+    if len(executable) == 1:
+        return list(sections), []
+
+    for before, after in zip(executable, executable[1:]):
+        if after.addr < before.end:
+            raise FormatError(
+                f"executable sections {before.name!r} and {after.name!r} "
+                f"overlap ({before.addr:#x}-{before.end:#x} vs "
+                f"{after.addr:#x})", context="layout")
+
+    regions = _merge_adjacent(executable)
+    text = _pick_text(regions, entry)
+    notes = [f"merged {len(executable)} executable sections into "
+             f"{len(regions)} region(s); text is "
+             f"{text.addr:#x}+{text.size:#x}"]
+
+    normalized = [s for s in sections if not s.executable]
+    for region in regions:
+        if region is text:
+            normalized.append(region)
+        else:
+            demoted = Section(region.name, region.addr, region.data,
+                              executable=False)
+            normalized.append(demoted)
+            notes.append(f"demoted disjoint executable region "
+                         f"{region.name!r} at {region.addr:#x} to data")
+    normalized.sort(key=lambda s: s.addr)
+    return normalized, notes
+
+
+def _merge_adjacent(executable: list[Section]) -> list[Section]:
+    regions: list[Section] = []
+    current = executable[0]
+    parts = [current]
+    for section in executable[1:]:
+        if section.addr - current.end <= MERGE_GAP:
+            parts.append(section)
+            current = _fuse(parts)
+        else:
+            regions.append(current)
+            current = section
+            parts = [current]
+    regions.append(current)
+    return regions
+
+
+def _fuse(parts: list[Section]) -> Section:
+    base = parts[0].addr
+    out = bytearray()
+    for section in parts:
+        gap = section.addr - (base + len(out))
+        out += b"\0" * gap
+        out += section.data
+    return Section(".text", base, bytes(out), executable=True)
+
+
+def _pick_text(regions: list[Section], entry: int) -> Section:
+    for region in regions:
+        if region.contains(entry):
+            return region
+    return max(regions, key=lambda r: r.size)

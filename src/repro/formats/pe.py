@@ -1,0 +1,187 @@
+"""A stdlib-only PE32+/COFF parser mapping Windows images into ``Binary``.
+
+Scope: PE32+ (64-bit optional-header magic ``0x20B``) executables and
+DLLs -- the Windows system binaries with embedded jump tables that
+motivate the source paper.  Sections are mapped at their virtual
+addresses (``ImageBase + VirtualAddress``), raw data padded or clipped
+to ``VirtualSize`` exactly as the Windows loader would, and the
+exception directory's ``RUNTIME_FUNCTION`` ranges -- compiler metadata
+the disassembler must *not* rely on -- are surfaced separately as
+:class:`~repro.formats.hints.FormatHints.function_ranges`.
+
+As with the ELF loader, malformed input always raises a
+:class:`~repro.formats.errors.FormatError` with offset/field context.
+"""
+
+from __future__ import annotations
+
+from ..binary.container import Binary, Section
+from .errors import Cursor, FormatError
+from .hints import FormatHints, LoadedImage
+from .normalize import normalize_sections
+
+MZ_MAGIC = b"MZ"
+_PE_SIGNATURE = b"PE\0\0"
+_PE32PLUS_MAGIC = 0x20B
+
+_COFF_SIZE = 20
+_SECTION_SIZE = 40
+
+# Section characteristics.
+_SCN_CNT_UNINITIALIZED = 0x00000080
+_SCN_MEM_EXECUTE = 0x20000000
+
+#: Data-directory index of the exception directory (.pdata).
+_DIR_EXCEPTION = 3
+
+#: Sanity bounds mirroring repro.formats.elf.MAX_HEADERS.
+MAX_SECTIONS = 256
+MAX_RUNTIME_FUNCTIONS = 1 << 20
+
+#: Largest section a PE may map; see repro.formats.elf.MAX_SECTION_BYTES.
+MAX_SECTION_BYTES = 1 << 30
+
+
+def parse_pe(blob: bytes) -> LoadedImage:
+    """Parse a PE32+ image into a :class:`Binary` plus hints."""
+    cursor = Cursor(blob, context="pe")
+    if cursor.bytes_at(0, 2, "DOS magic") != MZ_MAGIC:
+        raise FormatError("bad DOS magic", offset=0, context="pe")
+    e_lfanew = cursor.u32(0x3C, "e_lfanew")
+    if cursor.bytes_at(e_lfanew, 4, "PE signature") != _PE_SIGNATURE:
+        raise FormatError("bad PE signature", offset=e_lfanew,
+                          context="pe")
+
+    coff = e_lfanew + 4
+    (_machine, section_count, _timestamp, _symoff, _symcount,
+     opt_size, _characteristics) = cursor.unpack("<HHIIIHH", coff,
+                                                 "COFF header")
+    if section_count == 0 or section_count > MAX_SECTIONS:
+        raise FormatError(f"implausible section count {section_count}",
+                          offset=coff, context="pe")
+
+    opt = coff + _COFF_SIZE
+    magic = cursor.u16(opt, "optional header magic")
+    if magic != _PE32PLUS_MAGIC:
+        raise FormatError(f"unsupported optional-header magic "
+                          f"{magic:#x} (only PE32+ is supported)",
+                          offset=opt, context="pe")
+    if opt_size < 112:
+        raise FormatError(f"optional header too small ({opt_size} bytes)",
+                          offset=coff, context="pe")
+    entry_rva = cursor.u32(opt + 16, "AddressOfEntryPoint")
+    image_base = cursor.u64(opt + 24, "ImageBase")
+    directory_count = cursor.u32(opt + 108, "NumberOfRvaAndSizes")
+
+    exception_dir = (0, 0)
+    if directory_count > _DIR_EXCEPTION:
+        exception_dir = cursor.unpack(
+            "<II", opt + 112 + 8 * _DIR_EXCEPTION, "exception directory")
+
+    table = opt + opt_size
+    sections, raw_sections = _parse_sections(cursor, table, section_count,
+                                             image_base)
+    entry = image_base + entry_rva
+    sections, notes = normalize_sections(sections, entry)
+
+    function_ranges = _runtime_functions(raw_sections, image_base,
+                                         *exception_dir)
+    if function_ranges:
+        notes = [*notes, f"exception directory: {len(function_ranges)} "
+                         f"RUNTIME_FUNCTION entries"]
+    hints = FormatHints(format="pe32+", image_base=image_base,
+                        function_ranges=function_ranges,
+                        notes=tuple(notes))
+    binary = Binary(sections=sections, entry=entry)
+    binary.text  # noqa: B018 -- validate exactly one executable section
+    return LoadedImage(binary=binary, format="pe32+", hints=hints)
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+
+def _parse_sections(cursor: Cursor, table: int, count: int,
+                    image_base: int
+                    ) -> tuple[list[Section], list[dict]]:
+    sections: list[Section] = []
+    raw: list[dict] = []
+    for index in range(count):
+        base = table + index * _SECTION_SIZE
+        (name_bytes, virtual_size, rva, raw_size, raw_offset, _reloc,
+         _lines, _nreloc, _nlines, characteristics) = \
+            cursor.unpack("<8sIIIIIIHHI", base, f"section header {index}")
+        name = name_bytes.rstrip(b"\0").decode("latin-1") \
+            or f".sec{index}"
+        memory_size = virtual_size or raw_size
+        if memory_size == 0:
+            continue
+        if memory_size > MAX_SECTION_BYTES:
+            raise FormatError(
+                f"section {name}: VirtualSize {memory_size:#x} exceeds "
+                f"the {MAX_SECTION_BYTES >> 20} MiB limit", context="pe")
+        if characteristics & _SCN_CNT_UNINITIALIZED or raw_size == 0:
+            data = b"\0" * memory_size
+        else:
+            data = cursor.bytes_at(raw_offset, min(raw_size, memory_size),
+                                   f"section {name} raw data")
+            if len(data) < memory_size:
+                data = data + b"\0" * (memory_size - len(data))
+        executable = bool(characteristics & _SCN_MEM_EXECUTE)
+        raw.append({"name": name, "rva": rva, "size": memory_size,
+                    "data": data})
+        sections.append(Section(name, image_base + rva, data,
+                                executable=executable))
+    if not sections:
+        raise FormatError("no mapped sections", offset=table, context="pe")
+    return sections, raw
+
+
+# ----------------------------------------------------------------------
+# Exception directory (RUNTIME_FUNCTION hints)
+# ----------------------------------------------------------------------
+
+def _runtime_functions(raw_sections: list[dict], image_base: int,
+                       rva: int, size: int
+                       ) -> tuple[tuple[int, int], ...]:
+    """Function ranges from the exception directory, if present.
+
+    Each PE32+ ``RUNTIME_FUNCTION`` is 12 bytes: BeginAddress,
+    EndAddress, UnwindInfoAddress (all RVAs).  The directory lives in
+    mapped section data, so entries are read back out of the *virtual*
+    layout rather than the raw file.
+    """
+    if rva == 0 or size == 0:
+        return ()
+    count = size // 12
+    if count > MAX_RUNTIME_FUNCTIONS:
+        raise FormatError(f"implausible exception directory "
+                          f"({count} entries)", context="pe")
+    # Rebuild a virtual view of the directory from the parsed sections.
+    ranges: list[tuple[int, int]] = []
+    window = _virtual_bytes(raw_sections, rva, size)
+    if window is None:
+        raise FormatError(f"exception directory RVA {rva:#x} not mapped "
+                          f"by any section", context="pe")
+    view = Cursor(window, context="pe exception directory")
+    for index in range(count):
+        begin, end, _unwind = view.unpack("<III", index * 12,
+                                          f"RUNTIME_FUNCTION {index}")
+        if begin == 0 and end == 0:
+            continue
+        if end <= begin:
+            raise FormatError(
+                f"RUNTIME_FUNCTION {index}: end {end:#x} <= begin "
+                f"{begin:#x}", context="pe exception directory")
+        ranges.append((image_base + begin, image_base + end))
+    return tuple(ranges)
+
+
+def _virtual_bytes(raw_sections: list[dict], rva: int, size: int
+                   ) -> bytes | None:
+    for section in raw_sections:
+        if section["rva"] <= rva and \
+                rva + size <= section["rva"] + section["size"]:
+            start = rva - section["rva"]
+            return section["data"][start:start + size]
+    return None

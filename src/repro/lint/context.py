@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from ..analysis.cfg import ControlFlowGraph, build_cfg
+from ..formats.hints import FormatHints
 from ..isa.instruction import Instruction
 from ..isa.opcodes import FlowKind
 from ..result import DisassemblyResult
@@ -39,11 +40,34 @@ class LintContext:
     result: DisassemblyResult
     superset: Superset
     text: bytes
+    #: Optional container-metadata hints (ELF/PE residual structure);
+    #: None when linting a native container or raw bytes.  Hints are
+    #: advisory -- rules consuming them must stay at INFO severity,
+    #: since real metadata is occasionally wrong.
+    hints: FormatHints | None = None
+    #: Virtual address of the text section, for converting hint
+    #: addresses (absolute) to text offsets.
+    text_addr: int = 0
 
     @classmethod
-    def build(cls, result: DisassemblyResult, superset: Superset
-              ) -> LintContext:
-        return cls(result=result, superset=superset, text=superset.text)
+    def build(cls, result: DisassemblyResult, superset: Superset, *,
+              hints: FormatHints | None = None,
+              text_addr: int = 0) -> LintContext:
+        return cls(result=result, superset=superset, text=superset.text,
+                   hints=hints, text_addr=text_addr)
+
+    @cached_property
+    def hint_function_starts(self) -> list[int]:
+        """Hinted function-start offsets that land inside the text."""
+        if self.hints is None:
+            return []
+        starts = [start for start, _ in
+                  self.hints.text_ranges(self.text_addr, len(self.text))]
+        for address in self.hints.entry_candidates:
+            offset = address - self.text_addr
+            if 0 <= offset < len(self.text):
+                starts.append(offset)
+        return sorted(set(starts))
 
     # ------------------------------------------------------------------
     # Per-byte claims

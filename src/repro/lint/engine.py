@@ -51,21 +51,28 @@ class Linter:
             report.extend(rule.check(context, rule.severity))
         return report
 
-    def lint(self, result: DisassemblyResult,
-             superset: Superset) -> LintReport:
-        return self.run(LintContext.build(result, superset))
+    def lint(self, result: DisassemblyResult, superset: Superset, *,
+             hints=None, text_addr: int = 0) -> LintReport:
+        return self.run(LintContext.build(result, superset, hints=hints,
+                                          text_addr=text_addr))
 
 
 def lint_disassembly(result: DisassemblyResult,
                      text: bytes | Superset, *,
                      config: LintConfig = DEFAULT_LINT_CONFIG,
-                     registry: RuleRegistry | None = None) -> LintReport:
+                     registry: RuleRegistry | None = None,
+                     hints=None, text_addr: int = 0) -> LintReport:
     """Lint one disassembly claim against the oracle-free invariants.
 
     ``text`` may be the raw section bytes (the superset is built or
     fetched from the process-wide cache) or an already-built
-    :class:`Superset`.
+    :class:`Superset`.  ``hints`` (a
+    :class:`~repro.formats.hints.FormatHints`, with ``text_addr``
+    locating the text section in the hint address space) lets the
+    ``hint-disagreement`` rule cross-check the claim against residual
+    ELF/PE metadata; the claim itself is still produced metadata-free.
     """
     superset = (text if isinstance(text, Superset)
                 else cached_superset(bytes(text)))
-    return Linter(registry=registry, config=config).lint(result, superset)
+    return Linter(registry=registry, config=config).lint(
+        result, superset, hints=hints, text_addr=text_addr)

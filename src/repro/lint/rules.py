@@ -376,3 +376,36 @@ def check_padding_as_data(ctx: LintContext,
                 "padding-as-data", severity, start, end,
                 f"{end - start}-byte padding run at {start:#x} is "
                 f"claimed as data (conventionally neutral)")
+
+
+# ----------------------------------------------------------------------
+# Container-metadata cross-checks (only when the loader supplied hints)
+# ----------------------------------------------------------------------
+
+@R.register("hint-disagreement", Severity.INFO,
+            "container metadata contradicts the claimed classification")
+def check_hint_disagreement(ctx: LintContext,
+                            severity: Severity) -> Iterator[Diagnostic]:
+    """Residual ELF/PE metadata vs the metadata-free claim.
+
+    When a real container was ingested, its unwind/exception metadata
+    (PE ``RUNTIME_FUNCTION`` ranges, ELF ``DT_INIT``/``DT_FINI``)
+    names offsets that *should* be function code.  A claim marking
+    such an offset as data -- or not starting an instruction there --
+    disagrees with the compiler's own records.  Metadata is advisory
+    (and occasionally wrong in the wild), so this stays INFO: it
+    annotates, it never fails a build.
+    """
+    if ctx.hints is None or ctx.hints.empty:
+        return
+    for offset in ctx.hint_function_starts:
+        claim = ctx.claim_at(offset)
+        if claim == ByteClaim.CODE_START:
+            continue
+        what = {ByteClaim.DATA: "claimed as data",
+                ByteClaim.CODE_INTERIOR: "inside another instruction",
+                ByteClaim.UNCLAIMED: "left unclaimed"}[claim]
+        yield Diagnostic(
+            "hint-disagreement", severity, offset, offset + 1,
+            f"{ctx.hints.format} metadata marks {offset:#x} as a "
+            f"function start but it is {what}", suggestion="code")

@@ -99,26 +99,36 @@ class ServeClient:
     # ------------------------------------------------------------------
 
     def disassemble(self, blob: bytes, *, config: dict | None = None,
-                    timeout_ms: int | None = None) -> dict:
-        """POST /v1/disassemble; returns the full response body."""
+                    timeout_ms: int | None = None,
+                    format: str = "auto") -> dict:
+        """POST /v1/disassemble; returns the full response body.
+
+        ``blob`` may be a native container, an ELF64 file, or a PE32+
+        file; ``format`` defaults to magic-byte auto-detection.
+        """
         body: dict = {"binary_b64": encode_binary(blob)}
         if config is not None:
             body["config"] = config
         if timeout_ms is not None:
             body["timeout_ms"] = timeout_ms
+        if format != "auto":
+            body["format"] = format
         return self._checked("POST", "/v1/disassemble", body)
 
     def disassemble_result(self, blob: bytes, *,
                            config: dict | None = None,
-                           timeout_ms: int | None = None
+                           timeout_ms: int | None = None,
+                           format: str = "auto"
                            ) -> DisassemblyResult:
         """Like :meth:`disassemble`, decoded to a DisassemblyResult."""
-        body = self.disassemble(blob, config=config, timeout_ms=timeout_ms)
+        body = self.disassemble(blob, config=config, timeout_ms=timeout_ms,
+                                format=format)
         return DisassemblyResult.from_json(json.dumps(body["result"]))
 
     def lint(self, blob: bytes, *, config: dict | None = None,
              disable: tuple[str, ...] = (),
-             timeout_ms: int | None = None) -> dict:
+             timeout_ms: int | None = None,
+             format: str = "auto") -> dict:
         """POST /v1/lint; returns the full response body."""
         body: dict = {"binary_b64": encode_binary(blob)}
         if config is not None:
@@ -127,6 +137,8 @@ class ServeClient:
             body["disable"] = list(disable)
         if timeout_ms is not None:
             body["timeout_ms"] = timeout_ms
+        if format != "auto":
+            body["format"] = format
         return self._checked("POST", "/v1/lint", body)
 
     def healthz(self) -> dict:

@@ -18,10 +18,14 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.config import DEFAULT_CONFIG, DisassemblerConfig
+from ..formats import FORMAT_NAMES
 from ..stats.cache import stable_digest
 
 #: Bump when request/response shapes or job semantics change.
-PROTOCOL_VERSION = 1
+#: v2: requests may carry a ``format`` field ("auto" / "rprb" /
+#: "elf64" / "pe32+"); real ELF/PE payloads are accepted and
+#: canonicalized to the native container at admission.
+PROTOCOL_VERSION = 2
 
 #: Job kinds the scheduler understands.
 KINDS = ("disassemble", "lint")
@@ -139,6 +143,8 @@ class ParsedRequest:
     config_overrides: dict[str, Any] | None
     lint_disable: tuple[str, ...] = ()
     timeout_ms: int | None = None
+    #: Declared container format ("auto" = detect by magic bytes).
+    format: str = "auto"
     extras: dict[str, Any] = field(default_factory=dict)
 
 
@@ -147,6 +153,11 @@ def parse_job_body(body: Any, kind: str) -> ParsedRequest:
     if not isinstance(body, dict):
         raise ProtocolError("request body must be a JSON object")
     blob = decode_binary_field(body)
+    fmt = body.get("format", "auto")
+    if fmt not in FORMAT_NAMES:
+        raise ProtocolError(
+            f"unknown format {fmt!r} (expected one of "
+            f"{', '.join(FORMAT_NAMES)})")
     overrides = body.get("config")
     if overrides is not None and not isinstance(overrides, dict):
         raise ProtocolError("'config' must be a JSON object")
@@ -163,4 +174,5 @@ def parse_job_body(body: Any, kind: str) -> ParsedRequest:
             raise ProtocolError("'disable' must be a list of rule ids")
         disable = tuple(raw)
     return ParsedRequest(blob=blob, config_overrides=overrides,
-                         lint_disable=disable, timeout_ms=timeout_ms)
+                         lint_disable=disable, timeout_ms=timeout_ms,
+                         format=fmt)

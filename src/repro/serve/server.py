@@ -26,7 +26,7 @@ import signal
 import time
 from dataclasses import dataclass
 
-from ..binary.container import Binary, BinaryFormatError
+from ..formats import FormatError, load_any
 from .access_log import AccessLog
 from .cache import ResultCache, result_key
 from .metrics import ServeMetrics
@@ -313,11 +313,17 @@ class ServeApp:
         except ProtocolError as error:
             return error.status, {"error": str(error),
                                   "id": request_id}, {}, False
+        # Reject garbage pre-queue, and canonicalize real containers
+        # (ELF64/PE32+) to native container bytes: workers only ever
+        # see the canonical form, and an ELF payload shares its cache
+        # entry with the equivalent .bin payload.
         try:
-            Binary.from_bytes(parsed.blob)   # reject garbage pre-queue
-        except (BinaryFormatError, IndexError, ValueError) as error:
+            image = load_any(parsed.blob, fmt=parsed.format)
+        except FormatError as error:
             return 400, {"error": f"bad container: {error}",
                          "id": request_id}, {}, False
+        blob = (parsed.blob if image.format == "rprb"
+                else image.binary.to_bytes())
         if kind == "lint" and parsed.lint_disable:
             from ..lint import DEFAULT_REGISTRY
             known = {rule.id for rule in DEFAULT_REGISTRY}
@@ -327,7 +333,7 @@ class ServeApp:
                                       f"{', '.join(unknown)}",
                              "id": request_id}, {}, False
 
-        key = result_key(parsed.blob, kind, parsed.config_overrides,
+        key = result_key(blob, kind, parsed.config_overrides,
                          extra=",".join(parsed.lint_disable))
         hit = self.cache.get(key)
         if hit is not None:
@@ -337,7 +343,7 @@ class ServeApp:
         timeout = (parsed.timeout_ms / 1000.0
                    if parsed.timeout_ms is not None
                    else self.config.default_timeout)
-        job = JobRequest(id=request_id, kind=kind, blob=parsed.blob,
+        job = JobRequest(id=request_id, kind=kind, blob=blob,
                          config_overrides=parsed.config_overrides,
                          lint_disable=parsed.lint_disable,
                          deadline=time.monotonic() + timeout)

@@ -91,3 +91,60 @@ class TestSerialization:
         binary = Binary(sections=[Section("初期", 0, b"x")])
         restored = Binary.from_bytes(binary.to_bytes())
         assert restored.sections[0].name == "初期"
+
+
+# ----------------------------------------------------------------------
+# Property-based round trip (Hypothesis)
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_NAMES = st.text(
+    alphabet=st.characters(codec="utf-8",
+                           blacklist_categories=("Cs",)),
+    min_size=0, max_size=12)
+
+_SECTIONS = st.builds(
+    Section,
+    name=_NAMES,
+    addr=st.integers(min_value=0, max_value=2**64 - 1),
+    data=st.binary(min_size=0, max_size=256),
+    executable=st.booleans())
+
+_BINARIES = st.builds(
+    Binary,
+    sections=st.lists(_SECTIONS, min_size=0, max_size=8),
+    entry=st.integers(min_value=0, max_value=2**64 - 1))
+
+
+class TestRoundTripProperties:
+    @given(binary=_BINARIES)
+    @settings(max_examples=150, deadline=None)
+    def test_serialize_deserialize_identity(self, binary):
+        restored = Binary.from_bytes(binary.to_bytes())
+        assert restored.sections == binary.sections
+        assert restored.entry == binary.entry
+
+    @given(binary=_BINARIES)
+    @settings(max_examples=50, deadline=None)
+    def test_serialization_is_canonical(self, binary):
+        blob = binary.to_bytes()
+        assert Binary.from_bytes(blob).to_bytes() == blob
+
+    @given(binary=_BINARIES, cut=st.integers(min_value=0, max_value=64),
+           flip=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_mangled_blob_never_escapes_format_error(self, binary, cut,
+                                                     flip):
+        """Truncation or a header byte-flip either still parses or
+        raises BinaryFormatError -- never IndexError/struct.error."""
+        blob = bytearray(binary.to_bytes())
+        if cut and cut < len(blob):
+            del blob[-cut:]
+        if blob:
+            blob[flip % len(blob)] ^= 0xFF
+        try:
+            Binary.from_bytes(bytes(blob))
+        except BinaryFormatError:
+            pass

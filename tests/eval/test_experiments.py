@@ -4,8 +4,8 @@ import pytest
 
 from repro.eval.dataset import evaluation_corpus
 from repro.eval.experiments import (EXPERIMENTS, main, run_f1, run_f3,
-                                    run_f4, run_t1, run_t2, run_t3, run_t4,
-                                    run_t5)
+                                    run_f4, run_r1, run_t1, run_t2,
+                                    run_t3, run_t4, run_t5)
 
 
 @pytest.fixture(scope="module")
@@ -63,7 +63,7 @@ class TestFigureRunners:
 class TestCli:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"t1", "t2", "t3", "t4", "t5",
-                                    "f1", "f2", "f3", "f4", "v1", "l1"}
+                                    "f1", "f2", "f3", "f4", "v1", "l1", "r1"}
 
     def test_help(self, capsys):
         assert main(["--help"]) == 0
@@ -71,3 +71,12 @@ class TestCli:
 
     def test_unknown_experiment(self, capsys):
         assert main(["zzz"]) == 1
+
+
+class TestRoundTripRunner:
+    def test_r1_all_identical(self, tiny_corpus):
+        table = run_r1(tiny_corpus)
+        assert len(table.rows) == len(tiny_corpus)
+        assert all(row["identical"] for row in table.rows)
+        assert all(row["elf_bytes"] > 0 and row["container_bytes"] > 0
+                   for row in table.rows)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the binary-format tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.formats import emit_elf
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="session")
+def elf_fixture() -> bytes:
+    return (FIXTURES / "hello.elf").read_bytes()
+
+
+@pytest.fixture(scope="session")
+def pe_fixture() -> bytes:
+    return (FIXTURES / "hello.dll").read_bytes()
+
+
+@pytest.fixture(scope="session")
+def msvc_elf(msvc_case) -> bytes:
+    """The session msvc test binary emitted as a real ELF64 file."""
+    return emit_elf(msvc_case.binary)

@@ -1,0 +1,117 @@
+"""Regenerate the hand-assembled golden fixtures in this directory.
+
+Run from the repository root::
+
+    python tests/formats/fixtures/make_fixtures.py
+
+The fixtures are deliberately built with raw ``struct`` packing --
+*not* with :mod:`repro.formats.emit_elf` -- so the golden-file tests
+exercise the parsers against independently constructed input, and a
+bug that makes emitter and parser wrong in compatible ways cannot hide.
+
+``hello.elf``
+    Minimal ELF64 ``ET_EXEC``: two ``PT_LOAD`` segments (R+X text at
+    0x401000, R-- rodata at 0x402000), *no* section-header table --
+    the fully stripped shape (``sstrip``) that forces the program-
+    header fallback path.
+
+``hello.dll``
+    Minimal PE32+ DLL: ``.text`` (execute) at RVA 0x1000, ``.pdata``
+    (read) at RVA 0x2000 holding two ``RUNTIME_FUNCTION`` records
+    pointing back into ``.text``, image base 0x180000000.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+# A real x86-64 function: push rbp; mov rbp,rsp; mov eax,60;
+# xor edi,edi; syscall; pop rbp; ret -- then int3 padding.
+TEXT = bytes.fromhex("554889e5b83c00000031ff0f055dc3") + b"\xcc" * 17
+RODATA = b"hello, world\0\0\0\0"
+
+ELF_TEXT_VADDR = 0x401000
+ELF_RODATA_VADDR = 0x402000
+
+PE_IMAGE_BASE = 0x180000000
+PE_TEXT_RVA = 0x1000
+PE_PDATA_RVA = 0x2000
+#: (BeginAddress, EndAddress) RVAs of the two fixture functions.
+PE_RUNTIME_FUNCTIONS = ((0x1000, 0x100F), (0x1010, 0x1015))
+
+
+def make_elf() -> bytes:
+    ehdr = struct.pack(
+        "<4sBBBB8xHHIQQQIHHHHHH",
+        b"\x7fELF", 2, 1, 1, 0,          # ELF64, LSB, current, SysV
+        2, 62, 1,                        # ET_EXEC, EM_X86_64, EV_CURRENT
+        ELF_TEXT_VADDR,                  # e_entry
+        64, 0, 0,                        # e_phoff, e_shoff, e_flags
+        64, 56, 2,                       # e_ehsize, e_phentsize, e_phnum
+        0, 0, 0)                         # e_shentsize, e_shnum, e_shstrndx
+
+    def phdr(flags: int, offset: int, vaddr: int, size: int) -> bytes:
+        return struct.pack("<IIQQQQQQ", 1, flags, offset, vaddr, vaddr,
+                           size, size, 0x1000)
+
+    out = bytearray(ehdr)
+    out += phdr(0x5, 0x1000, ELF_TEXT_VADDR, len(TEXT))      # R+X
+    out += phdr(0x4, 0x2000, ELF_RODATA_VADDR, len(RODATA))  # R
+    out += b"\0" * (0x1000 - len(out))
+    out += TEXT
+    out += b"\0" * (0x2000 - len(out))
+    out += RODATA
+    return bytes(out)
+
+
+def make_pe() -> bytes:
+    pdata = b"".join(struct.pack("<III", begin, end, 0)
+                     for begin, end in PE_RUNTIME_FUNCTIONS)
+
+    dos = bytearray(64)
+    dos[:2] = b"MZ"
+    struct.pack_into("<I", dos, 0x3C, 0x80)      # e_lfanew
+    out = bytearray(dos) + bytearray(0x80 - 64)
+    out += b"PE\0\0"
+    out += struct.pack("<HHIIIHH",
+                       0x8664, 2, 0, 0, 0,       # x86-64, 2 sections
+                       240, 0x2022)              # opt size, DLL | EXEC
+
+    opt = bytearray(240)
+    struct.pack_into("<H", opt, 0, 0x20B)        # PE32+ magic
+    struct.pack_into("<I", opt, 16, PE_TEXT_RVA)     # AddressOfEntryPoint
+    struct.pack_into("<Q", opt, 24, PE_IMAGE_BASE)   # ImageBase
+    struct.pack_into("<I", opt, 108, 16)             # NumberOfRvaAndSizes
+    struct.pack_into("<II", opt, 112 + 8 * 3,        # exception directory
+                     PE_PDATA_RVA, len(pdata))
+    out += opt
+
+    def section(name: bytes, vsize: int, rva: int, rsize: int,
+                roff: int, characteristics: int) -> bytes:
+        return struct.pack("<8sIIIIIIHHI", name, vsize, rva, rsize,
+                           roff, 0, 0, 0, 0, characteristics)
+
+    # IMAGE_SCN_CNT_CODE | MEM_EXECUTE | MEM_READ
+    out += section(b".text", len(TEXT), PE_TEXT_RVA, 0x200, 0x400,
+                   0x60000020)
+    # IMAGE_SCN_CNT_INITIALIZED_DATA | MEM_READ
+    out += section(b".pdata", len(pdata), PE_PDATA_RVA, 0x200, 0x600,
+                   0x40000040)
+    out += bytearray(0x400 - len(out))
+    out += TEXT.ljust(0x200, b"\0")
+    out += pdata.ljust(0x200, b"\0")
+    return bytes(out)
+
+
+def main() -> None:
+    (HERE / "hello.elf").write_bytes(make_elf())
+    (HERE / "hello.dll").write_bytes(make_pe())
+    print(f"wrote {HERE / 'hello.elf'} ({len(make_elf())} bytes)")
+    print(f"wrote {HERE / 'hello.dll'} ({len(make_pe())} bytes)")
+
+
+if __name__ == "__main__":
+    main()

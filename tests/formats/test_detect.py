@@ -1,0 +1,63 @@
+"""Magic-byte detection and the load_any dispatch contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.binary.container import Binary, Section
+from repro.formats import (FORMAT_NAMES, FormatError, detect_format,
+                           load_any)
+
+
+class TestDetect:
+    def test_rprb(self, msvc_case):
+        assert detect_format(msvc_case.binary.to_bytes()) == "rprb"
+
+    def test_elf(self, elf_fixture):
+        assert detect_format(elf_fixture) == "elf64"
+
+    def test_pe(self, pe_fixture):
+        assert detect_format(pe_fixture) == "pe32+"
+
+    def test_unrecognized_magic_message(self):
+        with pytest.raises(FormatError, match=r"unrecognized format "
+                                              r"\(magic=64656164\)"):
+            detect_format(b"dead beef")
+
+    def test_empty_blob(self):
+        with pytest.raises(FormatError, match="magic=empty"):
+            detect_format(b"")
+
+    def test_format_names_cover_signatures(self):
+        assert set(FORMAT_NAMES) == {"auto", "rprb", "elf64", "pe32+"}
+
+
+class TestLoadAny:
+    def test_auto_detects_all_three(self, msvc_case, elf_fixture,
+                                    pe_fixture):
+        assert load_any(msvc_case.binary.to_bytes()).format == "rprb"
+        assert load_any(elf_fixture).format == "elf64"
+        assert load_any(pe_fixture).format == "pe32+"
+
+    def test_explicit_format_accepted(self, elf_fixture):
+        assert load_any(elf_fixture, fmt="elf64").format == "elf64"
+
+    def test_declared_format_must_match_magic(self, elf_fixture):
+        with pytest.raises(FormatError, match="declared format 'pe32\\+' "
+                                              "but magic says 'elf64'"):
+            load_any(elf_fixture, fmt="pe32+")
+
+    def test_unknown_format_name(self, elf_fixture):
+        with pytest.raises(FormatError, match="unknown format 'macho'"):
+            load_any(elf_fixture, fmt="macho")
+
+    def test_rprb_round_trip(self, msvc_case):
+        image = load_any(msvc_case.binary.to_bytes())
+        assert image.binary == msvc_case.binary
+        assert image.hints.empty
+
+    def test_corrupt_rprb_is_format_error(self):
+        blob = Binary(sections=[Section(".text", 0, b"\xc3",
+                                        executable=True)]).to_bytes()
+        with pytest.raises(FormatError, match="RPRB"):
+            load_any(blob[:-1])

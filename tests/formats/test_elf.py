@@ -1,0 +1,147 @@
+"""ELF64 parser: golden fixture, stripped fallback, fuzz soundness."""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.formats import FormatError, load_any, parse_elf
+from repro.formats.elf import MAX_HEADERS
+
+from .fixtures.make_fixtures import (ELF_RODATA_VADDR, ELF_TEXT_VADDR,
+                                     RODATA, TEXT)
+
+
+class TestGoldenFixture:
+    """hello.elf is hand-assembled and header-stripped (no shdrs)."""
+
+    def test_sections_and_entry(self, elf_fixture):
+        image = parse_elf(elf_fixture)
+        binary = image.binary
+        assert binary.entry == ELF_TEXT_VADDR
+        text = binary.text
+        assert text.addr == ELF_TEXT_VADDR
+        assert text.data == TEXT
+        assert text.executable
+        rodata = binary.section_at(ELF_RODATA_VADDR)
+        assert rodata is not None and not rodata.executable
+        assert rodata.data == RODATA
+
+    def test_stripped_note_and_base(self, elf_fixture):
+        image = parse_elf(elf_fixture)
+        assert "section headers stripped; mapped from PT_LOAD" \
+            in image.hints.notes
+        assert image.hints.image_base == ELF_TEXT_VADDR
+
+    def test_entry_offset_is_zero(self, elf_fixture):
+        # entry - text.addr is what the disassembler anchors on.
+        binary = parse_elf(elf_fixture).binary
+        assert binary.entry - binary.text.addr == 0
+
+
+class TestRejection:
+    def test_elf32_rejected(self, elf_fixture):
+        blob = bytearray(elf_fixture)
+        blob[4] = 1                      # EI_CLASS = ELFCLASS32
+        with pytest.raises(FormatError, match="ELF class"):
+            parse_elf(bytes(blob))
+
+    def test_big_endian_rejected(self, elf_fixture):
+        blob = bytearray(elf_fixture)
+        blob[5] = 2                      # EI_DATA = ELFDATA2MSB
+        with pytest.raises(FormatError, match="byte order"):
+            parse_elf(bytes(blob))
+
+    def test_relocatable_rejected(self, elf_fixture):
+        blob = bytearray(elf_fixture)
+        struct.pack_into("<H", blob, 16, 1)   # ET_REL
+        with pytest.raises(FormatError, match="object type"):
+            parse_elf(bytes(blob))
+
+    def test_implausible_phnum(self, elf_fixture):
+        blob = bytearray(elf_fixture)
+        struct.pack_into("<H", blob, 56, MAX_HEADERS + 1)
+        with pytest.raises(FormatError, match="e_phnum"):
+            parse_elf(bytes(blob))
+
+    def test_hostile_memsz_bounded(self, elf_fixture):
+        # p_memsz of the first phdr (offset 64 + 40) -> petabytes.
+        blob = bytearray(elf_fixture)
+        struct.pack_into("<Q", blob, 64 + 40, 1 << 50)
+        with pytest.raises(FormatError, match="p_memsz"):
+            parse_elf(bytes(blob))
+
+    def test_no_loadable_content(self, elf_fixture):
+        blob = bytearray(elf_fixture)
+        struct.pack_into("<H", blob, 56, 0)   # e_phnum = 0 (and no shdrs)
+        with pytest.raises(FormatError, match="no loadable content"):
+            parse_elf(bytes(blob))
+
+
+class TestFuzzSoundness:
+    """Malformed input raises FormatError -- never a raw struct/index
+    error -- for truncations and random header corruption."""
+
+    def test_every_truncation(self, elf_fixture):
+        for cut in range(0, 0x1000 + len(TEXT), 13):
+            try:
+                parse_elf(elf_fixture[:cut])
+            except FormatError:
+                pass
+
+    def test_random_header_corruption(self, elf_fixture):
+        rng = random.Random(1234)
+        for _ in range(150):
+            blob = bytearray(elf_fixture)
+            for _ in range(rng.randint(1, 8)):
+                blob[rng.randrange(0x200)] = rng.randrange(256)
+            try:
+                load_any(bytes(blob))
+            except FormatError:
+                pass
+
+    def test_random_corruption_of_emitted_elf(self, msvc_elf):
+        # The emitter's output has section headers, exercising the
+        # other parse path under corruption.
+        rng = random.Random(99)
+        for _ in range(300):
+            blob = bytearray(msvc_elf)
+            for _ in range(rng.randint(1, 6)):
+                blob[rng.randrange(len(blob))] = rng.randrange(256)
+            cut = rng.randrange(len(blob)) if rng.random() < 0.5 \
+                else len(blob)
+            try:
+                load_any(bytes(blob[:cut]))
+            except FormatError:
+                pass
+
+
+class TestNormalization:
+    def test_multiple_exec_sections_merge(self, elf_fixture):
+        # Split the single R+X segment into two adjacent R+X segments
+        # (like .init + .text): the loader must merge them into one
+        # executable region.
+        blob = bytearray(elf_fixture)
+        # phdr0: [0x1000, 0x1000+8) X; phdr1: rewrite rodata phdr as
+        # a second exec segment covering the rest of TEXT.
+        struct.pack_into("<IIQQQQQQ", blob, 64, 1, 0x5, 0x1000,
+                         ELF_TEXT_VADDR, ELF_TEXT_VADDR, 8, 8, 0x1000)
+        struct.pack_into("<IIQQQQQQ", blob, 64 + 56, 1, 0x5, 0x1008,
+                         ELF_TEXT_VADDR + 8, ELF_TEXT_VADDR + 8,
+                         len(TEXT) - 8, len(TEXT) - 8, 0x1000)
+        image = parse_elf(bytes(blob))
+        text = image.binary.text
+        assert text.addr == ELF_TEXT_VADDR
+        assert text.data == TEXT
+        assert any("merged 2 executable sections" in note
+                   for note in image.hints.notes)
+
+    def test_overlapping_exec_sections_rejected(self, elf_fixture):
+        blob = bytearray(elf_fixture)
+        struct.pack_into("<IIQQQQQQ", blob, 64 + 56, 1, 0x5, 0x1000,
+                         ELF_TEXT_VADDR + 4, ELF_TEXT_VADDR + 4,
+                         len(TEXT), len(TEXT), 0x1000)
+        with pytest.raises(FormatError, match="overlap"):
+            parse_elf(bytes(blob))

@@ -1,0 +1,80 @@
+"""formats -> disassembler / linter integration."""
+
+from __future__ import annotations
+
+from repro.formats import FormatHints, emit_elf, load_any
+from repro.lint import lint_disassembly
+from repro.result import DisassemblyResult
+
+
+class TestDisassemblerIngestion:
+    def test_elf_path_matches_container_path(self, msvc_case,
+                                             disassembler):
+        native = disassembler.disassemble(msvc_case.binary)
+        image = load_any(emit_elf(msvc_case.binary))
+        reingested = disassembler.disassemble(image.binary)
+        assert reingested.to_json() == native.to_json()
+
+    def test_fixture_elf_disassembles(self, elf_fixture, disassembler):
+        image = load_any(elf_fixture)
+        result = disassembler.disassemble(image.binary)
+        # The fixture's entry function must be recovered: entry offset
+        # 0 starts an instruction.
+        assert 0 in result.instruction_starts
+
+    def test_fixture_pe_disassembles(self, pe_fixture, disassembler):
+        image = load_any(pe_fixture)
+        result = disassembler.disassemble(image.binary)
+        assert 0 in result.instruction_starts
+
+
+class TestHintLinting:
+    def test_agreeing_hints_stay_silent(self, pe_fixture, disassembler):
+        image = load_any(pe_fixture)
+        result = disassembler.disassemble(image.binary)
+        text = image.binary.text
+        report = lint_disassembly(result, text.data, hints=image.hints,
+                                  text_addr=text.addr)
+        assert "hint-disagreement" in report.rules_run
+        disagreements = [d for d in report
+                         if d.rule == "hint-disagreement"]
+        # Function 2 of the fixture starts at offset 0x10; the
+        # disassembler reaches it only if it looks like code, so allow
+        # zero-or-more -- the key property is the *contradiction* case
+        # below, plus soundness on claims that match the metadata.
+        for diagnostic in disagreements:
+            assert diagnostic.suggestion == "code"
+
+    def test_contradicted_hint_is_reported(self):
+        text = b"\x55\x48\x89\xe5\x5d\xc3\xcc\xcc"
+        hints = FormatHints(format="pe32+", image_base=0x1000,
+                            function_ranges=((0x1000, 0x1006),))
+        claim = DisassemblyResult(tool="bogus", instructions={},
+                                  data_regions=[(0, 8)])
+        report = lint_disassembly(claim, text, hints=hints,
+                                  text_addr=0x1000)
+        disagreements = [d for d in report
+                         if d.rule == "hint-disagreement"]
+        assert len(disagreements) == 1
+        assert disagreements[0].start == 0
+        assert "claimed as data" in disagreements[0].message
+
+    def test_no_hints_no_rule_output(self, msvc_case, disassembler):
+        result = disassembler.disassemble(msvc_case.binary)
+        report = lint_disassembly(result, msvc_case.text)
+        assert all(d.rule != "hint-disagreement" for d in report)
+
+
+class TestHintGeometry:
+    def test_text_ranges_clip(self):
+        hints = FormatHints(format="elf64",
+                            function_ranges=((0x0FF0, 0x1008),
+                                             (0x1010, 0x1020),
+                                             (0x2000, 0x3000)))
+        assert hints.text_ranges(0x1000, 0x100) == \
+            ((0, 8), (0x10, 0x20))
+
+    def test_empty(self):
+        assert FormatHints(format="elf64").empty
+        assert not FormatHints(format="elf64",
+                               entry_candidates=(1,)).empty

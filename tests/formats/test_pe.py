@@ -1,0 +1,103 @@
+"""PE32+ parser: golden fixture, exception-directory hints, fuzz."""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.formats import FormatError, load_any, parse_pe
+
+from .fixtures.make_fixtures import (PE_IMAGE_BASE, PE_RUNTIME_FUNCTIONS,
+                                     PE_TEXT_RVA, TEXT)
+
+_OPT = 0x80 + 4 + 20                     # optional-header file offset
+
+
+class TestGoldenFixture:
+    def test_sections_and_entry(self, pe_fixture):
+        image = parse_pe(pe_fixture)
+        binary = image.binary
+        assert binary.entry == PE_IMAGE_BASE + PE_TEXT_RVA
+        text = binary.text
+        assert text.addr == PE_IMAGE_BASE + PE_TEXT_RVA
+        assert text.data == TEXT         # VirtualSize-clipped, not raw
+        assert not binary.section(".pdata").executable
+
+    def test_image_base(self, pe_fixture):
+        assert parse_pe(pe_fixture).hints.image_base == PE_IMAGE_BASE
+
+    def test_runtime_function_hints(self, pe_fixture):
+        hints = parse_pe(pe_fixture).hints
+        expected = tuple((PE_IMAGE_BASE + begin, PE_IMAGE_BASE + end)
+                         for begin, end in PE_RUNTIME_FUNCTIONS)
+        assert hints.function_ranges == expected
+
+    def test_hint_text_offsets(self, pe_fixture):
+        image = parse_pe(pe_fixture)
+        text = image.binary.text
+        offsets = image.hints.text_ranges(text.addr, text.size)
+        assert offsets == tuple(
+            (begin - PE_TEXT_RVA, end - PE_TEXT_RVA)
+            for begin, end in PE_RUNTIME_FUNCTIONS)
+
+
+class TestRejection:
+    def test_pe32_rejected(self, pe_fixture):
+        blob = bytearray(pe_fixture)
+        struct.pack_into("<H", blob, _OPT, 0x10B)   # PE32 magic
+        with pytest.raises(FormatError, match="PE32\\+"):
+            parse_pe(bytes(blob))
+
+    def test_bad_pe_signature(self, pe_fixture):
+        blob = bytearray(pe_fixture)
+        blob[0x80:0x84] = b"PF\0\0"
+        with pytest.raises(FormatError, match="signature"):
+            parse_pe(bytes(blob))
+
+    def test_bad_lfanew(self, pe_fixture):
+        blob = bytearray(pe_fixture)
+        struct.pack_into("<I", blob, 0x3C, len(blob) + 100)
+        with pytest.raises(FormatError):
+            parse_pe(bytes(blob))
+
+    def test_inverted_runtime_function(self, pe_fixture):
+        # pdata raw data starts at 0x600: make end <= begin.
+        blob = bytearray(pe_fixture)
+        struct.pack_into("<II", blob, 0x600, 0x1010, 0x1005)
+        with pytest.raises(FormatError, match="RUNTIME_FUNCTION"):
+            parse_pe(bytes(blob))
+
+    def test_exception_dir_outside_sections(self, pe_fixture):
+        blob = bytearray(pe_fixture)
+        struct.pack_into("<II", blob, _OPT + 112 + 8 * 3, 0x9000, 24)
+        with pytest.raises(FormatError, match="not mapped"):
+            parse_pe(bytes(blob))
+
+    def test_hostile_virtual_size_bounded(self, pe_fixture):
+        table = _OPT + 240               # first section header
+        blob = bytearray(pe_fixture)
+        struct.pack_into("<I", blob, table + 8, 0xFFFFFFFF)  # VirtualSize
+        with pytest.raises(FormatError, match="VirtualSize"):
+            parse_pe(bytes(blob))
+
+
+class TestFuzzSoundness:
+    def test_every_truncation(self, pe_fixture):
+        for cut in range(len(pe_fixture)):
+            try:
+                parse_pe(pe_fixture[:cut])
+            except FormatError:
+                pass
+
+    def test_random_corruption(self, pe_fixture):
+        rng = random.Random(4321)
+        for _ in range(500):
+            blob = bytearray(pe_fixture)
+            for _ in range(rng.randint(1, 8)):
+                blob[rng.randrange(len(blob))] = rng.randrange(256)
+            try:
+                load_any(bytes(blob))
+            except FormatError:
+                pass

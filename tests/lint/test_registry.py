@@ -11,7 +11,7 @@ EXPECTED_IDS = [
     "dangling-fallthrough", "fallthrough-unclaimed", "call-target-garbage",
     "call-target-non-prologue", "jump-table-target-misaligned",
     "string-as-code", "pointer-run-as-code", "orphan-code",
-    "padding-as-code", "padding-as-data",
+    "padding-as-code", "padding-as-data", "hint-disagreement",
 ]
 
 

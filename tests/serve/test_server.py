@@ -291,3 +291,49 @@ class TestGracefulDrain:
         harness._thread.join(20)
         assert not harness._thread.is_alive()
         assert results["body"]["result"] == {"echo": results["body"]["id"]}
+
+
+class TestFormatIngestion:
+    """ELF payloads are canonicalized at admission (protocol v2)."""
+
+    def test_elf_payload_matches_container_payload(
+            self, serve_harness, msvc_case, msvc_blob):
+        from repro.formats import emit_elf
+        client = serve_harness().client()
+        via_elf = client.disassemble(emit_elf(msvc_case.binary))
+        via_container = client.disassemble(msvc_blob)
+        assert via_elf["result"] == via_container["result"]
+        # Admission canonicalizes the ELF to container bytes, so the
+        # two ingestion paths share a single cache entry.
+        assert via_elf["cached"] is False
+        assert via_container["cached"] is True
+
+    def test_explicit_format_field(self, serve_harness, msvc_case):
+        from repro.formats import emit_elf
+        client = serve_harness().client()
+        body = client.disassemble(emit_elf(msvc_case.binary),
+                                  format="elf64")
+        offline = Disassembler().disassemble_rich(msvc_case.binary)
+        assert json.dumps(body["result"]) == offline.result.to_json()
+
+    def test_declared_format_mismatch_400(self, serve_harness,
+                                          msvc_case):
+        from repro.formats import emit_elf
+        client = serve_harness().client()
+        with pytest.raises(ServeError) as exc:
+            client.disassemble(emit_elf(msvc_case.binary), format="rprb")
+        assert exc.value.status == 400
+        assert "magic says" in exc.value.body["error"]
+
+    def test_unknown_format_field_400(self, serve_harness, msvc_blob):
+        client = serve_harness().client()
+        with pytest.raises(ServeError) as exc:
+            client.disassemble(msvc_blob, format="macho")
+        assert exc.value.status == 400
+        assert "macho" in exc.value.body["error"]
+
+    def test_lint_accepts_elf(self, serve_harness, msvc_case):
+        from repro.formats import emit_elf
+        client = serve_harness().client()
+        body = client.lint(emit_elf(msvc_case.binary))
+        assert "diagnostics" in body["report"]

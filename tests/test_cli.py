@@ -74,7 +74,7 @@ class TestLint:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         lines = capsys.readouterr().out.splitlines()
-        assert len(lines) == 16
+        assert len(lines) == 17
         assert any(line.startswith("orphan-code") for line in lines)
 
     def test_missing_binary_is_usage_error(self, capsys):
@@ -109,3 +109,62 @@ class TestParser:
     def test_rejects_unknown_style(self):
         with pytest.raises(SystemExit):
             main(["generate", "x", "--style", "icc"])
+
+
+class TestRealFormats:
+    @pytest.fixture(scope="class")
+    def elf_prefix(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-elf")
+        prefix = directory / "real"
+        code = main(["generate", str(prefix), "--functions", "6",
+                     "--seed", "9", "--format", "elf"])
+        assert code == 0
+        return prefix
+
+    def test_generate_elf_writes_elf(self, elf_prefix):
+        elf = elf_prefix.with_suffix(".elf")
+        assert elf.exists()
+        assert elf.read_bytes()[:4] == b"\x7fELF"
+
+    def test_disasm_accepts_elf(self, elf_prefix, capsys):
+        code = main(["disasm", str(elf_prefix.with_suffix(".elf"))])
+        assert code == 0
+        assert "instructions" in capsys.readouterr().out
+
+    def test_disasm_json_matches_rprb_path(self, elf_prefix, tmp_path,
+                                           capsys):
+        main(["generate", str(tmp_path / "real"), "--functions", "6",
+              "--seed", "9"])
+        capsys.readouterr()
+        assert main(["disasm", "--json",
+                     str(elf_prefix.with_suffix(".elf"))]) == 0
+        via_elf = capsys.readouterr().out
+        assert main(["disasm", "--json",
+                     str(tmp_path / "real.bin")]) == 0
+        assert via_elf == capsys.readouterr().out
+
+    def test_lint_accepts_elf(self, elf_prefix, capsys):
+        code = main(["lint", str(elf_prefix.with_suffix(".elf")),
+                     "--format", "json"])
+        assert code == 0
+        assert "diagnostics" in capsys.readouterr().out
+
+    def test_unrecognized_format_is_exit_2_one_line(self, tmp_path,
+                                                    capsys):
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"\x00\x01\x02\x03 not a binary")
+        assert main(["disasm", str(junk)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unrecognized format (magic=00010203)" in err
+        assert main(["lint", str(junk)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unrecognized format" in err
+
+    def test_truncated_elf_is_exit_2(self, elf_prefix, tmp_path, capsys):
+        blob = elf_prefix.with_suffix(".elf").read_bytes()
+        bad = tmp_path / "trunc.elf"
+        bad.write_bytes(blob[:48])
+        assert main(["disasm", str(bad)]) == 2
+        assert "offset" in capsys.readouterr().err
