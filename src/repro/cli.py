@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from .binary.loader import TestCase
@@ -102,15 +103,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"lint: {args.binary}: {error}", file=sys.stderr)
         return 2
     binary = image.binary
-    config = DisassemblerConfig(use_lint_feedback=args.feedback)
+    config = DisassemblerConfig(use_lint_feedback=args.feedback,
+                                record_provenance=args.provenance)
     disassembler = Disassembler(config=config)
-    result = disassembler.disassemble(binary)
+    rich = disassembler.disassemble_rich(binary)
     try:
         lint_config = LintConfig(disabled=tuple(args.disable or ()))
-        report = lint_disassembly(result, binary.text.data,
+        report = lint_disassembly(rich.result, binary.text.data,
                                   config=lint_config,
                                   hints=image.hints,
-                                  text_addr=binary.text.addr)
+                                  text_addr=binary.text.addr,
+                                  provenance=rich.provenance)
     except KeyError as error:
         print(f"unknown rule: {error.args[0]}", file=sys.stderr)
         return 2
@@ -184,6 +187,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_body=args.max_body_mb * 1024 * 1024,
         default_timeout=args.timeout_s,
         access_log_path=args.access_log,
+        trace_path=args.trace,
     )
     return run_server(config)
 
@@ -196,6 +200,116 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.bench_json:
         argv += ["--bench-json", args.bench_json]
     return experiments_main(argv)
+
+
+def _resolve_text_offset(binary, raw: str) -> int:
+    """Parse an address argument; virtual addresses map into .text."""
+    try:
+        value = int(raw, 0)
+    except ValueError:
+        raise ValueError(f"bad address {raw!r} (use decimal or 0x hex)") \
+            from None
+    if value >= binary.text.addr:
+        value -= binary.text.addr
+    if not 0 <= value < len(binary.text.data):
+        raise ValueError(
+            f"address {raw} outside the text section "
+            f"(0-{len(binary.text.data):#x}, or virtual "
+            f"{binary.text.addr:#x}+)")
+    return value
+
+
+def _classification_of(result, offset: int) -> str:
+    if offset in result.instructions:
+        return "code (instruction start)"
+    for start, end in result.data_regions:
+        if start <= offset < end:
+            return "data"
+    for start, length in result.instructions.items():
+        if start < offset < start + length:
+            return "code (instruction interior)"
+    return "unclassified"
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        image = _load_image(Path(args.binary))
+    except FormatError as error:
+        print(f"explain: {args.binary}: {error}", file=sys.stderr)
+        return 2
+    binary = image.binary
+    try:
+        offset = _resolve_text_offset(binary, args.address)
+    except ValueError as error:
+        print(f"explain: {error}", file=sys.stderr)
+        return 2
+    config = DisassemblerConfig(record_provenance=True,
+                                use_lint_feedback=args.feedback)
+    rich = Disassembler(config=config).disassemble_rich(binary)
+    provenance = rich.provenance
+    assert provenance is not None
+    events = provenance.events_at(offset)
+    classification = _classification_of(rich.result, offset)
+    if args.json:
+        print(json.dumps({
+            "address": f"{offset:#x}",
+            "classification": classification,
+            "events": [event.to_dict() for event in events],
+        }, indent=2))
+    else:
+        print(f"{offset:#x}: {classification}")
+        print(provenance.explain(offset))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.metrics import REGISTRY
+
+    if args.server:
+        import http.client
+        host, _, port = args.server.partition(":")
+        connection = http.client.HTTPConnection(
+            host or "127.0.0.1", int(port) if port else 8080, timeout=30)
+        try:
+            connection.request("GET", "/metrics?format=prometheus")
+            response = connection.getresponse()
+            body = response.read().decode("utf-8")
+        except OSError as error:
+            print(f"metrics: {args.server}: {error}", file=sys.stderr)
+            return 1
+        finally:
+            connection.close()
+        if response.status != 200:
+            print(f"metrics: {args.server}: HTTP {response.status}",
+                  file=sys.stderr)
+            return 1
+        sys.stdout.write(body)
+        return 0
+    if not args.binary:
+        print("metrics: a binary or --server HOST:PORT is required",
+              file=sys.stderr)
+        return 2
+    try:
+        image = _load_image(Path(args.binary))
+    except FormatError as error:
+        print(f"metrics: {args.binary}: {error}", file=sys.stderr)
+        return 2
+    Disassembler().disassemble(image.binary)
+    if args.format == "json":
+        print(json.dumps(REGISTRY.snapshot(), indent=2))
+    else:
+        sys.stdout.write(REGISTRY.render_prometheus())
+    return 0
+
+
+def _add_trace_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--trace", metavar="PATH", default=None,
+                         help="write hierarchical spans as JSONL "
+                              "(also honors REPRO_TRACE)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -228,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(byte-identical to the serving API)")
     disasm.add_argument("--profile", action="store_true",
                         help="print per-phase wall-clock timings")
+    _add_trace_flag(disasm)
     disasm.set_defaults(func=_cmd_disasm)
 
     lint = sub.add_parser(
@@ -245,8 +360,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--feedback", action="store_true",
                       help="enable the lint-feedback correction round "
                            "before linting")
+    lint.add_argument("--provenance", action="store_true",
+                      help="record the decision audit trail and attach "
+                           "each diagnostic's causal chain")
     lint.add_argument("--list-rules", action="store_true",
                       help="list available rules and exit")
+    _add_trace_flag(lint)
     lint.set_defaults(func=_cmd_lint)
 
     evaluate_cmd = sub.add_parser(
@@ -284,7 +403,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-job deadline in seconds")
     serve.add_argument("--access-log", metavar="PATH", default=None,
                        help="JSONL access-log path (default: stderr)")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="stream request-lifecycle spans to a JSONL "
+                            "file (also honors REPRO_TRACE)")
     serve.set_defaults(func=_cmd_serve)
+
+    explain = sub.add_parser(
+        "explain", help="show why one byte was classified code or data")
+    explain.add_argument("binary",
+                         help="path to a binary (.bin / ELF64 / PE32+)")
+    explain.add_argument("address",
+                         help="text-section offset or virtual address "
+                              "(decimal or 0x hex)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the decision chain as JSON")
+    explain.add_argument("--feedback", action="store_true",
+                         help="include the lint-feedback correction "
+                              "round in the audited run")
+    _add_trace_flag(explain)
+    explain.set_defaults(func=_cmd_explain)
+
+    metrics = sub.add_parser(
+        "metrics", help="dump pipeline metrics (Prometheus text format)")
+    metrics.add_argument("binary", nargs="?",
+                         help="disassemble this binary, then dump the "
+                              "pipeline metrics it produced")
+    metrics.add_argument("--server", metavar="HOST:PORT", default=None,
+                         help="scrape a running `repro serve` instance "
+                              "instead of running locally")
+    metrics.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus",
+                         help="local dump format (default: prometheus)")
+    metrics.set_defaults(func=_cmd_metrics)
 
     experiments = sub.add_parser("experiments",
                                  help="run evaluation experiments")
@@ -300,11 +450,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _trace_context(args: argparse.Namespace):
+    """Tracing activation for one command invocation.
+
+    ``--trace PATH`` or a non-empty ``REPRO_TRACE`` installs a tracer
+    for the command and exports its spans on exit.  ``repro serve``
+    manages its own tracer (it must flush incrementally while running),
+    so it is excluded here.
+    """
+    if getattr(args, "command", None) == "serve":
+        return nullcontext()
+    from .obs.trace import activate, trace_path_from_env
+    path = getattr(args, "trace", None) or trace_path_from_env()
+    return activate(path) if path else nullcontext()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        with _trace_context(args):
+            return args.func(args)
     except BrokenPipeError:
         # Output piped into a pager that exited early (e.g. `| head`).
         sys.stderr.close()

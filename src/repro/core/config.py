@@ -45,6 +45,12 @@ class DisassemblerConfig:
             actionable diagnostics back through the correction engine
             as structural evidence.  Off by default so published
             evaluation tables are unchanged.
+        record_provenance: record a per-byte decision audit trail
+            (:class:`repro.obs.ProvenanceLog`) during correction,
+            surfaced by ``repro explain``.  Strictly observational --
+            results are identical either way -- but off by default
+            because the trail grows with decision count (overhead
+            budget measured in ``benchmarks/bench_obs.py``).
     """
 
     use_statistics: bool = True
@@ -52,6 +58,7 @@ class DisassemblerConfig:
     use_prioritized_correction: bool = True
     use_table_resolution: bool = True
     use_lint_feedback: bool = False
+    record_provenance: bool = False
     code_threshold: float = 0.0
     behavior_veto: float = 0.0
     stat_weight: float = 1.0

@@ -27,11 +27,25 @@ from ..analysis.idioms import prologue_score
 from ..analysis.noreturn import compute_returning
 from ..binary.image import MemoryImage
 from ..isa.opcodes import FlowKind
+from ..obs.metrics import REGISTRY
+from ..obs.provenance import ProvenanceLog
 from ..superset.superset import Superset
 from .config import DisassemblerConfig
-from .evidence import ClassificationState, Evidence, Priority
+from .evidence import (Classification, ClassificationState, Evidence,
+                       Priority)
 from .tables import (ResolvedTable, resolve_indirect_call,
                      resolve_indirect_jump)
+
+#: Pipeline metrics (process-global; see :mod:`repro.obs.metrics`).
+_TRACES = REGISTRY.counter(
+    "repro_traces_total",
+    "Control-flow traces processed by the correction engine, by outcome")
+_RECLASSIFIED = REGISTRY.counter(
+    "repro_bytes_reclassified_total",
+    "Bytes whose existing classification a correction pass overwrote")
+_GAP_CANDIDATES = REGISTRY.counter(
+    "repro_gap_candidates_total",
+    "Gap-completion code candidates, by screening outcome")
 
 #: A trace that hits a contradiction within this many BFS steps of its
 #: seed is considered refuted and rolled back.
@@ -56,6 +70,15 @@ class TraceOutcome:
     #: once more of the surrounding code is confirmed).
     unresolved_dispatches: set[int] = field(default_factory=set)
     aborted: bool = False
+    #: Where and why the trace derailed (aborted traces only).
+    derailed_at: int | None = None
+    derail_depth: int = -1
+    derail_hit: str = ""
+    #: [min, max] byte range the trace touched before its verdict.
+    touched: tuple[int, int] | None = None
+    #: Bytes whose previous non-UNKNOWN classification this trace
+    #: overwrote (the "error correction" volume, for metrics).
+    reclassified: int = 0
 
 
 class CorrectionEngine:
@@ -64,7 +87,8 @@ class CorrectionEngine:
     def __init__(self, superset: Superset, scores: np.ndarray,
                  config: DisassemblerConfig,
                  image: MemoryImage | None = None,
-                 behavior_scores: np.ndarray | None = None) -> None:
+                 behavior_scores: np.ndarray | None = None,
+                 provenance: ProvenanceLog | None = None) -> None:
         self.superset = superset
         self.scores = scores
         self.behavior_scores = behavior_scores
@@ -74,6 +98,10 @@ class CorrectionEngine:
         self.state = ClassificationState(len(superset))
         self.resolved_tables: list[ResolvedTable] = []
         self.log: list[str] = []
+        #: Opt-in per-byte decision audit trail (None = not recording).
+        self.provenance = provenance
+        #: Correction pass currently executing, for provenance tagging.
+        self.pass_id = "correction"
         self._sequence = itertools.count()
         self._heap: list[tuple] = []
         self._pending_calls: list[tuple[int, int]] = []
@@ -84,6 +112,17 @@ class CorrectionEngine:
     # ------------------------------------------------------------------
     # Evidence queue
     # ------------------------------------------------------------------
+
+    def note(self, action: str, start: int, end: int, *,
+             source: str = "", priority: Priority | None = None,
+             detail: str = "", **attrs) -> None:
+        """Record a provenance event if the audit trail is enabled."""
+        if self.provenance is None:
+            return
+        self.provenance.record(
+            action, start, end, pass_id=self.pass_id, source=source,
+            priority=Priority(priority).name if priority is not None
+            else "", detail=detail, **attrs)
 
     def push(self, evidence: Evidence) -> None:
         heapq.heappush(self._heap, (-int(evidence.priority),
@@ -171,19 +210,65 @@ class CorrectionEngine:
                                      evidence.priority)
                 self.log.append(f"data {evidence.offset:#x}-{evidence.end:#x}"
                                 f" <- {evidence.source}")
+                self.note("mark-data", evidence.offset, evidence.end,
+                          source=evidence.source,
+                          priority=evidence.priority,
+                          detail=f"{evidence.end - evidence.offset} bytes "
+                                 f"marked data")
             else:
                 self.log.append(f"rejected data {evidence.offset:#x} "
                                 f"({evidence.source}): stronger code there")
+                self.note("reject-data", evidence.offset, evidence.end,
+                          source=evidence.source,
+                          priority=evidence.priority,
+                          detail="stronger code evidence already covers "
+                                 "the range")
             return
 
         if self.state.is_code_start(evidence.offset):
+            _TRACES.inc(outcome="joined")
             return
         outcome = self.trace(evidence.offset, evidence.priority,
                              evidence.source)
         if outcome.aborted:
             self.log.append(f"aborted trace from {evidence.offset:#x} "
                             f"({evidence.source})")
+            _TRACES.inc(outcome="refuted")
+            if self.provenance is not None:
+                start, end = outcome.touched or (evidence.offset,
+                                                 evidence.offset + 1)
+                derail = (outcome.derailed_at
+                          if outcome.derailed_at is not None
+                          else evidence.offset)
+                self.note(
+                    "refute-trace", start, end,
+                    source=evidence.source, priority=evidence.priority,
+                    detail=f"refuted {Priority(evidence.priority).name} "
+                           f"trace seeded at {evidence.offset:#x} "
+                           f"({evidence.source} {evidence.weight:.2f}): "
+                           f"derailed at +{derail - evidence.offset:#x} "
+                           f"(depth {outcome.derail_depth}), "
+                           f"{outcome.derail_hit}",
+                    seed=evidence.offset, weight=evidence.weight,
+                    derailed_at=derail, depth=outcome.derail_depth)
             return
+        _TRACES.inc(outcome="accepted")
+        if outcome.reclassified:
+            _RECLASSIFIED.inc(outcome.reclassified,
+                              pass_id=self.pass_id)
+        if self.provenance is not None and outcome.accepted:
+            start, end = outcome.touched or (evidence.offset,
+                                             evidence.offset + 1)
+            self.note(
+                "accept-trace", start, end,
+                source=evidence.source, priority=evidence.priority,
+                detail=f"trace from {evidence.offset:#x} accepted "
+                       f"{len(outcome.accepted)} instruction(s)"
+                       + (f", overwrote {outcome.reclassified} byte(s)"
+                          if outcome.reclassified else ""),
+                seed=evidence.offset, weight=evidence.weight,
+                instructions=len(outcome.accepted),
+                reclassified=outcome.reclassified)
         # Propagate: direct call targets found in confirmed code are
         # anchors themselves.
         for target in sorted(outcome.call_targets):
@@ -315,6 +400,16 @@ class CorrectionEngine:
                 if contradiction(depth):
                     self._rollback(undo)
                     outcome.aborted = True
+                    outcome.derailed_at = offset
+                    outcome.derail_depth = depth
+                    outcome.derail_hit = self._describe_conflict(
+                        offset, instruction, priority)
+                    if undo:
+                        outcome.touched = (min(min(undo), seed),
+                                           max(undo) + 1)
+                    else:
+                        outcome.touched = (min(seed, offset),
+                                           max(seed, offset) + 1)
                     return outcome
                 continue   # prune this path only
 
@@ -322,6 +417,8 @@ class CorrectionEngine:
                                        state.size)):
                 if i not in undo:
                     undo[i] = (state.labels[i], state.priorities[i])
+                    if state.labels[i]:   # non-UNKNOWN: a real overwrite
+                        outcome.reclassified += 1
             state.mark_instruction(offset, instruction.length, priority)
             outcome.accepted.add(offset)
 
@@ -369,9 +466,37 @@ class CorrectionEngine:
             if instruction.falls_through and instruction.end < state.size:
                 worklist.append((instruction.end, depth + 1))
 
+        if undo:
+            outcome.touched = (min(min(undo), seed), max(undo) + 1)
         self.resolved_tables.extend(outcome.resolved_tables)
         self._pending_calls.extend(outcome.pending_calls)
         return outcome
+
+    def _describe_conflict(self, offset: int, instruction,
+                           priority: Priority) -> str:
+        """Why marking ``offset`` failed, for the audit trail."""
+        if instruction is None:
+            return f"undecodable byte at {offset:#x}"
+        state = self.state
+        for i in range(offset, min(offset + instruction.length,
+                                   state.size)):
+            label = Classification(state.labels[i])
+            if label == Classification.UNKNOWN:
+                continue
+            existing = Priority(state.priorities[i]).name \
+                if state.priorities[i] else "unset"
+            if label == Classification.DATA and \
+                    state.priorities[i] >= priority:
+                return (f"contradicts {existing} data at {i:#x}")
+            if i > offset and label == Classification.CODE_START and \
+                    state.priorities[i] >= priority:
+                return (f"would straddle {existing} instruction "
+                        f"start at {i:#x}")
+            if i == offset and label == Classification.CODE_INTERIOR \
+                    and state.priorities[i] >= priority:
+                return (f"joins {existing} code mid-instruction "
+                        f"at {i:#x}")
+        return f"conflict with equal-or-stronger evidence at {offset:#x}"
 
     def _rollback(self, undo: dict[int, tuple[int, int]]) -> None:
         for offset, (label, priority) in undo.items():
@@ -393,13 +518,19 @@ class CorrectionEngine:
         order.
         """
         if not self.config.use_prioritized_correction:
+            self.pass_id = "gaps-single-pass"
             self._complete_gaps_single_pass()
             return
 
-        for _ in range(max_rounds):
+        from ..obs.trace import current_tracer
+        tracer = current_tracer()
+        for round_index in range(max_rounds):
             gaps = self.state.unknown_gaps()
             if not gaps:
                 break
+            self.pass_id = f"gaps-{round_index + 1}"
+            round_span = (tracer.start(self.pass_id, gaps=len(gaps))
+                          if tracer is not None else None)
             candidates = []
             for gap_id, (start, end) in enumerate(gaps):
                 for score, offset in self._gap_candidates(start, end):
@@ -425,12 +556,20 @@ class CorrectionEngine:
                 if self.state.is_code_start(offset):
                     progressed = True
                     settled_gaps.add(gap_id)
+            if round_span is not None and tracer is not None:
+                tracer.finish(round_span, candidates=len(candidates),
+                              progressed=progressed)
             if not progressed:
                 # No acceptable code candidate anywhere: everything
                 # left is data.
                 break
+        self.pass_id = "gaps-final"
         for start, end in self.state.unknown_gaps():
             self.state.mark_data(start, end, Priority.SOFT)
+            self.note("gap-data", start, end, source="gap-completion",
+                      priority=Priority.SOFT,
+                      detail=f"no surviving code candidate in the "
+                             f"{end - start}-byte gap; classified data")
         self.realign_residues()
 
     def _complete_gaps_single_pass(self) -> None:
@@ -445,6 +584,10 @@ class CorrectionEngine:
                     break
         for start, end in self.state.unknown_gaps():
             self.state.mark_data(start, end, Priority.SOFT)
+            self.note("gap-data", start, end, source="gap-completion",
+                      priority=Priority.SOFT,
+                      detail=f"no surviving code candidate in the "
+                             f"{end - start}-byte gap; classified data")
 
     def _gap_candidates(self, start: int, end: int
                         ) -> list[tuple[float, int]]:
@@ -454,22 +597,67 @@ class CorrectionEngine:
             # function: unreachable by construction, hence data.  (Any
             # real code in it would be a branch target, and branch
             # targets are traced as anchors before gaps are scored.)
+            self.note("reject-candidate", start, end,
+                      source="noreturn-continuation",
+                      detail=f"gap at {start:#x} is the continuation "
+                             f"of a call to a proven-noreturn function; "
+                             f"unreachable, no candidates scored")
+            _GAP_CANDIDATES.inc(outcome="noreturn-continuation")
             return []
         ranked = []
+        vetoed = below = unclean = 0
+        recording = self.provenance is not None
         for offset in self._gap_candidate_offsets(start, end):
             if not self.superset.is_valid(offset):
                 continue
             if self.behavior_scores is not None and \
                     self.behavior_scores[offset] <= \
                     self.config.behavior_veto:
+                vetoed += 1
+                if recording:
+                    self.note("reject-candidate", offset, offset + 1,
+                              source="behavior-veto",
+                              detail=f"behavioral score "
+                                     f"{float(self.behavior_scores[offset]):.2f}"
+                                     f" <= veto floor "
+                                     f"{self.config.behavior_veto:.2f}",
+                              score=float(self.behavior_scores[offset]))
                 continue   # behavioral veto: behaves like data
             score = float(self.scores[offset])
             score += 0.5 * prologue_score(self.superset, offset)
             if score <= self.config.code_threshold:
+                below += 1
+                if recording:
+                    self.note("reject-candidate", offset, offset + 1,
+                              source="gap-score",
+                              detail=f"gap-score {score:.2f} <= "
+                                     f"threshold "
+                                     f"{self.config.code_threshold:.2f}",
+                              score=score)
                 continue
             if not self._chain_terminates_cleanly(offset):
+                unclean += 1
+                if recording:
+                    self.note("reject-candidate", offset, offset + 1,
+                              source="chain-termination",
+                              detail=f"refuted SOFT trace seeded at "
+                                     f"{offset:#x} (gap-score "
+                                     f"{score:.2f}): its decode chain "
+                                     f"does not terminate cleanly (runs "
+                                     f"into padding, data, or a "
+                                     f"mid-instruction join) -- strict "
+                                     f"soft-trace gate",
+                              score=score)
                 continue
             ranked.append((score, offset))
+        if vetoed:
+            _GAP_CANDIDATES.inc(vetoed, outcome="behavior-veto")
+        if below:
+            _GAP_CANDIDATES.inc(below, outcome="below-threshold")
+        if unclean:
+            _GAP_CANDIDATES.inc(unclean, outcome="unclean-termination")
+        if ranked:
+            _GAP_CANDIDATES.inc(len(ranked), outcome="ranked")
         return sorted(ranked, reverse=True)
 
     def _chain_terminates_cleanly(self, offset: int, *,
@@ -543,6 +731,7 @@ class CorrectionEngine:
         confirmed instruction, the correct fix is to accept it as code.
         """
         text = self.superset.text
+        self.pass_id = "realign"
         for start, end in self.state.data_regions():
             if end - start > max_size:
                 continue
@@ -553,12 +742,31 @@ class CorrectionEngine:
                 # data by convention; int3/nop bytes always tile
                 # cleanly, so without this guard they'd be "realigned"
                 # into code.
+                self.note("skip-realign", start, end,
+                          source="padding-guard",
+                          detail=f"residue {start:#x}-{end:#x} is a pure "
+                                 f"int3/nop/zero padding run kept as "
+                                 f"data (padding-as-code guard); "
+                                 f"padding always tiles cleanly, so "
+                                 f"realignment would misclassify it")
                 continue
             if any(fall <= start < fall + 32
                    for fall in self.noreturn_fall_sites):
-                continue   # unreachable continuation of a noreturn call
+                # Unreachable continuation of a noreturn call.
+                self.note("skip-realign", start, end,
+                          source="noreturn-continuation",
+                          detail=f"residue {start:#x}-{end:#x} sits in "
+                                 f"the unreachable continuation of a "
+                                 f"proven-noreturn call")
+                continue
             if any(self.state.priorities[i] > Priority.SOFT
                    for i in range(start, end)):
+                self.note("skip-realign", start, end,
+                          source="priority-guard",
+                          detail=f"residue {start:#x}-{end:#x} carries "
+                                 f"stronger-than-SOFT data evidence; "
+                                 f"realignment only overrides soft "
+                                 f"decisions")
                 continue
             run = self._clean_tile(start, end)
             if run is None:
@@ -566,6 +774,12 @@ class CorrectionEngine:
             for offset, length in run:
                 self.state.mark_instruction(offset, length, Priority.SOFT)
             self.log.append(f"realigned residue {start:#x}-{end:#x}")
+            self.note("realign", start, end, source="clean-tile",
+                      priority=Priority.SOFT,
+                      detail=f"residue {start:#x}-{end:#x} decodes as "
+                             f"{len(run)} instruction(s) tiling exactly "
+                             f"to the confirmed code at {end:#x}; "
+                             f"accepted as code")
 
     def priority_of_region(self, start: int, end: int) -> int:
         return max((self.state.priorities[i] for i in range(start, end)),

@@ -11,6 +11,7 @@ instructions, data regions, and function entries:
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,6 +22,8 @@ from ..analysis.idioms import (PROLOGUE_THRESHOLD, likely_function_starts,
 from ..binary.container import Binary
 from ..binary.image import MemoryImage
 from ..binary.loader import TestCase
+from ..obs.provenance import ProvenanceLog
+from ..obs.trace import current_tracer, phase_span
 from ..perf import PhaseTimings
 from ..result import DisassemblyResult
 from ..stats.datamodel import TableCandidate, find_jump_tables
@@ -49,6 +52,9 @@ class Disassembly:
     noreturn_entries: set[int]
     resolved_tables: list = field(default_factory=list)   # engine's ResolvedTables
     timings: PhaseTimings = field(default_factory=PhaseTimings)
+    #: Per-byte decision audit trail; None unless the run was made with
+    #: ``DisassemblerConfig.record_provenance`` (see ``repro explain``).
+    provenance: ProvenanceLog | None = None
 
 
 class Disassembler:
@@ -88,66 +94,85 @@ class Disassembler:
         text, entry, image = _extract(target, entry)
         config = self.config
         timings = timings if timings is not None else PhaseTimings()
+        provenance = ProvenanceLog() if config.record_provenance else None
 
-        with timings.phase("superset"):
-            superset = cached_superset(text)
-        with timings.phase("behavior"):
-            behavior = (self._analyzer.score_all(superset)
-                        if config.use_behavior else None)
-        with timings.phase("scoring"):
-            scores = self._combined_scores(superset, behavior)
-        engine = CorrectionEngine(superset, scores, config, image=image,
-                                  behavior_scores=behavior)
+        with ExitStack() as stack:
+            tracer = current_tracer()
+            if tracer is not None:
+                stack.enter_context(tracer.span("disassemble",
+                                                bytes=len(text),
+                                                entry=entry))
 
-        # Structural phase: detected tables are data, their targets code.
-        # Statistical detection is strong but not proof (a literal pool
-        # can mimic a table), so its targets carry STRUCTURAL priority:
-        # genuinely traced code (ANCHOR) may override them, while
-        # dataflow-resolved tables found during tracing stay ANCHOR.
-        with timings.phase("tables"):
-            tables = self._validated_tables(text, superset, scores)
-            for table in tables:
-                engine.state.mark_data(table.start, table.end,
-                                       Priority.STRUCTURAL)
-                engine.log.append(f"table {table.start:#x}-{table.end:#x} "
-                                  f"({table.entry_size}-byte entries)")
-                for target in sorted(set(table.targets)):
-                    engine.push(Evidence("code", target, target,
-                                         Priority.STRUCTURAL, 1.0,
-                                         "table-target"))
+            with phase_span("superset", timings):
+                superset = cached_superset(text)
+            with phase_span("behavior", timings):
+                behavior = (self._analyzer.score_all(superset)
+                            if config.use_behavior else None)
+            with phase_span("scoring", timings):
+                scores = self._combined_scores(superset, behavior)
+            engine = CorrectionEngine(superset, scores, config, image=image,
+                                      behavior_scores=behavior,
+                                      provenance=provenance)
 
-        # Anchor phase: the program entry point.
-        if 0 <= entry < len(text):
-            engine.push(Evidence("code", entry, entry, Priority.ANCHOR,
-                                 2.0, "entry-point"))
+            # Structural phase: detected tables are data, their targets
+            # code.  Statistical detection is strong but not proof (a
+            # literal pool can mimic a table), so its targets carry
+            # STRUCTURAL priority: genuinely traced code (ANCHOR) may
+            # override them, while dataflow-resolved tables found during
+            # tracing stay ANCHOR.
+            engine.pass_id = "tables"
+            with phase_span("tables", timings):
+                tables = self._validated_tables(text, superset, scores)
+                for table in tables:
+                    engine.state.mark_data(table.start, table.end,
+                                           Priority.STRUCTURAL)
+                    engine.log.append(f"table {table.start:#x}-{table.end:#x} "
+                                      f"({table.entry_size}-byte entries)")
+                    engine.note("mark-data", table.start, table.end,
+                                source="jump-table",
+                                priority=Priority.STRUCTURAL,
+                                detail=f"detected {table.entry_size}-byte-"
+                                       f"entry table with "
+                                       f"{len(table.targets)} targets")
+                    for target in sorted(set(table.targets)):
+                        engine.push(Evidence("code", target, target,
+                                             Priority.STRUCTURAL, 1.0,
+                                             "table-target"))
 
-        # Idiom phase: aligned prologues.
-        for offset in likely_function_starts(superset,
-                                             alignment=config.alignment):
-            engine.push(Evidence("code", offset, offset, Priority.IDIOM,
-                                 1.0, "prologue"))
+            # Anchor phase: the program entry point.
+            if 0 <= entry < len(text):
+                engine.push(Evidence("code", entry, entry, Priority.ANCHOR,
+                                     2.0, "entry-point"))
 
-        with timings.phase("correction"):
-            engine.drain()
-        with timings.phase("gaps"):
-            engine.complete_gaps()
+            # Idiom phase: aligned prologues.
+            for offset in likely_function_starts(superset,
+                                                 alignment=config.alignment):
+                engine.push(Evidence("code", offset, offset, Priority.IDIOM,
+                                     1.0, "prologue"))
 
-        with timings.phase("functions"):
-            result = self._finalize(engine, superset, tables, entry)
+            engine.pass_id = "correction"
+            with phase_span("correction", timings):
+                engine.drain()
+            with phase_span("gaps", timings):
+                engine.complete_gaps()
 
-        # Optional oracle-free feedback round: lint our own claim and
-        # feed actionable diagnostics back as structural evidence.
-        if config.use_lint_feedback:
-            with timings.phase("lint-feedback"):
-                result = self._lint_refine(engine, superset, tables,
-                                           entry, result)
+            with phase_span("functions", timings):
+                result = self._finalize(engine, superset, tables, entry)
+
+            # Optional oracle-free feedback round: lint our own claim and
+            # feed actionable diagnostics back as structural evidence.
+            if config.use_lint_feedback:
+                engine.pass_id = "lint-feedback"
+                with phase_span("lint-feedback", timings):
+                    result = self._lint_refine(engine, superset, tables,
+                                               entry, result)
 
         engine.log.extend(timings.log_lines())
         return Disassembly(result=result, superset=superset, scores=scores,
                            tables=tables, log=engine.log,
                            noreturn_entries=set(engine.noreturn_entries),
                            resolved_tables=list(engine.resolved_tables),
-                           timings=timings)
+                           timings=timings, provenance=provenance)
 
     # ------------------------------------------------------------------
 
@@ -193,7 +218,8 @@ class Disassembler:
         # Imported lazily: repro.lint imports core types, so a module-
         # level import here would create a cycle through core.__init__.
         from ..lint import diagnostics_to_evidence, lint_disassembly
-        report = lint_disassembly(result, superset)
+        report = lint_disassembly(result, superset,
+                                  provenance=engine.provenance)
         evidence = diagnostics_to_evidence(report)
         engine.log.append(f"lint-feedback: {len(report.diagnostics)} "
                           f"diagnostics, {len(evidence)} actionable")

@@ -29,6 +29,7 @@ from ..baselines import (heuristic_descent, linear_sweep,
 from ..binary.loader import TestCase
 from ..core.config import DisassemblerConfig
 from ..core.disassembler import Disassembler
+from ..obs.trace import SpanContext, Tracer, current_tracer, set_tracer
 from ..result import DisassemblyResult
 from ..superset.superset import cached_superset
 from .metrics import Evaluation, aggregate, evaluate
@@ -125,6 +126,34 @@ def _predict_pair(pair: tuple[ToolSpec, TestCase]) -> DisassemblyResult:
     return run_tool(*pair)
 
 
+def _traced_call(fn, item):
+    """Run one pair in a worker under a tracer seeded from the caller.
+
+    ``item`` is ``(pair, span_context_dict)``.  The worker records into
+    its own :class:`Tracer` (the coordinator's, if inherited through
+    fork, is ignored by :func:`current_tracer` -- wrong pid) and ships
+    its spans home as dicts for :meth:`Tracer.adopt`.
+    """
+    pair, ctx = item
+    spec, case = pair
+    tracer = Tracer(parent=SpanContext.from_dict(ctx))
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span("eval-pair", tool=spec.name, case=case.name):
+            value = fn(pair)
+    finally:
+        set_tracer(previous)
+    return value, [span.to_dict() for span in tracer.drain()]
+
+
+def _traced_evaluate_pair(item):
+    return _traced_call(_evaluate_pair, item)
+
+
+def _traced_predict_pair(item):
+    return _traced_call(_predict_pair, item)
+
+
 # ----------------------------------------------------------------------
 # Driver side
 # ----------------------------------------------------------------------
@@ -151,6 +180,41 @@ def _warm_models(specs) -> None:
         default_models()
 
 
+def _serial(fn, pairs):
+    """In-process fan-out; one ``eval-pair`` span per pair when tracing."""
+    tracer = current_tracer()
+    if tracer is None:
+        return [fn(pair) for pair in pairs]
+    results = []
+    for spec, case in pairs:
+        with tracer.span("eval-pair", tool=spec.name, case=case.name):
+            results.append(fn((spec, case)))
+    return results
+
+
+def _pooled(fn, traced_fn, pairs, workers, chunk):
+    """Process-pool fan-out, preserving submission order exactly.
+
+    ``map()`` yields results in submission order: determinism for free.
+    With tracing active, each pair travels with the coordinator's
+    :class:`SpanContext`; the worker's spans come back alongside the
+    result and re-parent into the coordinator's trace, so a parallel
+    run produces *one* trace spanning every process.
+    """
+    tracer = current_tracer()
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        if tracer is None:
+            return list(pool.map(fn, pairs, chunksize=max(1, chunk)))
+        ctx = tracer.context().as_dict()
+        results = []
+        for value, spans in pool.map(traced_fn,
+                                     [(pair, ctx) for pair in pairs],
+                                     chunksize=max(1, chunk)):
+            tracer.adopt(spans)
+            results.append(value)
+        return results
+
+
 def evaluate_pairs(pairs: list[tuple[ToolSpec, TestCase]],
                    jobs: int | None = None, *,
                    chunk: int = 1) -> list[Evaluation]:
@@ -162,13 +226,11 @@ def evaluate_pairs(pairs: list[tuple[ToolSpec, TestCase]],
     """
     workers = effective_jobs(jobs)
     if workers <= 1 or len(pairs) <= 1:
-        return [_evaluate_pair(pair) for pair in pairs]
+        return _serial(_evaluate_pair, pairs)
     _warm_models({spec for spec, _ in pairs})
     workers = min(workers, len(pairs))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # map() yields results in submission order: determinism for free.
-        return list(pool.map(_evaluate_pair, pairs,
-                             chunksize=max(1, chunk)))
+    return _pooled(_evaluate_pair, _traced_evaluate_pair, pairs,
+                   workers, chunk)
 
 
 def predict_pairs(pairs: list[tuple[ToolSpec, TestCase]],
@@ -181,12 +243,11 @@ def predict_pairs(pairs: list[tuple[ToolSpec, TestCase]],
     """
     workers = effective_jobs(jobs)
     if workers <= 1 or len(pairs) <= 1:
-        return [_predict_pair(pair) for pair in pairs]
+        return _serial(_predict_pair, pairs)
     _warm_models({spec for spec, _ in pairs})
     workers = min(workers, len(pairs))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_predict_pair, pairs,
-                             chunksize=max(1, chunk)))
+    return _pooled(_predict_pair, _traced_predict_pair, pairs,
+                   workers, chunk)
 
 
 def evaluate_tool(spec: ToolSpec, cases, jobs: int | None = None,

@@ -49,6 +49,11 @@ class Diagnostic:
             ``"data"`` (accepted code that looks like data), ``"code"``
             (classified data that must be code), or None when the
             violation does not imply a unique fix.
+        provenance: the causal decision chain behind the flagged
+            region, rendered one event per line, when the producing
+            run recorded an audit trail (see :mod:`repro.obs`).  Empty
+            otherwise, and omitted from the JSON schema when empty so
+            provenance-off reports are byte-identical to before.
     """
 
     rule: str
@@ -57,12 +62,13 @@ class Diagnostic:
     end: int
     message: str
     suggestion: str | None = None
+    provenance: tuple[str, ...] = ()
 
     def overlaps(self, start: int, end: int) -> bool:
         return self.start < end and start < self.end
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "rule": self.rule,
             "severity": self.severity.name.lower(),
             "start": self.start,
@@ -70,6 +76,9 @@ class Diagnostic:
             "message": self.message,
             "suggestion": self.suggestion,
         }
+        if self.provenance:
+            out["provenance"] = list(self.provenance)
+        return out
 
 
 @dataclass
@@ -149,5 +158,6 @@ class LintReport:
                 severity=Severity.parse(item["severity"]),
                 start=item["start"], end=item["end"],
                 message=item["message"],
-                suggestion=item.get("suggestion")))
+                suggestion=item.get("suggestion"),
+                provenance=tuple(item.get("provenance", ()))))
         return report

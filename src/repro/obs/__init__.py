@@ -1,0 +1,49 @@
+"""Unified observability: tracing, metrics, and decision provenance.
+
+One coherent telemetry story for the whole stack, replacing the
+previous per-layer ad-hoc instrumentation:
+
+* :mod:`repro.obs.trace` -- hierarchical spans (trace-id / span-id /
+  parent-id) threaded through the disassembler phases, correction
+  passes, lint rules, the parallel-evaluation workers, and the serving
+  request lifecycle; exported as JSONL (``repro-trace-v1``).
+  Activated by ``--trace`` or the ``REPRO_TRACE`` environment
+  variable; spans survive the process-pool boundary and re-parent
+  under the coordinator's trace.
+* :mod:`repro.obs.metrics` -- a central registry of counters, gauges
+  and histograms with Prometheus text exposition, fed by the core
+  pipeline (cache hits, traces attempted/refuted, bytes reclassified,
+  decode errors) and the serving layer (queue depth, request
+  latency).
+* :mod:`repro.obs.provenance` -- an opt-in per-byte decision audit
+  trail recorded during prioritized correction: for every
+  classification flip, which pass, which evidence, which prior state.
+  Surfaced as ``repro explain BINARY ADDR`` and consumed by the
+  linter to enrich diagnostics with the causal chain.
+
+Everything is stdlib-only and strictly observational: with tracing and
+provenance disabled (the default), published tables, serve responses
+and benchmark output are byte-identical to an uninstrumented run.
+"""
+
+from .metrics import REGISTRY, MetricsRegistry
+from .provenance import DecisionEvent, ProvenanceLog
+from .trace import (TRACE_ENV, Span, SpanContext, Tracer, activate,
+                    current_tracer, phase_span, set_tracer,
+                    tracing_active)
+
+__all__ = [
+    "DecisionEvent",
+    "MetricsRegistry",
+    "ProvenanceLog",
+    "REGISTRY",
+    "Span",
+    "SpanContext",
+    "TRACE_ENV",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "phase_span",
+    "set_tracer",
+    "tracing_active",
+]

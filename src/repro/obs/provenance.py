@@ -1,0 +1,169 @@
+"""Per-byte decision provenance: why did this byte end up code or data?
+
+The prioritized correction engine is where classification flips
+happen; with a :class:`ProvenanceLog` attached (opt-in via
+``DisassemblerConfig.record_provenance`` or an explicit argument) it
+records one :class:`DecisionEvent` per decision: accepted and refuted
+traces, accepted and rejected data evidence, gap-candidate vetoes,
+residue realignment and its guard rejections -- each tagged with the
+correction pass, the evidence source, the scores involved, and the
+prior state it overrode.
+
+Surfaced two ways:
+
+* ``repro explain BINARY ADDR`` prints the causal chain for one byte
+  ("0x259: data; refuted soft trace in pass gaps-1: derailed at
+  +0x11, gap-score 0.18").
+* The linter attaches the chain to diagnostics whose byte range it
+  covers, so a ``dangling-fallthrough`` report names the decision
+  that produced the bad region instead of just its symptom.
+
+Recording is off by default because the audit trail is proportional
+to decision count, not byte count, but gap-candidate vetoes can be
+dense in data-heavy binaries; the overhead budget is measured in
+``benchmarks/bench_obs.py`` (see DESIGN.md, "Why provenance is
+opt-in").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """One recorded decision over [start, end) of the text section.
+
+    Attributes:
+        seq: monotonically increasing sequence number (chain order).
+        pass_id: correction pass that made the decision (``tables``,
+            ``correction``, ``gaps-N``, ``gaps-final``, ``realign``,
+            ``lint-feedback``).
+        action: what happened (``accept-trace``, ``refute-trace``,
+            ``mark-data``, ``reject-data``, ``reject-candidate``,
+            ``gap-data``, ``realign``, ``skip-realign``).
+        start / end: byte range the decision covered or touched.
+        source: the evidence source string (``gap-score``,
+            ``entry-point``, ``table-target``, ...).
+        priority: evidence strength class name (``SOFT`` ... ``ANCHOR``).
+        detail: human-readable explanation with concrete offsets.
+        attrs: machine-readable specifics (scores, depths, counts).
+    """
+
+    seq: int
+    pass_id: str
+    action: str
+    start: int
+    end: int
+    source: str = ""
+    priority: str = ""
+    detail: str = ""
+    attrs: dict = field(default_factory=dict, compare=False)
+
+    def covers(self, offset: int) -> bool:
+        return self.start <= offset < self.end
+
+    def render(self) -> str:
+        head = f"[{self.pass_id}] {self.action}"
+        span = (f"{self.start:#x}" if self.end - self.start <= 1
+                else f"{self.start:#x}-{self.end:#x}")
+        parts = [head, span]
+        if self.priority:
+            parts.append(self.priority)
+        if self.source:
+            parts.append(f"({self.source})")
+        line = " ".join(parts)
+        return f"{line}: {self.detail}" if self.detail else line
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "pass": self.pass_id,
+            "action": self.action,
+            "start": self.start,
+            "end": self.end,
+            "source": self.source,
+            "priority": self.priority,
+            "detail": self.detail,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> DecisionEvent:
+        return cls(seq=raw["seq"], pass_id=raw["pass"],
+                   action=raw["action"], start=raw["start"],
+                   end=raw["end"], source=raw.get("source", ""),
+                   priority=raw.get("priority", ""),
+                   detail=raw.get("detail", ""),
+                   attrs=dict(raw.get("attrs", {})))
+
+
+class ProvenanceLog:
+    """The ordered audit trail of one disassembly run."""
+
+    SCHEMA = "repro-provenance-v1"
+
+    def __init__(self) -> None:
+        self.events: list[DecisionEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def record(self, action: str, start: int, end: int, *,
+               pass_id: str, source: str = "", priority: str = "",
+               detail: str = "", **attrs) -> DecisionEvent:
+        event = DecisionEvent(seq=len(self.events), pass_id=pass_id,
+                              action=action, start=start, end=end,
+                              source=source, priority=priority,
+                              detail=detail, attrs=attrs)
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def events_at(self, offset: int) -> list[DecisionEvent]:
+        """Every event whose range covers ``offset``, in chain order."""
+        return [event for event in self.events if event.covers(offset)]
+
+    def events_overlapping(self, start: int,
+                           end: int) -> list[DecisionEvent]:
+        return [event for event in self.events
+                if event.start < end and start < event.end]
+
+    def explain(self, offset: int, *, limit: int | None = None) -> str:
+        """The causal chain for one byte, one event per line."""
+        events = self.events_at(offset)
+        if limit is not None and len(events) > limit:
+            skipped = len(events) - limit
+            events = events[-limit:]
+            lines = [f"... {skipped} earlier event(s) elided"]
+        else:
+            lines = []
+        lines.extend(event.render() for event in events)
+        if not lines:
+            return f"no recorded decisions cover {offset:#x}"
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps({
+            "schema": self.SCHEMA,
+            "events": [event.to_dict() for event in self.events],
+        }, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> ProvenanceLog:
+        raw = json.loads(text)
+        log = cls()
+        log.events = [DecisionEvent.from_dict(item)
+                      for item in raw["events"]]
+        return log

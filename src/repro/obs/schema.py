@@ -1,0 +1,134 @@
+"""Validator for the ``repro-trace-v1`` span JSONL schema.
+
+Checked into the tree so CI (the ``obs-smoke`` job) and the test
+suite validate real trace exports against one authoritative
+definition.  Usable as a library (:func:`validate_span_dict`,
+:func:`validate_jsonl`) and as a command::
+
+    python -m repro.obs.schema trace.jsonl
+
+which exits non-zero on the first malformed line and prints a trace
+summary (span count, trace ids, roots) on success.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from .trace import SPAN_SCHEMA
+
+#: Required fields and the types each must carry.
+_REQUIRED: dict[str, type | tuple[type, ...]] = {
+    "schema": str,
+    "trace_id": str,
+    "span_id": str,
+    "name": str,
+    "start_us": int,
+    "dur_us": int,
+    "pid": int,
+    "attrs": dict,
+}
+
+
+class SchemaError(ValueError):
+    """One span record violates the ``repro-trace-v1`` schema."""
+
+
+def validate_span_dict(raw: dict) -> dict:
+    """Check one decoded span record; returns it for chaining."""
+    if not isinstance(raw, dict):
+        raise SchemaError(f"span record must be an object, "
+                          f"got {type(raw).__name__}")
+    for name, expected in _REQUIRED.items():
+        if name not in raw:
+            raise SchemaError(f"missing required field {name!r}")
+        value = raw[name]
+        if not isinstance(value, expected) or isinstance(value, bool):
+            raise SchemaError(
+                f"field {name!r} must be "
+                f"{getattr(expected, '__name__', expected)}, "
+                f"got {type(value).__name__}")
+    if raw["schema"] != SPAN_SCHEMA:
+        raise SchemaError(f"unknown schema {raw['schema']!r} "
+                          f"(expected {SPAN_SCHEMA!r})")
+    parent = raw.get("parent_id")
+    if parent is not None and not isinstance(parent, str):
+        raise SchemaError("field 'parent_id' must be a string or null")
+    if not raw["span_id"]:
+        raise SchemaError("field 'span_id' must be non-empty")
+    if raw["dur_us"] < 0:
+        raise SchemaError("field 'dur_us' must be non-negative")
+    if raw["start_us"] < 0:
+        raise SchemaError("field 'start_us' must be non-negative")
+    return raw
+
+
+def validate_jsonl(path: str | Path) -> dict:
+    """Validate every line of a trace export; returns a summary.
+
+    Beyond per-line shape, checks cross-line consistency: span ids are
+    unique and every non-null parent reference resolves to a span in
+    the file or is an explicit root of its trace.
+    """
+    spans: list[dict] = []
+    for lineno, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SchemaError(f"line {lineno}: not JSON: {error}") \
+                from error
+        try:
+            spans.append(validate_span_dict(raw))
+        except SchemaError as error:
+            raise SchemaError(f"line {lineno}: {error}") from None
+    if not spans:
+        raise SchemaError("trace export contains no spans")
+    ids = [span["span_id"] for span in spans]
+    if len(set(ids)) != len(ids):
+        raise SchemaError("duplicate span ids in export")
+    known = set(ids)
+    roots = 0
+    dangling = 0
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is None:
+            roots += 1
+        elif parent not in known:
+            dangling += 1
+    if roots == 0:
+        raise SchemaError("trace export has no root span")
+    return {
+        "spans": len(spans),
+        "traces": len({span["trace_id"] for span in spans}),
+        "roots": roots,
+        "dangling_parents": dangling,
+        "pids": len({span["pid"] for span in spans}),
+        "names": len({span["name"] for span in spans}),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema TRACE.jsonl",
+              file=sys.stderr)
+        return 2
+    try:
+        summary = validate_jsonl(argv[0])
+    except (OSError, SchemaError) as error:
+        print(f"schema: {argv[0]}: {error}", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: ok -- {summary['spans']} spans, "
+          f"{summary['traces']} trace(s), {summary['roots']} root(s), "
+          f"{summary['pids']} process(es), "
+          f"{summary['dangling_parents']} dangling parent ref(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,10 +51,15 @@ class PhaseTimings:
     def merge(self, other: PhaseTimings | dict[str, float]) -> None:
         """Accumulate another timing set phase-by-phase.
 
-        The serving layer's metrics aggregate worker-side phase
-        timings across many requests this way; a ``total`` key from
-        :meth:`as_dict` output is skipped so merging a dump never
-        double-counts.
+        ``other`` may be a live :class:`PhaseTimings` or an
+        :meth:`as_dict` dump; the dump's derived ``total`` key is
+        skipped so merging never double-counts.  Merge and dump
+        round-trip: splitting a workload over N timers, dumping each
+        with :meth:`as_dict`, and merging the dumps into a fresh timer
+        yields the same phase sums (and hence the same ``total``) as
+        timing everything into one accumulator, up to float summation
+        order.  The serving layer relies on this to aggregate
+        worker-side phase timings across many batches.
         """
         phases = other.phases if isinstance(other, PhaseTimings) else other
         for name, seconds in phases.items():
@@ -67,7 +72,12 @@ class PhaseTimings:
         return sum(self.phases.values())
 
     def as_dict(self) -> dict[str, float]:
-        """Phase -> seconds, plus a ``total`` key (machine readable)."""
+        """Phase -> seconds, plus a derived ``total`` key.
+
+        The dump is machine readable (``--bench-json`` artifacts) and
+        feeds straight back into :meth:`merge`, which ignores the
+        ``total`` key; see :meth:`merge` for the round-trip guarantee.
+        """
         out = dict(self.phases)
         out["total"] = self.total
         return out

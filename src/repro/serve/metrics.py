@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 
+from ..obs.metrics import MetricsRegistry
 from ..perf import PhaseTimings
 
 
@@ -127,3 +128,86 @@ class ServeMetrics:
         if extra:
             out.update(extra)
         return out
+
+    def registry(self, *, queue_depth: int | None = None,
+                 in_flight: int | None = None,
+                 workers_alive: int | None = None,
+                 cache_stats: dict | None = None) -> MetricsRegistry:
+        """This process's counters as a :class:`MetricsRegistry`.
+
+        Built on demand from the plain counters above (the hot path
+        stays integer increments), plus live gauge values supplied by
+        the caller.  The result renders the Prometheus text format via
+        :meth:`MetricsRegistry.render_prometheus` for
+        ``GET /metrics?format=prometheus`` and ``repro metrics``.
+        """
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "repro_serve_requests_total",
+            "HTTP requests served, by endpoint and status")
+        for (endpoint, status), count in self.requests.items():
+            requests.inc(count, endpoint=endpoint, status=str(status))
+        jobs = registry.counter("repro_serve_jobs_total",
+                                "Jobs by terminal outcome")
+        for outcome, count in (("submitted", self.jobs_submitted),
+                               ("completed", self.jobs_completed),
+                               ("failed", self.jobs_failed),
+                               ("cancelled", self.jobs_cancelled),
+                               ("timed_out", self.jobs_timed_out),
+                               ("rejected_queue_full",
+                                self.rejected_queue_full)):
+            if count:
+                jobs.inc(count, outcome=outcome)
+        batches = registry.counter("repro_serve_batches_total",
+                                   "Micro-batches dispatched to workers")
+        if self.batches:
+            batches.inc(self.batches)
+        batched = registry.counter("repro_serve_batched_jobs_total",
+                                   "Jobs dispatched inside micro-batches")
+        if self.batched_jobs:
+            batched.inc(self.batched_jobs)
+        seconds = registry.counter(
+            "repro_serve_request_seconds_total",
+            "Cumulative request wall time, by endpoint")
+        counts = registry.counter(
+            "repro_serve_request_seconds_count",
+            "Requests contributing to repro_serve_request_seconds_total")
+        for endpoint, summary in self.latency.items():
+            seconds.inc(summary.total, endpoint=endpoint)
+            counts.inc(summary.count, endpoint=endpoint)
+        phases = registry.counter(
+            "repro_serve_worker_phase_seconds_total",
+            "Worker pipeline time, by phase")
+        for name, spent in self.worker_phases.as_dict().items():
+            phases.inc(spent, phase=name)
+        registry.gauge("repro_serve_uptime_seconds",
+                       "Seconds since the server started").set(
+            time.time() - self.started)
+        registry.gauge("repro_serve_queue_peak",
+                       "Highest observed queue depth").set(self.queue_peak)
+        if queue_depth is not None:
+            registry.gauge("repro_serve_queue_depth",
+                           "Jobs queued, not yet dispatched").set(
+                queue_depth)
+        if in_flight is not None:
+            registry.gauge("repro_serve_in_flight",
+                           "Jobs currently running on workers").set(
+                in_flight)
+        if workers_alive is not None:
+            registry.gauge("repro_serve_workers_alive",
+                           "Live worker processes (dispatcher liveness "
+                           "in inline mode)").set(workers_alive)
+        if cache_stats is not None:
+            cache = registry.counter("repro_serve_cache_total",
+                                     "Result-cache lookups, by outcome")
+            for outcome in ("hits", "misses", "evictions"):
+                if cache_stats.get(outcome):
+                    cache.inc(cache_stats[outcome], outcome=outcome)
+            registry.gauge("repro_serve_cache_entries",
+                           "Result-cache entries resident").set(
+                cache_stats.get("entries", 0))
+        return registry
+
+    def render_prometheus(self, **live) -> str:
+        """Prometheus text exposition (see :meth:`registry`)."""
+        return self.registry(**live).render_prometheus()

@@ -51,15 +51,26 @@ class JobRequest:
     #: Absolute monotonic deadline; the scheduler refuses to start the
     #: job after it (the job is *cancelled*, not merely late).
     deadline: float = float("inf")
+    #: Serialized :class:`repro.obs.SpanContext` of the request span
+    #: when tracing is active; worker spans re-parent under it.
+    trace_ctx: dict | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ProtocolError(f"unknown job kind {self.kind!r}")
 
     def worker_item(self) -> tuple:
-        """The picklable tuple shipped to a worker process."""
-        return (self.id, self.kind, self.blob, self.config_overrides,
+        """The picklable tuple shipped to a worker process.
+
+        Stays a flat 5-tuple when tracing is off; with tracing active
+        the span context travels as an optional sixth element (workers
+        and test stand-ins unpack with ``job_id, *rest``).
+        """
+        item = (self.id, self.kind, self.blob, self.config_overrides,
                 self.lint_disable)
+        if self.trace_ctx is not None:
+            return item + (self.trace_ctx,)
+        return item
 
 
 @dataclass

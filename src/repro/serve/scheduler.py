@@ -33,6 +33,7 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from ..obs.trace import SpanContext, Tracer, current_tracer, set_tracer
 from ..perf import PhaseTimings
 from .metrics import LatencySummary, ServeMetrics
 from .protocol import JobRequest
@@ -100,22 +101,40 @@ def _execute_job(kind: str, blob: bytes, overrides: dict | None,
     return report.to_json()
 
 
-def run_batch(items: list[tuple]) -> tuple[list[tuple], dict[str, float]]:
+def run_batch(items: list[tuple]) -> tuple:
     """Execute one micro-batch of worker items sequentially.
 
     Returns per-job ``(id, ok, payload-or-message, error_kind)`` tuples
-    plus the batch's accumulated phase timings for ``/metrics``.
+    plus the batch's accumulated phase timings for ``/metrics``.  When
+    any item carries a span context (sixth tuple element), the worker
+    records its spans under a tracer seeded from it and appends their
+    dicts as a third return element for the coordinator to adopt.
     """
     timings = PhaseTimings()
     results = []
-    for job_id, kind, blob, overrides, lint_disable in items:
+    spans: list[dict] = []
+    for job_id, kind, blob, overrides, lint_disable, *rest in items:
+        ctx = SpanContext.from_dict(rest[0]) if rest else None
+        tracer = Tracer(parent=ctx) if ctx is not None else None
+        previous = set_tracer(tracer) if tracer is not None else None
         try:
-            payload = _execute_job(kind, blob, overrides,
-                                   tuple(lint_disable), timings)
+            if tracer is not None:
+                with tracer.span("job", id=job_id, kind=kind):
+                    payload = _execute_job(kind, blob, overrides,
+                                           tuple(lint_disable), timings)
+            else:
+                payload = _execute_job(kind, blob, overrides,
+                                       tuple(lint_disable), timings)
             results.append((job_id, True, payload, ""))
         except Exception as error:   # noqa: BLE001 -- ferried to the caller
             results.append((job_id, False, str(error),
                             type(error).__name__))
+        finally:
+            if tracer is not None:
+                set_tracer(previous)
+                spans.extend(span.to_dict() for span in tracer.drain())
+    if spans:
+        return results, timings.as_dict(), spans
     return results, timings.as_dict()
 
 
@@ -242,6 +261,20 @@ class JobScheduler:
     def in_flight(self) -> int:
         return self._in_flight
 
+    def workers_alive(self) -> int:
+        """Live worker processes (``/healthz`` liveness probe).
+
+        Pool workers spawn lazily, so before the first job this equals
+        zero even on a healthy server; inline mode (``workers=0``)
+        reports whether the dispatcher task is running instead.
+        """
+        if self._pool is None:
+            return int(self._dispatcher is not None
+                       and not self._dispatcher.done())
+        processes = getattr(self._pool, "_processes", None) or {}
+        return sum(1 for process in processes.values()
+                   if process.is_alive())
+
     def retry_after(self) -> float:
         """Seconds after which a rejected client should retry.
 
@@ -315,6 +348,16 @@ class JobScheduler:
                 self._in_flight += len(batch)
                 self.metrics.in_flight = self._in_flight
                 self.metrics.record_batch(len(batch))
+                tracer = current_tracer()
+                if tracer is not None:
+                    now = time.monotonic()
+                    for pending in batch:
+                        ctx = pending.request.trace_ctx
+                        if ctx is not None:
+                            tracer.emit("queue-wait",
+                                        now - pending.enqueued,
+                                        parent=ctx.get("span_id"),
+                                        id=pending.request.id)
                 items = [p.request.worker_item() for p in batch]
                 loop = asyncio.get_running_loop()
                 task = loop.run_in_executor(self._pool, run_batch, items)
@@ -345,7 +388,10 @@ class JobScheduler:
                             task: asyncio.Future) -> None:
         started = time.monotonic()
         try:
-            results, phases = await task
+            # Tolerate both shapes: ``(results, phases)`` from untraced
+            # workers and test stand-ins, ``(results, phases, spans)``
+            # from tracing workers.
+            results, phases, *extra = await task
         except Exception as error:   # noqa: BLE001 -- pool died
             for pending in batch:
                 if not pending.future.done():
@@ -359,6 +405,11 @@ class JobScheduler:
             for _ in batch:
                 self._job_seconds.record(elapsed / max(1, len(batch)))
             self.metrics.merge_worker_phases(phases)
+            tracer = current_tracer()
+            if tracer is not None:
+                if extra and extra[0]:
+                    tracer.adopt(extra[0])
+                tracer.emit("worker-batch", elapsed, jobs=len(batch))
             by_id = {pending.request.id: pending for pending in batch}
             for job_id, ok, payload, error_kind in results:
                 pending = by_id.pop(job_id, None)

@@ -27,6 +27,8 @@ import time
 from dataclasses import dataclass
 
 from ..formats import FormatError, load_any
+from ..obs.metrics import REGISTRY
+from ..obs.trace import Tracer, set_tracer, trace_path_from_env
 from .access_log import AccessLog
 from .cache import ResultCache, result_key
 from .metrics import ServeMetrics
@@ -38,6 +40,13 @@ from .scheduler import (DrainingError, JobCancelledError, JobFailedError,
 
 _MAX_REQUEST_LINE = 8 * 1024
 _MAX_HEADER_COUNT = 64
+
+
+@dataclass(frozen=True)
+class _PlainText:
+    """A non-JSON response body (Prometheus text exposition)."""
+
+    text: str
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,9 @@ class ServeConfig:
     default_timeout: float = 120.0       # per-job deadline, seconds
     access_log_path: str | None = None   # None = stderr
     access_log_enabled: bool = True
+    #: Span JSONL sink; None falls back to the ``REPRO_TRACE`` env var,
+    #: and tracing stays off when neither is set.
+    trace_path: str | None = None
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(workers=self.workers,
@@ -80,6 +92,13 @@ class ServeApp:
         self._active_requests = 0
         self._stopped: asyncio.Event | None = None
         self._drain_task: asyncio.Task | None = None
+        #: Request-lifecycle tracer (queue -> batch -> worker spans).
+        #: Interleaved requests share one asyncio thread, so spans use
+        #: the explicit start/finish API, never the thread-local stack.
+        self._trace_path = (self.config.trace_path
+                            or trace_path_from_env())
+        self.tracer = Tracer() if self._trace_path else None
+        self._previous_tracer: Tracer | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -93,6 +112,10 @@ class ServeApp:
 
     async def start(self) -> None:
         self._stopped = asyncio.Event()
+        if self.tracer is not None:
+            # Install process-wide so the scheduler's dispatch loop and
+            # inline workers see it via current_tracer().
+            self._previous_tracer = set_tracer(self.tracer)
         await self.scheduler.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
@@ -135,9 +158,17 @@ class ServeApp:
             await asyncio.sleep(0.01)
         await self.scheduler.drain()       # finish queued + in-flight jobs
         self.access_log.record(event="drain-complete")
+        self._close_tracer()
         self.access_log.close()            # flush logs last
         assert self._stopped is not None
         self._stopped.set()
+
+    def _close_tracer(self) -> None:
+        if self.tracer is None:
+            return
+        set_tracer(self._previous_tracer)
+        if self._trace_path:
+            self.tracer.flush_jsonl(self._trace_path)
 
     async def aclose(self) -> None:
         """Non-graceful teardown for tests."""
@@ -145,6 +176,7 @@ class ServeApp:
             self._server.close()
             await self._server.wait_closed()
         await self.scheduler.stop()
+        self._close_tracer()
         self.access_log.close()
         if self._stopped is not None:
             self._stopped.set()
@@ -228,13 +260,19 @@ class ServeApp:
         self._active_requests += 1
         extra_headers: dict[str, str] = {}
         cached = False
+        endpoint = path.split("?")[0]
+        span = (self.tracer.start("request", parent="", id=request_id,
+                                  method=method, endpoint=endpoint)
+                if self.tracer is not None else None)
         try:
             if parse_error is not None:
                 status, message = parse_error
-                payload: dict = {"error": message, "id": request_id}
+                payload: dict | _PlainText = {"error": message,
+                                              "id": request_id}
             else:
                 status, payload, extra_headers, cached = \
-                    await self._dispatch(method, path, body, request_id)
+                    await self._dispatch(method, path, body, request_id,
+                                         span=span)
         except Exception as error:   # noqa: BLE001 -- last-resort 500
             status = 500
             payload = {"error": f"internal error: {error}",
@@ -242,16 +280,24 @@ class ServeApp:
         finally:
             self._active_requests -= 1
         elapsed = time.monotonic() - started
-        endpoint = path.split("?")[0]
         self.metrics.record_request(endpoint, status, elapsed)
+        if span is not None and self.tracer is not None:
+            self.tracer.finish(span, status=status, cached=cached)
+            if self._trace_path:
+                self.tracer.flush_jsonl(self._trace_path)
         self.access_log.record(id=request_id, method=method,
                                endpoint=endpoint, status=status,
                                latency_ms=round(elapsed * 1000, 3),
                                cached=cached,
                                bytes_in=len(body))
-        blob = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _PlainText):
+            blob = payload.text.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            blob = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}",
-                "Content-Type: application/json",
+                f"Content-Type: {content_type}",
                 f"Content-Length: {len(blob)}",
                 f"X-Request-Id: {request_id}"]
         for name, value in extra_headers.items():
@@ -267,9 +313,9 @@ class ServeApp:
     # ------------------------------------------------------------------
 
     async def _dispatch(self, method: str, path: str, body: bytes,
-                        request_id: str):
+                        request_id: str, span=None):
         """Returns (status, payload, extra_headers, cached)."""
-        path = path.split("?")[0]
+        path, _, query = path.partition("?")
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "method not allowed"}, {}, False
@@ -277,6 +323,8 @@ class ServeApp:
         if path == "/metrics":
             if method != "GET":
                 return 405, {"error": "method not allowed"}, {}, False
+            if "format=prometheus" in query.split("&"):
+                return 200, _PlainText(self._prometheus_body()), {}, False
             snapshot = self.metrics.snapshot(
                 cache_stats=self.cache.stats(),
                 extra={"queue": {
@@ -289,20 +337,41 @@ class ServeApp:
             if method != "POST":
                 return 405, {"error": "method not allowed"}, {}, False
             kind = "disassemble" if path == "/v1/disassemble" else "lint"
-            return await self._handle_job(kind, body, request_id)
+            return await self._handle_job(kind, body, request_id,
+                                          span=span)
         return 404, {"error": f"no such endpoint: {path}"}, {}, False
 
+    def _serve_registry(self):
+        """The live serve-layer registry (health + metrics source)."""
+        return self.metrics.registry(
+            queue_depth=self.scheduler.queue_depth(),
+            in_flight=self.scheduler.in_flight,
+            workers_alive=self.scheduler.workers_alive(),
+            cache_stats=self.cache.stats())
+
+    def _prometheus_body(self) -> str:
+        # Serve-layer registry plus the process-global pipeline registry
+        # (non-empty in inline mode, where jobs run in this process).
+        return (self._serve_registry().render_prometheus()
+                + REGISTRY.render_prometheus())
+
     def _healthz_body(self) -> dict:
+        registry = self._serve_registry()
         return {
             "status": "draining" if self._draining else "ok",
             "protocol": PROTOCOL_VERSION,
             "uptime_s": round(time.time() - self.metrics.started, 3),
             "workers": self.config.workers,
-            "queue_depth": self.scheduler.queue_depth(),
-            "in_flight": self.scheduler.in_flight,
+            "queue_depth": int(
+                registry.get("repro_serve_queue_depth").value()),
+            "in_flight": int(
+                registry.get("repro_serve_in_flight").value()),
+            "workers_alive": int(
+                registry.get("repro_serve_workers_alive").value()),
         }
 
-    async def _handle_job(self, kind: str, body: bytes, request_id: str):
+    async def _handle_job(self, kind: str, body: bytes, request_id: str,
+                          span=None):
         if self._draining:
             return 503, {"error": "draining", "id": request_id}, {}, False
         try:
@@ -346,7 +415,9 @@ class ServeApp:
         job = JobRequest(id=request_id, kind=kind, blob=blob,
                          config_overrides=parsed.config_overrides,
                          lint_disable=parsed.lint_disable,
-                         deadline=time.monotonic() + timeout)
+                         deadline=time.monotonic() + timeout,
+                         trace_ctx=(span.context().as_dict()
+                                    if span is not None else None))
         try:
             payload = await self.scheduler.submit(job)
         except QueueFullError as error:

@@ -18,6 +18,7 @@ from ..isa.instruction import Instruction
 from ..isa.opcodes import FlowKind
 from ..isa.operands import MemOp, RelOp
 from ..isa.tables import MAX_INSTRUCTION_LENGTH
+from ..obs.metrics import REGISTRY
 
 #: Identical bytes that must remain ahead of an offset before its decode
 #: is guaranteed byte-for-byte identical (shifted) to the next offset's.
@@ -210,7 +211,24 @@ class Superset:
         return list(range(offset + 1, min(ins.end, len(self.text))))
 
 
+_SUPERSET_CACHE = REGISTRY.counter(
+    "repro_superset_cache_total",
+    "Process-wide superset-construction cache lookups, by outcome")
+
+
+_DECODE_ERRORS = REGISTRY.counter(
+    "repro_decode_errors_total",
+    "Superset offsets at which no instruction decodes")
+
+
 @functools.lru_cache(maxsize=4)
+def _cached_build(text: bytes) -> Superset:
+    _SUPERSET_CACHE.inc(outcome="miss")
+    superset = Superset.build(text)
+    _DECODE_ERRORS.inc(superset.instructions.count(None))
+    return superset
+
+
 def cached_superset(text: bytes) -> Superset:
     """A process-wide :meth:`Superset.build` cache keyed by section bytes.
 
@@ -220,4 +238,12 @@ def cached_superset(text: bytes) -> Superset:
     every tool the same instance is safe.  The small LRU bound keeps at
     most a few sections' candidate lists alive.
     """
-    return Superset.build(text)
+    misses = _cached_build.cache_info().misses
+    result = _cached_build(text)
+    if _cached_build.cache_info().misses == misses:
+        _SUPERSET_CACHE.inc(outcome="hit")
+    return result
+
+
+cached_superset.cache_clear = _cached_build.cache_clear  # type: ignore[attr-defined]
+cached_superset.cache_info = _cached_build.cache_info    # type: ignore[attr-defined]

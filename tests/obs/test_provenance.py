@@ -1,0 +1,87 @@
+"""Tests for the per-byte decision audit trail."""
+
+from repro.obs.provenance import DecisionEvent, ProvenanceLog
+
+
+def sample_log() -> ProvenanceLog:
+    log = ProvenanceLog()
+    log.record("accept-trace", 0x10, 0x30, pass_id="correction",
+               source="entry-point", priority="ANCHOR",
+               detail="traced 8 instructions", score=2.0)
+    log.record("refute-trace", 0x40, 0x48, pass_id="correction",
+               source="prologue", priority="IDIOM",
+               detail="derailed at +0x4")
+    log.record("gap-data", 0x30, 0x40, pass_id="gaps-final",
+               detail="no surviving code candidate")
+    return log
+
+
+class TestDecisionEvent:
+    def test_covers_half_open_range(self):
+        event = DecisionEvent(seq=0, pass_id="gaps-1", action="gap-data",
+                              start=0x10, end=0x20)
+        assert event.covers(0x10)
+        assert event.covers(0x1f)
+        assert not event.covers(0x20)
+
+    def test_render_single_byte_and_range(self):
+        single = DecisionEvent(seq=0, pass_id="realign",
+                               action="skip-realign", start=5, end=6,
+                               source="padding", priority="SOFT",
+                               detail="pure padding run")
+        ranged = DecisionEvent(seq=1, pass_id="tables",
+                               action="mark-data", start=0x10, end=0x20)
+        assert single.render() == ("[realign] skip-realign 0x5 SOFT "
+                                   "(padding): pure padding run")
+        assert ranged.render() == "[tables] mark-data 0x10-0x20"
+
+    def test_dict_round_trip_uses_pass_key(self):
+        event = DecisionEvent(seq=3, pass_id="gaps-2", action="gap-data",
+                              start=1, end=2, attrs={"score": 0.5})
+        raw = event.to_dict()
+        assert raw["pass"] == "gaps-2"
+        clone = DecisionEvent.from_dict(raw)
+        assert clone == event
+        assert clone.attrs == {"score": 0.5}
+
+
+class TestProvenanceLog:
+    def test_record_assigns_sequence_numbers(self):
+        log = sample_log()
+        assert [event.seq for event in log] == [0, 1, 2]
+        assert len(log) == 3
+
+    def test_events_at_returns_covering_chain(self):
+        log = sample_log()
+        assert [e.action for e in log.events_at(0x20)] == ["accept-trace"]
+        assert [e.action for e in log.events_at(0x35)] == ["gap-data"]
+        assert log.events_at(0x100) == []
+
+    def test_events_overlapping_half_open(self):
+        log = sample_log()
+        actions = [e.action for e in log.events_overlapping(0x2f, 0x41)]
+        assert actions == ["accept-trace", "refute-trace", "gap-data"]
+        assert log.events_overlapping(0x30, 0x30) == []
+
+    def test_explain_renders_chain(self):
+        text = sample_log().explain(0x20)
+        assert "[correction] accept-trace 0x10-0x30" in text
+        assert "traced 8 instructions" in text
+
+    def test_explain_unknown_byte(self):
+        assert sample_log().explain(0x999) \
+            == "no recorded decisions cover 0x999"
+
+    def test_explain_limit_elides_early_events(self):
+        log = ProvenanceLog()
+        for index in range(4):
+            log.record("mark-data", 0, 8, pass_id=f"pass-{index}")
+        text = log.explain(0, limit=2)
+        assert text.startswith("... 2 earlier event(s) elided")
+        assert "[pass-3]" in text and "[pass-0]" not in text
+
+    def test_json_round_trip(self):
+        log = sample_log()
+        clone = ProvenanceLog.from_json(log.to_json())
+        assert clone.events == log.events
+        assert '"schema": "repro-provenance-v1"' in log.to_json(indent=1)

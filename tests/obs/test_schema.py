@@ -1,0 +1,129 @@
+"""Tests for the repro-trace-v1 JSONL validator (library and CLI)."""
+
+import json
+
+import pytest
+
+from repro.obs.schema import (SchemaError, main, validate_jsonl,
+                              validate_span_dict)
+from repro.obs.trace import Tracer
+
+
+def good_span(**overrides) -> dict:
+    span = {"schema": "repro-trace-v1", "trace_id": "t1", "span_id": "s1",
+            "parent_id": None, "name": "op", "start_us": 10, "dur_us": 5,
+            "pid": 1234, "attrs": {}}
+    span.update(overrides)
+    return span
+
+
+def write_jsonl(path, spans):
+    path.write_text("".join(json.dumps(s) + "\n" for s in spans))
+    return path
+
+
+class TestValidateSpanDict:
+    def test_accepts_good_span(self):
+        span = good_span()
+        assert validate_span_dict(span) is span
+
+    @pytest.mark.parametrize("field", ["schema", "trace_id", "span_id",
+                                       "name", "start_us", "dur_us",
+                                       "pid", "attrs"])
+    def test_rejects_missing_field(self, field):
+        span = good_span()
+        del span[field]
+        with pytest.raises(SchemaError, match=field):
+            validate_span_dict(span)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(SchemaError, match="start_us"):
+            validate_span_dict(good_span(start_us="10"))
+
+    def test_rejects_bool_masquerading_as_int(self):
+        with pytest.raises(SchemaError, match="pid"):
+            validate_span_dict(good_span(pid=True))
+
+    def test_rejects_unknown_schema_tag(self):
+        with pytest.raises(SchemaError, match="unknown schema"):
+            validate_span_dict(good_span(schema="repro-trace-v0"))
+
+    def test_rejects_non_string_parent(self):
+        with pytest.raises(SchemaError, match="parent_id"):
+            validate_span_dict(good_span(parent_id=7))
+
+    def test_rejects_empty_span_id(self):
+        with pytest.raises(SchemaError, match="span_id"):
+            validate_span_dict(good_span(span_id=""))
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SchemaError, match="dur_us"):
+            validate_span_dict(good_span(dur_us=-1))
+
+    def test_rejects_non_object(self):
+        with pytest.raises(SchemaError, match="object"):
+            validate_span_dict([1, 2])
+
+
+class TestValidateJsonl:
+    def test_real_export_summary(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        summary = validate_jsonl(
+            tracer.export_jsonl(tmp_path / "t.jsonl"))
+        assert summary == {"spans": 2, "traces": 1, "roots": 1,
+                           "dangling_parents": 0, "pids": 1, "names": 2}
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(good_span()) + "\n\n")
+        assert validate_jsonl(path)["spans"] == 1
+
+    def test_rejects_empty_export(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="no spans"):
+            validate_jsonl(path)
+
+    def test_rejects_malformed_json_with_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(good_span()) + "\n{nope\n")
+        with pytest.raises(SchemaError, match="line 2"):
+            validate_jsonl(path)
+
+    def test_rejects_duplicate_span_ids(self, tmp_path):
+        path = write_jsonl(tmp_path / "t.jsonl",
+                           [good_span(), good_span()])
+        with pytest.raises(SchemaError, match="duplicate"):
+            validate_jsonl(path)
+
+    def test_rejects_export_with_no_root(self, tmp_path):
+        path = write_jsonl(tmp_path / "t.jsonl",
+                           [good_span(parent_id="elsewhere")])
+        with pytest.raises(SchemaError, match="no root"):
+            validate_jsonl(path)
+
+    def test_counts_dangling_parents(self, tmp_path):
+        path = write_jsonl(tmp_path / "t.jsonl",
+                           [good_span(),
+                            good_span(span_id="s2", parent_id="gone")])
+        assert validate_jsonl(path)["dangling_parents"] == 1
+
+
+class TestCli:
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        path = write_jsonl(tmp_path / "t.jsonl", [good_span()])
+        assert main([str(path)]) == 0
+        assert "1 spans" in capsys.readouterr().out
+
+    def test_invalid_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        assert main([str(path)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_usage_exit_two(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err

@@ -168,3 +168,99 @@ class TestRealFormats:
         bad.write_bytes(blob[:48])
         assert main(["disasm", str(bad)]) == 2
         assert "offset" in capsys.readouterr().err
+
+
+class TestExplain:
+    @pytest.fixture(scope="class")
+    def seed49(self, tmp_path_factory):
+        # The PR-3 regression binary whose root cause the audit trail
+        # must reproduce (see tests/obs/test_pipeline.py).
+        prefix = tmp_path_factory.mktemp("cli-explain") / "seed49"
+        assert main(["generate", str(prefix), "--functions", "6",
+                     "--seed", "49", "--style", "msvc-like"]) == 0
+        return prefix.with_suffix(".bin")
+
+    def test_entry_point_chain(self, generated, capsys):
+        binary = str(generated.with_suffix(".bin"))
+        assert main(["explain", binary, "0x0"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("0x0: code (instruction start)")
+        assert "accept-trace" in out
+        assert "entry-point" in out
+
+    def test_json_output(self, generated, capsys):
+        binary = str(generated.with_suffix(".bin"))
+        assert main(["explain", binary, "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["address"] == "0x0"
+        assert payload["classification"] == "code (instruction start)"
+        assert payload["events"]
+        assert all("pass" in event for event in payload["events"])
+
+    def test_seed49_refuted_soft_trace(self, seed49, capsys):
+        assert main(["explain", str(seed49), "0x259"]) == 0
+        out = capsys.readouterr().out
+        assert "refuted SOFT trace" in out
+        assert "strict soft-trace gate" in out
+
+    def test_seed49_padding_guard(self, seed49, capsys):
+        assert main(["explain", str(seed49), "0x37c"]) == 0
+        out = capsys.readouterr().out
+        assert "skip-realign" in out
+        assert "padding-as-code guard" in out
+
+    def test_bad_address_is_exit_2(self, generated, capsys):
+        binary = str(generated.with_suffix(".bin"))
+        assert main(["explain", binary, "zzz"]) == 2
+        assert "bad address" in capsys.readouterr().err
+        assert main(["explain", binary, "0x999999"]) == 2
+        assert "outside the text section" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_local_prometheus_dump(self, generated, capsys):
+        binary = str(generated.with_suffix(".bin"))
+        assert main(["metrics", binary]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_superset_cache_total counter" in out
+        assert "repro_traces_total" in out
+
+    def test_local_json_dump(self, generated, capsys):
+        binary = str(generated.with_suffix(".bin"))
+        assert main(["metrics", binary, "--format", "json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["repro_traces_total"]["kind"] == "counter"
+
+    def test_requires_binary_or_server(self, capsys):
+        assert main(["metrics"]) == 2
+        assert "--server" in capsys.readouterr().err
+
+    def test_unreachable_server_is_exit_1(self, capsys):
+        assert main(["metrics", "--server", "127.0.0.1:1"]) == 1
+        assert "metrics:" in capsys.readouterr().err
+
+
+class TestTraceFlag:
+    def test_disasm_trace_export_is_schema_valid(self, generated,
+                                                 tmp_path, capsys):
+        from repro.obs.schema import validate_jsonl
+        path = tmp_path / "trace.jsonl"
+        assert main(["disasm", str(generated.with_suffix(".bin")),
+                     "--trace", str(path)]) == 0
+        capsys.readouterr()
+        summary = validate_jsonl(path)
+        assert summary["traces"] == 1
+        assert summary["dangling_parents"] == 0
+        names = {json.loads(line)["name"]
+                 for line in path.read_text().splitlines()}
+        assert "disassemble" in names
+        assert "superset" in names
+
+    def test_env_var_activates_tracing(self, generated, tmp_path,
+                                       monkeypatch, capsys):
+        from repro.obs.schema import validate_jsonl
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        assert main(["disasm", str(generated.with_suffix(".bin"))]) == 0
+        capsys.readouterr()
+        assert validate_jsonl(path)["spans"] > 0

@@ -3,6 +3,10 @@
 import json
 import time
 
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
 from repro.perf import PhaseTimings, bench_payload, write_bench_json
 from repro.synth import BinarySpec, MSVC_LIKE, generate_binary
 
@@ -87,6 +91,29 @@ class TestPhaseTimings:
         assert "total" not in base.phases
         assert base.as_dict() == {"superset": 2.0, "scoring": 2.0,
                                   "total": 4.0}
+
+    @given(runs=st.lists(
+        st.lists(st.tuples(st.sampled_from(PIPELINE_PHASES),
+                           st.floats(min_value=0.0, max_value=1e6,
+                                     allow_nan=False)),
+                 max_size=8),
+        max_size=6))
+    def test_merging_dumps_equals_one_accumulated_run(self, runs):
+        # The round-trip contract documented on merge()/as_dict():
+        # splitting a workload over N timers, dumping each, and merging
+        # the dumps reconstructs the single-accumulator run exactly (up
+        # to float summation order).
+        accumulated = PhaseTimings()
+        merged = PhaseTimings()
+        for run in runs:
+            worker = PhaseTimings()
+            for name, seconds in run:
+                worker.add(name, seconds)
+                accumulated.add(name, seconds)
+            merged.merge(worker.as_dict())
+        assert set(merged.phases) == set(accumulated.phases)
+        assert "total" not in merged.phases
+        assert merged.as_dict() == pytest.approx(accumulated.as_dict())
 
 
 class TestBenchJson:
