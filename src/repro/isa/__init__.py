@@ -8,7 +8,8 @@ disassembly analyses need, and it provides a small assembler used by the
 synthetic binary generator.
 """
 
-from .decoder import decode, try_decode
+from .decoder import (decode, decode_interp, decoder_backend, try_decode,
+                      try_decode_interp)
 from .encoder import Assembler, AssemblyError, Mem, mem, rip
 from .errors import (DecodeError, InvalidOpcodeError, TooLongError,
                      TruncatedError)
@@ -18,7 +19,8 @@ from .operands import ImmOp, MemOp, RegOp, RelOp
 from .registers import Register, reg, register_by_name
 
 __all__ = [
-    "decode", "try_decode", "Assembler", "AssemblyError", "Mem", "mem",
+    "decode", "decode_interp", "decoder_backend", "try_decode",
+    "try_decode_interp", "Assembler", "AssemblyError", "Mem", "mem",
     "rip", "DecodeError", "InvalidOpcodeError", "TooLongError",
     "TruncatedError", "Instruction", "FlowKind", "ImmOp", "MemOp", "RegOp",
     "RelOp", "Register", "reg", "register_by_name",

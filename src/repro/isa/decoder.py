@@ -9,6 +9,8 @@ every offset of a text section.
 
 from __future__ import annotations
 
+import os
+
 from .errors import InvalidOpcodeError, TooLongError, TruncatedError
 from .instruction import Instruction
 from .opcodes import (IMPLICIT_EFFECTS, READS_ONLY, WRITE_ONLY_DEST,
@@ -257,7 +259,10 @@ def decode(buf: bytes, offset: int = 0) -> Instruction:
 def try_decode(buf: bytes, offset: int = 0) -> Instruction | None:
     """Like :func:`decode` but returns None on any decode failure."""
     try:
-        return decode(buf, offset)
+        # Call the interpretive decoder by its stable alias: the seam
+        # below rebinds the ``decode`` global to the compiled engine,
+        # and this function must stay a pure-oracle entry point.
+        return decode_interp(buf, offset)
     except (InvalidOpcodeError, TruncatedError, TooLongError):
         return None
 
@@ -296,9 +301,12 @@ def _build_operands(encoding: Encoding, mnemonic: str,
                     two_byte: bool) -> list[Operand]:
     reg_op = None
     if encoding in (Encoding.MR, Encoding.RM, Encoding.RMI):
-        width = opsize if not (two_byte and opcode in
-                               (0xB6, 0xB7, 0xBE, 0xBF)) else opsize
-        reg_op = RegOp(_reg(reg_field, width, rex_present))
+        # The register operand always has the full operand size; only the
+        # r/m side narrows for the widening moves (see _rm_width).  For
+        # movzx/movsx the destination is opsize wide (movzx r32, r/m8
+        # writes a 32-bit register) -- the narrow width applies to the
+        # source r/m operand alone.
+        reg_op = RegOp(_reg(reg_field, opsize, rex_present))
 
     if encoding is Encoding.MR:
         return [rm_operand, reg_op]
@@ -431,3 +439,49 @@ def _effects(mnemonic: str, encoding: Encoding,
         reads.update(implicit[0])
         writes.update(implicit[1])
     return reads, writes
+
+
+# ---------------------------------------------------------------------------
+# Backend selection seam
+#
+# The hot path normally runs the generated engine (repro.isa._compiled,
+# produced by ``python -m repro.isa.compile_tables``); the interpretive
+# decoder above stays available -- unchanged -- as the differential-
+# testing oracle.  ``REPRO_DECODER=interp`` forces the oracle for every
+# consumer.  The names are rebound at import time so that call sites
+# binding ``try_decode`` directly (superset, eval, serve, lint) pay no
+# per-call indirection.
+# ---------------------------------------------------------------------------
+
+#: The interpretive oracle entry points, always available by name.
+decode_interp = decode
+try_decode_interp = try_decode
+
+_BACKEND = "interp"
+if os.environ.get("REPRO_DECODER", "compiled").strip().lower() != "interp":
+    try:
+        from . import _compiled
+    except ImportError:    # pragma: no cover - pre-generation bootstrap
+        _compiled = None   # type: ignore[assignment]
+    if _compiled is not None:
+        _BACKEND = "compiled"
+
+if _BACKEND == "compiled":
+    try_decode = _compiled.try_decode
+    _raw_decode_compiled = _compiled.raw_decode
+
+    def decode(buf: bytes, offset: int = 0) -> Instruction:
+        """Decode via the compiled engine (see the interp docstring).
+
+        Failures re-run the oracle so callers observe the exact
+        exception type and message the interpretive decoder raises.
+        """
+        result = _raw_decode_compiled(buf, offset)
+        if result.__class__ is Instruction:
+            return result
+        return decode_interp(buf, offset)
+
+
+def decoder_backend() -> str:
+    """The active decode backend: ``"compiled"`` or ``"interp"``."""
+    return _BACKEND

@@ -104,11 +104,13 @@ class PhaseTimings:
 
 def bench_payload(**extra) -> dict:
     """Common envelope for BENCH_*.json dumps (environment + payload)."""
+    from .isa.decoder import decoder_backend  # lazy: perf is low-level
     payload = {
         "schema": "repro-bench-v1",
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "decoder_backend": decoder_backend(),
     }
     payload.update(extra)
     return payload

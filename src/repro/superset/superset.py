@@ -10,9 +10,12 @@ the paper's approach.
 from __future__ import annotations
 
 import functools
+import re
 from dataclasses import dataclass, replace
 from functools import cached_property
+from itertools import repeat
 
+from ..isa import decoder as _decoder
 from ..isa.decoder import try_decode
 from ..isa.instruction import Instruction
 from ..isa.opcodes import FlowKind
@@ -27,25 +30,43 @@ from ..obs.metrics import REGISTRY
 #: so doubling the architectural limit is a safely conservative window.
 _RUN_FAST_WINDOW = 2 * MAX_INSTRUCTION_LENGTH + 2
 
+#: Maximal repeated-byte runs long enough to contain fast-path offsets:
+#: a run matched at [s, e) has its first ``e - s - _RUN_FAST_WINDOW``
+#: offsets still looking at ``_RUN_FAST_WINDOW`` identical bytes ahead.
+#: Scanning for runs once up front (in C, via the regex engine) keeps
+#: the per-offset sweep free of any run bookkeeping.
+_RUN_RE = re.compile(rb"(.)\1{%d,}" % _RUN_FAST_WINDOW, re.DOTALL)
+
 
 def _shifted(ins: Instruction, delta: int) -> Instruction:
     """The same encoding decoded ``delta`` bytes away: every absolute
     position (offset, branch targets, RIP-relative targets) moves by
-    ``delta``; everything else is unchanged."""
-    operands = []
-    changed = False
-    for op in ins.operands:
-        if isinstance(op, RelOp):
-            operands.append(RelOp(op.target + delta))
-            changed = True
-        elif isinstance(op, MemOp) and op.rip_relative \
+    ``delta``; everything else is unchanged.
+
+    This runs once per fast-path offset deep inside repeated-byte runs
+    (alignment padding, NUL regions), so the shifted instruction is
+    built by copying the field dict instead of re-running the frozen
+    dataclass constructor.
+    """
+    shifted = dict(ins.__dict__)
+    shifted["offset"] = ins.offset + delta
+    operands = ins.operands
+    new_ops = None
+    for i, op in enumerate(operands):
+        if type(op) is RelOp:
+            if new_ops is None:
+                new_ops = list(operands)
+            new_ops[i] = RelOp(op.target + delta)
+        elif type(op) is MemOp and op.rip_relative \
                 and op.target is not None:
-            operands.append(replace(op, target=op.target + delta))
-            changed = True
-        else:
-            operands.append(op)
-    return replace(ins, offset=ins.offset + delta,
-                   operands=tuple(operands) if changed else ins.operands)
+            if new_ops is None:
+                new_ops = list(operands)
+            new_ops[i] = replace(op, target=op.target + delta)
+    if new_ops is not None:
+        shifted["operands"] = tuple(new_ops)
+    clone = Instruction.__new__(Instruction)
+    object.__setattr__(clone, "__dict__", shifted)
+    return clone
 
 
 @dataclass
@@ -62,21 +83,37 @@ class Superset:
         Long repeated-byte runs (alignment padding, NUL regions) take a
         fast path: deep inside such a run every offset sees an identical
         byte window, so its candidate is the next offset's candidate
-        shifted by one byte -- no repeated decoding.  Building right to
-        left makes that a single backward sweep.
+        shifted by one byte -- no repeated decoding.  Runs are located
+        up front with one regex scan, and the section is then built
+        right to left region by region so each shifted clone's
+        prototype already exists.
         """
         n = len(text)
         instructions: list[Instruction | None] = [None] * n
-        run = 0   # identical bytes starting at the current offset
-        for offset in range(n - 1, -1, -1):
-            run = (run + 1 if offset + 1 < n
-                   and text[offset] == text[offset + 1] else 1)
-            if run > _RUN_FAST_WINDOW:
+        dec = try_decode
+        # Segment the section once: the per-offset sweep is a bare
+        # ``map(dec, ...)`` (the loop runs in C; ``dec`` returns the
+        # candidate or None directly), and only offsets deep inside a
+        # repeated-byte run pay the shift-clone path instead.
+        pos = n
+        for match in reversed(list(_RUN_RE.finditer(text))):
+            start = match.start()
+            fast_hi = match.end() - _RUN_FAST_WINDOW
+            instructions[fast_hi:pos] = map(dec, repeat(text),
+                                            range(fast_hi, pos))
+            for offset in range(fast_hi - 1, start - 1, -1):
                 prototype = instructions[offset + 1]
                 instructions[offset] = (None if prototype is None
                                         else _shifted(prototype, -1))
-            else:
-                instructions[offset] = try_decode(text, offset)
+            pos = start
+        instructions[0:pos] = map(dec, repeat(text), range(pos))
+        if dec is _decoder.try_decode_interp:
+            backend = "interp"
+        elif dec is _decoder.try_decode:
+            backend = _decoder.decoder_backend()
+        else:  # a test double patched in via this module's try_decode
+            backend = "patched"
+        _DECODED_OFFSETS.inc(n, backend=backend)
         return cls(text=text, instructions=instructions)
 
     def __len__(self) -> int:
@@ -214,6 +251,11 @@ class Superset:
 _SUPERSET_CACHE = REGISTRY.counter(
     "repro_superset_cache_total",
     "Process-wide superset-construction cache lookups, by outcome")
+
+
+_DECODED_OFFSETS = REGISTRY.counter(
+    "repro_superset_decoded_offsets_total",
+    "Superset offsets swept, by decoder backend")
 
 
 _DECODE_ERRORS = REGISTRY.counter(

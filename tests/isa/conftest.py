@@ -1,0 +1,11 @@
+"""ISA-test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def decoder_corpus(all_cases):
+    """Real generated text sections, one per compiler style."""
+    return [bytes(case.text) for case in all_cases]

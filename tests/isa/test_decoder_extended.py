@@ -318,3 +318,35 @@ class TestAddressingCorners:
         for scale, sib in ((1, 0x08), (2, 0x48), (4, 0x88), (8, 0xC8)):
             ins = one(bytes([0x48, 0x8B, 0x04, sib]))
             assert ins.operands[1].scale == scale
+
+
+class TestWideningMoves:
+    """Regression: the destination of movzx/movsx is opsize wide, the
+    source r/m is the narrow width (a dead conditional once made this
+    ambiguous in the decoder source)."""
+
+    def test_movzx_r32_rm8_widths(self):
+        ins = one(b"\x0f\xb6\xc8")           # movzx ecx, al
+        dest, src = ins.operands
+        assert dest.register.name == "ecx"
+        assert dest.register.width == 32
+        assert src.register.name == "al"
+        assert src.register.width == 8
+
+    def test_movzx_r64_rm16_widths(self):
+        ins = one(b"\x48\x0f\xb7\xd1")       # movzx rdx, cx
+        dest, src = ins.operands
+        assert dest.register.width == 64
+        assert src.register.width == 16
+
+    def test_movsx_r32_rm8_memory_width(self):
+        ins = one(b"\x0f\xbe\x03")           # movsx eax, byte [rbx]
+        dest, src = ins.operands
+        assert dest.register.width == 32
+        assert src.width == 8                # memory access width in bits
+
+    def test_movsxd_r64_rm32(self):
+        ins = one(b"\x48\x63\xc1")           # movsxd rax, ecx
+        dest, src = ins.operands
+        assert dest.register.width == 64
+        assert src.register.width == 32

@@ -1,0 +1,75 @@
+"""The repeated-byte-run fast path must hold under *both* decoders.
+
+``Superset.build`` replaces decoding deep inside identical-byte runs
+with a shift of the neighbouring candidate (the ``_RUN_FAST_WINDOW``
+invariant).  That shortcut sits above the decoder seam, so it has to
+produce exactly what a per-offset decode would -- whichever backend
+(compiled engine or interpretive oracle) is active, and identically
+*across* backends.
+"""
+
+import pytest
+
+from repro.isa.decoder import try_decode, try_decode_interp
+from repro.superset import Superset
+from repro.superset import superset as superset_mod
+from repro.superset.superset import _RUN_FAST_WINDOW
+
+W = _RUN_FAST_WINDOW
+
+RUN_SECTIONS = [
+    pytest.param(b"\x90" * 4 + b"\x00" * (W + 40) + b"\xc3", id="nul-run"),
+    pytest.param(b"\xc3" + b"\xcc" * (W + 30) + b"\x90\xc3", id="int3-run"),
+    pytest.param(b"\x90" * (3 * W), id="nop-run"),
+    # jmp rel8 runs: every in-run candidate has a *different* absolute
+    # target, so the shift path must rewrite RelOp targets.
+    pytest.param(b"\xeb" * (2 * W) + b"\x90" * (2 * W), id="jmp-rel8-run"),
+    # mov eax, imm32 runs: the candidate's immediate bytes are further
+    # run bytes, exercising shifts of multi-byte in-run instructions.
+    pytest.param(b"\xb8" * (W + 20) + b"\x11\x22\x33\x44", id="imm-run"),
+    pytest.param(b"\xc3" + b"\x00" * (2 * W), id="run-at-end"),
+    pytest.param(b"\xcc" * (2 * W) + b"\xc3", id="run-at-start"),
+    # Boundary lengths: W never takes the fast path, W + 1 barely does.
+    pytest.param(b"\x00" * W + b"\xc3", id="run-exactly-window"),
+    pytest.param(b"\x00" * (W + 1) + b"\xc3", id="run-window-plus-one"),
+    pytest.param(b"\x48" * (W + 10) + b"\x89\xd8\xc3", id="rex-prefix-run"),
+    pytest.param(b"\x00" * (W + 5) + b"\x90" * 7 + b"\xff" * (W + 5),
+                 id="two-runs"),
+]
+
+
+@pytest.fixture(params=["compiled-default", "interp"])
+def backend_decode(request, monkeypatch):
+    """Run the test body under each decoder backend.
+
+    The seam is module-global rebinding, so the interp case patches the
+    name ``Superset.build`` actually reads (``superset.try_decode``).
+    """
+    if request.param == "interp":
+        monkeypatch.setattr(superset_mod, "try_decode", try_decode_interp)
+        return try_decode_interp
+    return try_decode
+
+
+class TestRunFastPathPerBackend:
+    @pytest.mark.parametrize("text", RUN_SECTIONS)
+    def test_fast_path_equals_naive_decode(self, text, backend_decode):
+        naive = [backend_decode(text, o) for o in range(len(text))]
+        assert Superset.build(text).instructions == naive
+
+    @pytest.mark.parametrize("text", RUN_SECTIONS)
+    def test_backends_agree_on_run_sections(self, text, monkeypatch):
+        via_default = Superset.build(text)
+        monkeypatch.setattr(superset_mod, "try_decode", try_decode_interp)
+        via_interp = Superset.build(text)
+        assert via_default.instructions == via_interp.instructions
+
+    def test_shifted_candidates_carry_shifted_raw_and_offsets(
+            self, backend_decode):
+        text = b"\xeb" * (2 * W)
+        superset = Superset.build(text)
+        for offset in range(len(text) - 2):
+            candidate = superset.at(offset)
+            assert candidate.offset == offset
+            assert candidate.raw == text[offset:offset + 2]
+            assert candidate.branch_target == offset + 2 - 0x15
