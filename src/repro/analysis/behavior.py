@@ -102,3 +102,20 @@ class BehaviorAnalyzer:
         for offset in superset.valid_offsets:
             scores[offset] = self.report(superset, offset).score(self.weights)
         return scores
+
+    def rescore(self, superset: Superset, offsets,
+                scores: np.ndarray) -> None:
+        """Recompute ``scores[o]`` in place for a subset of offsets.
+
+        Behavioral scores depend only on the bounded fall-through
+        window, so incremental re-disassembly recomputes just the
+        offsets whose window touches changed bytes; each value is
+        bit-identical to a full :meth:`score_all` (same per-offset
+        path).
+        """
+        for offset in offsets:
+            if superset.is_valid(offset):
+                scores[offset] = self.report(superset,
+                                             offset).score(self.weights)
+            else:
+                scores[offset] = self.weights.invalid_fallthrough

@@ -113,6 +113,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                                   config=lint_config,
                                   hints=image.hints,
                                   text_addr=binary.text.addr,
+                                  facts=rich.facts,
                                   provenance=rich.provenance)
     except KeyError as error:
         print(f"unknown rule: {error.args[0]}", file=sys.stderr)
@@ -170,6 +171,24 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
              for old, new in sorted(rewritten.address_map.items())},
             indent=0))
         print(f"wrote {map_path} (address map)")
+    if args.verify:
+        from .core import FactBase, disassemble_incremental
+        base = FactBase.from_run(rich, disassembler.config)
+        second, stats = disassemble_incremental(disassembler, base,
+                                                rewritten.binary)
+        moved = set(rewritten.address_map.values())
+        recovered = len(moved & second.result.instruction_starts)
+        fraction = recovered / len(moved) if moved else 1.0
+        mode = (f"cold ({stats.reason})" if stats.cold
+                else f"incremental, {stats.reused_fraction:.0%} of "
+                     f"superset reused")
+        print(f"verify: re-disassembled {mode}; recovered "
+              f"{recovered}/{len(moved)} moved instructions "
+              f"({fraction:.2%})")
+        if fraction < 0.95:
+            print(f"rewrite: verify failed: only {fraction:.2%} of "
+                  f"moved instructions recovered", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -380,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite.add_argument("--no-counters", action="store_true",
                          help="relocate only, without instrumentation")
     rewrite.add_argument("--map", help="write the address map as JSON")
+    rewrite.add_argument("--verify", action="store_true",
+                         help="re-disassemble the rewritten binary "
+                              "(incrementally, reusing the first run's "
+                              "fact base) and check that the moved "
+                              "instructions are recovered")
     rewrite.set_defaults(func=_cmd_rewrite)
 
     serve = sub.add_parser(

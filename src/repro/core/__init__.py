@@ -3,6 +3,8 @@
 from .config import ABLATION_CONFIGS, DEFAULT_CONFIG, DisassemblerConfig
 from .correction import CorrectionEngine, TraceOutcome
 from .disassembler import Disassembler, Disassembly
+from .engine import (FactBase, FactEngine, create_engine,
+                     disassemble_incremental, engine_backend)
 from .evidence import (Classification, ClassificationState, Evidence,
                        Priority)
 from .functions import FunctionSpan, identify_functions
@@ -10,6 +12,7 @@ from .functions import FunctionSpan, identify_functions
 __all__ = [
     "ABLATION_CONFIGS", "DEFAULT_CONFIG", "DisassemblerConfig",
     "CorrectionEngine", "TraceOutcome", "Disassembler", "Disassembly",
-    "Classification", "ClassificationState", "Evidence", "Priority",
-    "FunctionSpan", "identify_functions",
+    "Classification", "ClassificationState", "Evidence", "FactBase",
+    "FactEngine", "Priority", "FunctionSpan", "create_engine",
+    "disassemble_incremental", "engine_backend", "identify_functions",
 ]

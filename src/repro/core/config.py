@@ -51,6 +51,16 @@ class DisassemblerConfig:
             results are identical either way -- but off by default
             because the trail grows with decision count (overhead
             budget measured in ``benchmarks/bench_obs.py``).
+        strict_depth: a trace hitting a contradiction within this many
+            BFS steps of its seed is refuted and rolled back (beyond
+            it, only SOFT seeds stay strict).  Historically the
+            module constant ``STRICT_DEPTH``; now sweepable data.
+        gap_rounds: maximum gap-completion rounds before everything
+            left is sealed as data.
+        realign_max_size: largest soft-data residue the realignment
+            pass will consider converting back into code.
+        chain_limit: instruction budget of the clean-termination gate
+            applied to soft gap candidates.
     """
 
     use_statistics: bool = True
@@ -67,6 +77,10 @@ class DisassemblerConfig:
     min_table_entries: int = 3
     min_padding_run: int = 4
     alignment: int = 16
+    strict_depth: int = 8
+    gap_rounds: int = 25
+    realign_max_size: int = 15
+    chain_limit: int = 40
 
 
 DEFAULT_CONFIG = DisassemblerConfig()

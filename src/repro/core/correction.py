@@ -48,7 +48,8 @@ _GAP_CANDIDATES = REGISTRY.counter(
     "Gap-completion code candidates, by screening outcome")
 
 #: A trace that hits a contradiction within this many BFS steps of its
-#: seed is considered refuted and rolled back.
+#: seed is considered refuted and rolled back.  Kept as the historical
+#: default; the live value is ``DisassemblerConfig.strict_depth``.
 STRICT_DEPTH = 8
 
 #: Bytes treated as padding when searching gap candidates.
@@ -108,6 +109,56 @@ class CorrectionEngine:
         self._unresolved_dispatches: set[int] = set()
         self.noreturn_entries: set[int] = set()
         self.noreturn_fall_sites: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Driver protocol (shared with repro.core.engine.FactEngine)
+    # ------------------------------------------------------------------
+
+    def ingest(self, tables, entry: int | None, prologues) -> None:
+        """Seed the engine with the structural/anchor/idiom evidence."""
+        self.pass_id = "tables"
+        for table in tables:
+            self.state.mark_data(table.start, table.end,
+                                 Priority.STRUCTURAL)
+            self.log.append(f"table {table.start:#x}-{table.end:#x} "
+                            f"({table.entry_size}-byte entries)")
+            self.note("mark-data", table.start, table.end,
+                      source="jump-table",
+                      priority=Priority.STRUCTURAL,
+                      detail=f"detected {table.entry_size}-byte-"
+                             f"entry table with "
+                             f"{len(table.targets)} targets")
+            for target in sorted(set(table.targets)):
+                self.push(Evidence("code", target, target,
+                                   Priority.STRUCTURAL, 1.0,
+                                   "table-target"))
+        if entry is not None:
+            self.push(Evidence("code", entry, entry, Priority.ANCHOR,
+                               2.0, "entry-point"))
+        for offset in prologues:
+            self.push(Evidence("code", offset, offset, Priority.IDIOM,
+                               1.0, "prologue"))
+
+    def solve(self) -> None:
+        """Run the correction fixpoint over the seeded evidence."""
+        self.pass_id = "correction"
+        self.drain()
+
+    def finish(self) -> None:
+        """Settle remaining gaps and realign residues."""
+        self.complete_gaps()
+
+    def feedback(self, evidence: list[Evidence]) -> None:
+        """One lint-feedback round: queue diagnostics, re-solve."""
+        self.pass_id = "lint-feedback"
+        for item in evidence:
+            self.push(item)
+        self.drain()
+        self.complete_gaps()
+
+    def facts(self):
+        """The legacy engine derives no fact store (see repro.core.engine)."""
+        return None
 
     # ------------------------------------------------------------------
     # Evidence queue
@@ -379,10 +430,11 @@ class CorrectionEngine:
         # genuine code may legitimately abut older wrong decisions far
         # from the seed, and aborting there would lose real coverage.
         strict_everywhere = priority <= Priority.SOFT
+        strict_depth = self.config.strict_depth
 
         def contradiction(depth: int) -> bool:
             """Returns True when the trace must be aborted."""
-            return strict_everywhere or depth <= STRICT_DEPTH
+            return strict_everywhere or depth <= strict_depth
 
         while worklist:
             offset, depth = worklist.pop()
@@ -507,7 +559,7 @@ class CorrectionEngine:
     # Gap completion
     # ------------------------------------------------------------------
 
-    def complete_gaps(self, *, max_rounds: int = 25) -> None:
+    def complete_gaps(self, *, max_rounds: int | None = None) -> None:
         """Classify every remaining unknown byte.
 
         With prioritized correction, each round scores all gap
@@ -517,6 +569,8 @@ class CorrectionEngine:
         data.  Without it (ablation), gaps are decided once, in address
         order.
         """
+        if max_rounds is None:
+            max_rounds = self.config.gap_rounds
         if not self.config.use_prioritized_correction:
             self.pass_id = "gaps-single-pass"
             self._complete_gaps_single_pass()
@@ -661,7 +715,7 @@ class CorrectionEngine:
         return sorted(ranked, reverse=True)
 
     def _chain_terminates_cleanly(self, offset: int, *,
-                                  limit: int = 40) -> bool:
+                                  limit: int | None = None) -> bool:
         """Hard gate for soft gap candidates.
 
         Real leftover code (jump-table case blocks, indirect-only
@@ -670,6 +724,8 @@ class CorrectionEngine:
         happens to decode runs into padding traps, undecodable bytes,
         classified data, or mid-instruction joins instead.
         """
+        if limit is None:
+            limit = self.config.chain_limit
         state = self.state
         current = offset
         for _ in range(limit):
@@ -721,7 +777,7 @@ class CorrectionEngine:
     # Residue realignment
     # ------------------------------------------------------------------
 
-    def realign_residues(self, *, max_size: int = 15) -> None:
+    def realign_residues(self, *, max_size: int | None = None) -> None:
         """Convert tiny soft-data residues that tile cleanly into code.
 
         A wrong early decision sometimes leaves a short unclaimed
@@ -730,6 +786,8 @@ class CorrectionEngine:
         as a clean instruction run ending exactly at the following
         confirmed instruction, the correct fix is to accept it as code.
         """
+        if max_size is None:
+            max_size = self.config.realign_max_size
         text = self.superset.text
         self.pass_id = "realign"
         for start, end in self.state.data_regions():

@@ -31,8 +31,7 @@ from ..stats.scoring import StatisticalScorer
 from ..stats.training import Models, default_models
 from ..superset.superset import Superset, cached_superset
 from .config import DEFAULT_CONFIG, DisassemblerConfig
-from .correction import CorrectionEngine
-from .evidence import Evidence, Priority
+from .engine import create_engine
 from .functions import identify_functions
 
 #: Minimum mean candidate score for a detected table's targets; tables
@@ -55,6 +54,18 @@ class Disassembly:
     #: Per-byte decision audit trail; None unless the run was made with
     #: ``DisassemblerConfig.record_provenance`` (see ``repro explain``).
     provenance: ProvenanceLog | None = None
+    #: Raw statistical and behavioral score components (None when the
+    #: config disables them).  Kept so incremental re-disassembly
+    #: (:mod:`repro.core.engine.incremental`) can rescore only dirty
+    #: offsets and recombine bit-identically.
+    stat_scores: np.ndarray | None = None
+    behavior_scores: np.ndarray | None = None
+    #: Aligned prologue-idiom scan fed to the engine (kept for the
+    #: same incremental-reuse reason as the score components).
+    prologues: list[int] | None = None
+    #: Derived region facts (why each region holds its classification);
+    #: None under the legacy worklist engine.
+    facts: object | None = None
 
 
 class Disassembler:
@@ -109,74 +120,75 @@ class Disassembler:
                 behavior = (self._analyzer.score_all(superset)
                             if config.use_behavior else None)
             with phase_span("scoring", timings):
-                scores = self._combined_scores(superset, behavior)
-            engine = CorrectionEngine(superset, scores, config, image=image,
-                                      behavior_scores=behavior,
-                                      provenance=provenance)
+                stat = (self._scorer.score_all(superset)
+                        if config.use_statistics else None)
+                scores = combine_scores(config, superset, stat, behavior)
+            return self._correct(text, entry, image, superset, stat,
+                                 behavior, scores, timings, provenance)
 
-            # Structural phase: detected tables are data, their targets
-            # code.  Statistical detection is strong but not proof (a
-            # literal pool can mimic a table), so its targets carry
-            # STRUCTURAL priority: genuinely traced code (ANCHOR) may
-            # override them, while dataflow-resolved tables found during
-            # tracing stay ANCHOR.
-            engine.pass_id = "tables"
-            with phase_span("tables", timings):
-                tables = self._validated_tables(text, superset, scores)
-                for table in tables:
-                    engine.state.mark_data(table.start, table.end,
-                                           Priority.STRUCTURAL)
-                    engine.log.append(f"table {table.start:#x}-{table.end:#x} "
-                                      f"({table.entry_size}-byte entries)")
-                    engine.note("mark-data", table.start, table.end,
-                                source="jump-table",
-                                priority=Priority.STRUCTURAL,
-                                detail=f"detected {table.entry_size}-byte-"
-                                       f"entry table with "
-                                       f"{len(table.targets)} targets")
-                    for target in sorted(set(table.targets)):
-                        engine.push(Evidence("code", target, target,
-                                             Priority.STRUCTURAL, 1.0,
-                                             "table-target"))
+    def _correct(self, text: bytes, entry: int, image: MemoryImage,
+                 superset: Superset, stat: np.ndarray | None,
+                 behavior: np.ndarray | None, scores: np.ndarray,
+                 timings: PhaseTimings,
+                 provenance: ProvenanceLog | None, *,
+                 prologues: list[int] | None = None) -> Disassembly:
+        """The correction tail shared by cold and incremental runs.
 
-            # Anchor phase: the program entry point.
-            if 0 <= entry < len(text):
-                engine.push(Evidence("code", entry, entry, Priority.ANCHOR,
-                                     2.0, "entry-point"))
+        Everything from here on consumes only the already-computed
+        superset and score vectors, so incremental re-disassembly
+        (:mod:`repro.core.engine.incremental`) patches those and then
+        re-enters here for a bit-identical fixpoint.  ``prologues``
+        (the aligned prologue-idiom scan, another pure function of a
+        bounded byte window) may likewise be supplied pre-patched.
+        """
+        config = self.config
+        engine = create_engine(superset, scores, config, image=image,
+                               behavior_scores=behavior,
+                               provenance=provenance)
 
-            # Idiom phase: aligned prologues.
-            for offset in likely_function_starts(superset,
-                                                 alignment=config.alignment):
-                engine.push(Evidence("code", offset, offset, Priority.IDIOM,
-                                     1.0, "prologue"))
+        # Structural phase: detected tables are data, their targets
+        # code.  Statistical detection is strong but not proof (a
+        # literal pool can mimic a table), so its targets carry
+        # STRUCTURAL priority: genuinely traced code (ANCHOR) may
+        # override them, while dataflow-resolved tables found during
+        # tracing stay ANCHOR.  The entry point (anchor) and aligned
+        # prologues (idiom) ride in through the same ingestion step.
+        with phase_span("tables", timings):
+            tables = self._validated_tables(text, superset, scores)
+            if prologues is None:
+                prologues = likely_function_starts(
+                    superset, alignment=config.alignment)
+            engine.ingest(tables,
+                          entry if 0 <= entry < len(text) else None,
+                          prologues)
 
-            engine.pass_id = "correction"
-            with phase_span("correction", timings):
-                engine.drain()
-            with phase_span("gaps", timings):
-                engine.complete_gaps()
+        with phase_span("correction", timings):
+            engine.solve()
+        with phase_span("gaps", timings):
+            engine.finish()
 
-            with phase_span("functions", timings):
-                result = self._finalize(engine, superset, tables, entry)
+        with phase_span("functions", timings):
+            result = self._finalize(engine, superset, tables, entry)
 
-            # Optional oracle-free feedback round: lint our own claim and
-            # feed actionable diagnostics back as structural evidence.
-            if config.use_lint_feedback:
-                engine.pass_id = "lint-feedback"
-                with phase_span("lint-feedback", timings):
-                    result = self._lint_refine(engine, superset, tables,
-                                               entry, result)
+        # Optional oracle-free feedback round: lint our own claim and
+        # feed actionable diagnostics back as structural evidence.
+        if config.use_lint_feedback:
+            with phase_span("lint-feedback", timings):
+                result = self._lint_refine(engine, superset, tables,
+                                           entry, result)
 
         engine.log.extend(timings.log_lines())
         return Disassembly(result=result, superset=superset, scores=scores,
                            tables=tables, log=engine.log,
                            noreturn_entries=set(engine.noreturn_entries),
                            resolved_tables=list(engine.resolved_tables),
-                           timings=timings, provenance=provenance)
+                           timings=timings, provenance=provenance,
+                           stat_scores=stat, behavior_scores=behavior,
+                           prologues=prologues, facts=engine.facts())
 
     # ------------------------------------------------------------------
 
-    def _finalize(self, engine: CorrectionEngine, superset: Superset,
+    def _finalize(self, engine, superset: Superset,
                   tables: list[TableCandidate],
                   entry: int) -> DisassemblyResult:
         """Build a :class:`DisassemblyResult` from the engine's state."""
@@ -204,7 +216,7 @@ class Disassembler:
             function_entries={span.entry for span in functions},
         )
 
-    def _lint_refine(self, engine: CorrectionEngine, superset: Superset,
+    def _lint_refine(self, engine, superset: Superset,
                      tables: list[TableCandidate], entry: int,
                      result: DisassemblyResult) -> DisassemblyResult:
         """One oracle-free feedback round.
@@ -225,25 +237,15 @@ class Disassembler:
                           f"diagnostics, {len(evidence)} actionable")
         if not evidence:
             return result
-        for item in evidence:
-            engine.push(item)
-        engine.drain()
-        engine.complete_gaps()
+        engine.feedback(evidence)
         return self._finalize(engine, superset, tables, entry)
 
     def _combined_scores(self, superset: Superset,
                          behavior: np.ndarray | None) -> np.ndarray:
-        config = self.config
-        scores = np.zeros(len(superset))
-        if config.use_statistics:
-            scores += config.stat_weight * self._scorer.score_all(superset)
-        if config.use_behavior and behavior is not None:
-            scores += config.behavior_weight * behavior
-        if not config.use_statistics and not config.use_behavior:
-            # Degenerate configuration: fall back to "decodes at all".
-            for offset in superset.valid_offsets:
-                scores[offset] = 0.1
-        return scores
+        """Back-compat wrapper around :func:`combine_scores`."""
+        stat = (self._scorer.score_all(superset)
+                if self.config.use_statistics else None)
+        return combine_scores(self.config, superset, stat, behavior)
 
     def _validated_tables(self, text: bytes, superset: Superset,
                           scores: np.ndarray) -> list[TableCandidate]:
@@ -257,6 +259,27 @@ class Disassembler:
             if np.mean(target_scores) >= TARGET_SCORE_BAR:
                 validated.append(table)
         return validated
+
+
+def combine_scores(config: DisassemblerConfig, superset: Superset,
+                   stat: np.ndarray | None,
+                   behavior: np.ndarray | None) -> np.ndarray:
+    """Mix the statistical and behavioral components into one vector.
+
+    A module-level function (not a method) so incremental
+    re-disassembly recombines patched component arrays through the
+    exact same floating-point expression as a cold run.
+    """
+    scores = np.zeros(len(superset))
+    if config.use_statistics and stat is not None:
+        scores += config.stat_weight * stat
+    if config.use_behavior and behavior is not None:
+        scores += config.behavior_weight * behavior
+    if not config.use_statistics and not config.use_behavior:
+        # Degenerate configuration: fall back to "decodes at all".
+        for offset in superset.valid_offsets:
+            scores[offset] = 0.1
+    return scores
 
 
 def _extract(target: Binary | TestCase | bytes,

@@ -1,0 +1,237 @@
+"""The semi-naive fixpoint driver of the fact/rule correction engine.
+
+:class:`FactEngine` is a drop-in replacement for the legacy
+:class:`repro.core.correction.CorrectionEngine` (selected through
+:func:`repro.core.engine.create_engine`).  Instead of hand-sequenced
+``drain()`` / ``_retry_dispatches()`` loops, it runs a stratified
+fixpoint over typed facts:
+
+* Claims (derived code/data assertions) queue on a prioritized
+  **agenda** and are consumed strongest-first -- the agenda order is
+  the legacy evidence-heap order, bit for bit, so the two engines make
+  identical decisions in identical order.
+* Set-valued rules (dispatch retry, call continuations) fire only when
+  one of their input relations has changed since their last barren
+  attempt -- the semi-naive property, tracked through the fact store's
+  per-relation version counters instead of being recomputed every
+  quiescence check.
+* Every rule firing records its own provenance and region facts, so
+  the PR-5 audit trail and the lint cross-check are products of the
+  inference itself rather than hand-placed hooks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from ...binary.image import MemoryImage
+from ...obs.provenance import ProvenanceLog
+from ...superset.superset import Superset
+from ..config import DisassemblerConfig
+from ..evidence import ClassificationState, Evidence, Priority
+from ..tables import ResolvedTable, resolve_indirect_jump
+from .facts import (CodeClaim, DataClaim, EntryFact, FactExport, FactStore,
+                    PrologueFact, TableFact)
+from .rules import (CallContinuationRule, DataRule, DispatchRetryRule,
+                    EntryAnchorRule, GapRule, GapSealRule, PrologueRule,
+                    RealignRule, TableRule, TraceRule)
+
+
+class FactEngine:
+    """Stratified fact/rule engine over one text section."""
+
+    backend = "facts"
+
+    def __init__(self, superset: Superset, scores: np.ndarray,
+                 config: DisassemblerConfig,
+                 image: MemoryImage | None = None,
+                 behavior_scores: np.ndarray | None = None,
+                 provenance: ProvenanceLog | None = None) -> None:
+        self.superset = superset
+        self.scores = scores
+        self.behavior_scores = behavior_scores
+        self.config = config
+        self.image = image if image is not None \
+            else MemoryImage.from_text(superset.text)
+        self.state = ClassificationState(len(superset))
+        self.store = FactStore(superset.text)
+        self.resolved_tables: list[ResolvedTable] = []
+        self.log: list[str] = []
+        self.provenance = provenance
+        #: Rule stratum currently executing, for provenance tagging.
+        self.pass_id = "correction"
+        self.noreturn_entries: set[int] = set()
+        self.noreturn_fall_sites: set[int] = set()
+        self._sequence = itertools.count()
+        self._agenda: list[tuple] = []
+        self._returning_cache_key = None
+        self._returning_cache: dict[int, bool] = {}
+        self._speculative_cache: dict[int, tuple[int, ...] | None] = {}
+        # The rule library, by stratum.
+        self.table_rule = TableRule(self)
+        self.entry_rule = EntryAnchorRule(self)
+        self.prologue_rule = PrologueRule(self)
+        self.trace_rule = TraceRule(self)
+        self.data_rule = DataRule(self)
+        self.dispatch_rule = DispatchRetryRule(self)
+        self.calls_rule = CallContinuationRule(self)
+        self.gap_rule = GapRule(self)
+        self.seal_rule = GapSealRule(self)
+        self.realign_rule = RealignRule(self)
+        self.rules = [self.table_rule, self.entry_rule, self.prologue_rule,
+                      self.trace_rule, self.data_rule, self.dispatch_rule,
+                      self.calls_rule, self.gap_rule, self.seal_rule,
+                      self.realign_rule]
+
+    # ------------------------------------------------------------------
+    # Agenda
+    # ------------------------------------------------------------------
+
+    def push_claim(self, claim: CodeClaim | DataClaim) -> None:
+        """Queue a derived claim, strongest-(priority, weight) first."""
+        weight = claim.weight
+        heapq.heappush(self._agenda, (-int(claim.priority), -weight,
+                                      next(self._sequence), claim))
+
+    def push(self, evidence: Evidence) -> None:
+        """Legacy-typed entry point: converts Evidence into a claim.
+
+        Kept so external evidence producers (lint feedback) need not
+        know which engine is active.
+        """
+        if evidence.kind == "data":
+            self.push_claim(DataClaim(evidence.offset, evidence.end,
+                                      evidence.priority, evidence.weight,
+                                      evidence.source, "external"))
+        else:
+            self.push_claim(CodeClaim(evidence.offset, evidence.priority,
+                                      evidence.weight, evidence.source,
+                                      "external"))
+
+    def _pop(self) -> CodeClaim | DataClaim | None:
+        if not self._agenda:
+            return None
+        return heapq.heappop(self._agenda)[-1]
+
+    def note(self, action: str, start: int, end: int, *,
+             source: str = "", priority: Priority | None = None,
+             detail: str = "", **attrs) -> None:
+        """Record a provenance event if the audit trail is enabled."""
+        if self.provenance is None:
+            return
+        self.provenance.record(
+            action, start, end, pass_id=self.pass_id, source=source,
+            priority=Priority(priority).name if priority is not None
+            else "", detail=detail, **attrs)
+
+    # ------------------------------------------------------------------
+    # Fixpoint
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Run stratum 1 to fixpoint.
+
+        Claims first; when the agenda is empty, the set-valued rules
+        get one firing opportunity each, in priority order (dispatch
+        retry before call continuations: returning-ness verdicts depend
+        on resolved switch targets).  Quiescence is reached when no
+        rule finds a changed input relation.
+        """
+        while True:
+            claim = self._pop()
+            if claim is not None:
+                if type(claim) is DataClaim:
+                    self.data_rule.fire(claim)
+                else:
+                    self.trace_rule.fire(claim)
+                continue
+            if self.dispatch_rule.fire():
+                continue
+            if self.calls_rule.fire():
+                continue
+            return
+
+    # ------------------------------------------------------------------
+    # Driver protocol (shared with CorrectionEngine)
+    # ------------------------------------------------------------------
+
+    def ingest(self, tables, entry: int | None, prologues) -> None:
+        """Stratum 0: record base facts and fire the ingestion rules."""
+        self.pass_id = "tables"
+        for table in tables:
+            fact = TableFact(table.start, table.end, table.entry_size,
+                             tuple(table.targets))
+            self.store.add_table(fact)
+            self.table_rule.fire(fact)
+        if entry is not None:
+            self.store.add_entry(EntryFact(entry))
+            self.entry_rule.fire(entry)
+        for offset in prologues:
+            self.store.add_prologue(PrologueFact(offset))
+            self.prologue_rule.fire(offset)
+
+    def solve(self) -> None:
+        """Stratum 1 to fixpoint."""
+        self.pass_id = "correction"
+        self.drain()
+
+    def finish(self) -> None:
+        """Strata 2 and 3: settle gaps, seal leftovers, realign."""
+        if not self.config.use_prioritized_correction:
+            # Ablation path: one address-order pass, no realignment,
+            # sealed under the same pass id (matches the oracle).
+            self.pass_id = "gaps-single-pass"
+            self.gap_rule.run_single_pass()
+            self.seal_rule.fire()
+            return
+        self.gap_rule.run_rounds()
+        self.pass_id = "gaps-final"
+        self.seal_rule.fire()
+        self.realign_rule.fire()
+
+    def feedback(self, evidence: list[Evidence]) -> None:
+        """One lint-feedback round: queue diagnostics, re-solve."""
+        self.pass_id = "lint-feedback"
+        for item in evidence:
+            self.push(item)
+        self.drain()
+        self.finish()
+
+    def facts(self) -> FactExport:
+        """The derived region facts (consumed by ``repro lint``)."""
+        return self.store.export()
+
+    # ------------------------------------------------------------------
+    # Shared premise helpers
+    # ------------------------------------------------------------------
+
+    def speculative_dispatch_targets(self, offset: int
+                                     ) -> tuple[int, ...] | None:
+        """Resolve a dispatch for verdict purposes only.
+
+        Returning-ness verdicts must not depend on how far tracing has
+        progressed, so the backward dataflow here accepts any decodable
+        predecessor (not just confirmed ones).  Results feed the
+        noreturn analysis, never the classification state.
+        """
+        if not self.config.use_table_resolution:
+            return None
+        cache = self._speculative_cache
+        if offset in cache:
+            return cache[offset]
+        instruction = self.superset.at(offset)
+        targets = None
+        if instruction is not None:
+            def permissive(candidate: int) -> bool:
+                return (self.state.is_code_start(candidate)
+                        or self.superset.is_valid(candidate))
+
+            table = resolve_indirect_jump(self.superset, self.image,
+                                          permissive, instruction)
+            if table is not None:
+                targets = table.targets
+        cache[offset] = targets
+        return targets

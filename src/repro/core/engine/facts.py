@@ -1,0 +1,260 @@
+"""Typed facts and the fact store of the declarative correction engine.
+
+The fact/rule engine models the correction algorithm as inference over
+a store of **facts** instead of hand-sequenced control flow.  Facts
+come in two shapes:
+
+* **Discrete facts** -- frozen dataclasses (one instance per detected
+  table, entry point, prologue idiom, claim, pending call).  Each
+  carries a *support interval*: the byte range of the text section its
+  truth depends on.  Incremental re-disassembly retracts exactly the
+  facts whose support touches changed bytes.
+* **Columnar relations** -- per-offset numpy arrays (soft statistical
+  scores, behavioral scores, the padding-byte mask).  A columnar
+  relation is logically one fact per offset; storing it as an array
+  keeps the per-offset "facts" as cheap as the legacy engine's score
+  vectors, and its support is per-offset by construction.
+
+Derived facts (claims, region classifications) record the rule that
+produced them, so the provenance trail and the lint cross-check fall
+out of the store instead of hand-placed hooks.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..evidence import Priority
+
+#: Bytes treated as padding by the padding relation (int3 / nop / zero).
+PADDING_BYTES = frozenset({0xCC, 0x90, 0x00})
+
+
+# ----------------------------------------------------------------------
+# Extensional (base) facts
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableFact:
+    """A statistically detected jump/pointer table."""
+
+    start: int
+    end: int
+    entry_size: int
+    targets: tuple[int, ...]
+
+    @property
+    def support(self) -> tuple[int, int]:
+        return (self.start, self.end)
+
+
+@dataclass(frozen=True)
+class EntryFact:
+    """The program entry point (the strongest anchor)."""
+
+    offset: int
+
+    @property
+    def support(self) -> tuple[int, int]:
+        return (self.offset, self.offset + 1)
+
+
+@dataclass(frozen=True)
+class PrologueFact:
+    """A prologue idiom recognized at an aligned offset."""
+
+    offset: int
+
+    @property
+    def support(self) -> tuple[int, int]:
+        return (self.offset, self.offset + 1)
+
+
+# ----------------------------------------------------------------------
+# Derived facts
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CodeClaim:
+    """A derived claim that ``offset`` starts an instruction.
+
+    Claims are what the legacy engine called code ``Evidence``: they
+    queue on the agenda and are consumed strongest-first by the trace
+    rule.  ``rule`` names the deriving rule for provenance.
+    """
+
+    offset: int
+    priority: Priority
+    weight: float
+    source: str
+    rule: str = ""
+
+
+@dataclass(frozen=True)
+class DataClaim:
+    """A derived claim that ``[start, end)`` is data."""
+
+    start: int
+    end: int
+    priority: Priority
+    weight: float
+    source: str
+    rule: str = ""
+
+
+@dataclass(frozen=True)
+class PendingCall:
+    """A deferred call continuation: traced once the callee returns."""
+
+    fall: int
+    target: int
+
+
+@dataclass
+class TraceResult:
+    """Everything one TraceRule firing derived from its seed claim."""
+
+    accepted: set[int] = field(default_factory=set)
+    call_targets: set[int] = field(default_factory=set)
+    jump_targets_outside: set[int] = field(default_factory=set)
+    rip_references: set[int] = field(default_factory=set)
+    resolved_tables: list = field(default_factory=list)
+    #: Deferred call continuations: (fall-through offset, callee entry).
+    pending_calls: list[tuple[int, int]] = field(default_factory=list)
+    unresolved_dispatches: set[int] = field(default_factory=set)
+    aborted: bool = False
+    derailed_at: int | None = None
+    derail_depth: int = -1
+    derail_hit: str = ""
+    #: [min, max) byte range the firing touched before its verdict.
+    touched: tuple[int, int] | None = None
+    #: Bytes whose previous non-UNKNOWN classification it overwrote.
+    reclassified: int = 0
+
+
+@dataclass(frozen=True)
+class RegionFact:
+    """An output fact: why a byte region holds its classification.
+
+    The store keeps one per projection (mark-code / mark-data); the
+    linter's ``rule-disagreement`` check reads these instead of
+    recomputing evidence.
+    """
+
+    start: int
+    end: int
+    label: str                  # "code" | "data"
+    priority: Priority
+    source: str
+    rule: str
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+class FactStore:
+    """Typed fact relations plus delta counters for semi-naive firing.
+
+    Every mutating operation bumps a per-relation *version*; rules
+    remember the versions they last fired against and re-fire only when
+    an input relation has a non-empty delta (the semi-naive property:
+    no rule re-derives from an unchanged input set).
+    """
+
+    def __init__(self, text: bytes) -> None:
+        self.text = text
+        self.tables: list[TableFact] = []
+        self.entries: list[EntryFact] = []
+        self.prologues: list[PrologueFact] = []
+        self.pending_calls: list[PendingCall] = []
+        self.unresolved_dispatches: set[int] = set()
+        self.region_facts: list[RegionFact] = []
+        #: Columnar relation: True where the byte is padding.
+        self.padding: np.ndarray = np.frombuffer(
+            text, dtype=np.uint8) if text else np.zeros(0, dtype=np.uint8)
+        self.padding = np.isin(self.padding,
+                               np.array(sorted(PADDING_BYTES),
+                                        dtype=np.uint8))
+        #: Per-relation version counters (semi-naive deltas).
+        self.versions: dict[str, int] = {
+            "tables": 0, "entries": 0, "prologues": 0,
+            "pending_calls": 0, "dispatches": 0, "resolved": 0,
+            "state": 0,
+        }
+
+    # -- mutation ------------------------------------------------------
+
+    def bump(self, relation: str) -> None:
+        self.versions[relation] = self.versions.get(relation, 0) + 1
+
+    def add_table(self, fact: TableFact) -> None:
+        self.tables.append(fact)
+        self.bump("tables")
+
+    def add_entry(self, fact: EntryFact) -> None:
+        self.entries.append(fact)
+        self.bump("entries")
+
+    def add_prologue(self, fact: PrologueFact) -> None:
+        self.prologues.append(fact)
+        self.bump("prologues")
+
+    def add_pending_call(self, fact: PendingCall) -> None:
+        self.pending_calls.append(fact)
+        self.bump("pending_calls")
+
+    def add_unresolved_dispatch(self, offset: int) -> None:
+        if offset not in self.unresolved_dispatches:
+            self.unresolved_dispatches.add(offset)
+            self.bump("dispatches")
+
+    def add_region(self, fact: RegionFact) -> None:
+        self.region_facts.append(fact)
+
+    # -- queries -------------------------------------------------------
+
+    def is_pure_padding(self, start: int, end: int) -> bool:
+        """True when every byte of [start, end) is a padding byte."""
+        return bool(self.padding[start:end].all())
+
+    def export(self) -> FactExport:
+        """A read-only snapshot of the output region facts for lint."""
+        return FactExport(sorted(self.region_facts,
+                                 key=lambda f: (f.start, f.end)))
+
+
+class FactExport:
+    """Sorted region facts with interval lookup (the lint-facing view)."""
+
+    def __init__(self, regions: list[RegionFact]) -> None:
+        self.regions = regions
+        self._starts = [region.start for region in regions]
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    def covering(self, start: int, end: int) -> list[RegionFact]:
+        """Region facts overlapping [start, end), latest-written last.
+
+        Later facts overwrite earlier ones byte-wise, so the last
+        overlapping fact is the one that finally classified the range.
+        """
+        index = bisect_right(self._starts, start)
+        # Walk left past regions that start before ``start`` but reach
+        # into the queried range, then scan right through the overlap.
+        lo = max(0, index - 64)
+        hits = [region for region in self.regions[lo:]
+                if region.start < end and start < region.end]
+        return hits
+
+    def classifier_of(self, start: int, end: int) -> RegionFact | None:
+        """The final (strongest-surviving) fact covering the range."""
+        hits = self.covering(start, end)
+        return hits[-1] if hits else None

@@ -1,0 +1,827 @@
+"""The correction rules of the declarative fact/rule engine.
+
+Each correction pass of the legacy worklist engine
+(:mod:`repro.core.correction`) is re-expressed here as a :class:`Rule`
+with a declared **stratum** (when it may fire) and an explicit set of
+input relations (what makes it fire again).  The semi-naive driver in
+:mod:`repro.core.engine.driver` consults per-relation version counters
+so a rule never re-derives from an unchanged input set.
+
+Strata (lower runs to fixpoint before higher starts):
+
+==========  =====================================================
+stratum 0   ingestion -- tables / entry / prologue facts seed the
+            agenda (``TableRule``, ``EntryAnchorRule``,
+            ``PrologueRule``)
+stratum 1   propagation -- claims are traced, dispatch tables
+            retried, call continuations released (``TraceRule``,
+            ``DataRule``, ``DispatchRetryRule``,
+            ``CallContinuationRule``)
+stratum 2   gap completion (``GapRule``, ``GapSealRule``)
+stratum 3   residue realignment (``RealignRule``)
+==========  =====================================================
+
+The rule bodies deliberately reimplement the legacy algorithms rather
+than importing them: the worklist engine (``REPRO_ENGINE=worklist``)
+stays a genuinely independent differential oracle, and the corpus-wide
+equivalence suite (:mod:`tests.engine`) enforces that the two stay in
+sync down to byte-identical results, logs, and provenance.
+"""
+
+from __future__ import annotations
+
+from ...analysis.idioms import prologue_score
+from ...analysis.noreturn import compute_returning
+from ...isa.opcodes import FlowKind
+from ...obs.metrics import REGISTRY
+from ..evidence import Classification, Priority
+from ..tables import (ResolvedTable, resolve_indirect_call,
+                      resolve_indirect_jump)
+from .facts import (CodeClaim, DataClaim, PendingCall, RegionFact,
+                    TableFact, TraceResult)
+
+#: Pipeline metrics.  Registration is get-or-create by name, so these
+#: are the *same* counter objects the legacy engine increments -- the
+#: dashboards cannot tell the backends apart.
+_TRACES = REGISTRY.counter(
+    "repro_traces_total",
+    "Control-flow traces processed by the correction engine, by outcome")
+_RECLASSIFIED = REGISTRY.counter(
+    "repro_bytes_reclassified_total",
+    "Bytes whose existing classification a correction pass overwrote")
+_GAP_CANDIDATES = REGISTRY.counter(
+    "repro_gap_candidates_total",
+    "Gap-completion code candidates, by screening outcome")
+
+
+class Rule:
+    """Base class: a named inference rule bound to one engine."""
+
+    name = "rule"
+    stratum = 0
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+
+# ----------------------------------------------------------------------
+# Stratum 0: ingestion
+# ----------------------------------------------------------------------
+
+class TableRule(Rule):
+    """TableFact(t) => data over t's bytes, CodeClaim for each target.
+
+    Statistical detection is strong but not proof (a literal pool can
+    mimic a table), so targets carry STRUCTURAL priority: traced code
+    (ANCHOR) may override them.
+    """
+
+    name = "table"
+    stratum = 0
+
+    def fire(self, fact: TableFact) -> None:
+        engine = self.engine
+        engine.state.mark_data(fact.start, fact.end, Priority.STRUCTURAL)
+        engine.store.bump("state")
+        engine.store.add_region(RegionFact(
+            fact.start, fact.end, "data", Priority.STRUCTURAL,
+            "jump-table", self.name))
+        engine.log.append(f"table {fact.start:#x}-{fact.end:#x} "
+                          f"({fact.entry_size}-byte entries)")
+        engine.note("mark-data", fact.start, fact.end,
+                    source="jump-table", priority=Priority.STRUCTURAL,
+                    detail=f"detected {fact.entry_size}-byte-"
+                           f"entry table with "
+                           f"{len(fact.targets)} targets")
+        for target in sorted(set(fact.targets)):
+            engine.push_claim(CodeClaim(target, Priority.STRUCTURAL,
+                                        1.0, "table-target", self.name))
+
+
+class EntryAnchorRule(Rule):
+    """EntryFact(o) => CodeClaim(o) at ANCHOR priority."""
+
+    name = "entry-anchor"
+    stratum = 0
+
+    def fire(self, offset: int) -> None:
+        self.engine.push_claim(CodeClaim(offset, Priority.ANCHOR, 2.0,
+                                         "entry-point", self.name))
+
+
+class PrologueRule(Rule):
+    """PrologueFact(o) => CodeClaim(o) at IDIOM priority."""
+
+    name = "prologue"
+    stratum = 0
+
+    def fire(self, offset: int) -> None:
+        self.engine.push_claim(CodeClaim(offset, Priority.IDIOM, 1.0,
+                                         "prologue", self.name))
+
+
+# ----------------------------------------------------------------------
+# Stratum 1: propagation
+# ----------------------------------------------------------------------
+
+class DataRule(Rule):
+    """DataClaim(r) + no stronger code over r => data over r."""
+
+    name = "data-claim"
+    stratum = 1
+
+    def fire(self, claim: DataClaim) -> None:
+        engine = self.engine
+        if engine.state.can_mark_data(claim.start, claim.end,
+                                      claim.priority):
+            engine.state.mark_data(claim.start, claim.end, claim.priority)
+            engine.store.bump("state")
+            engine.store.add_region(RegionFact(
+                claim.start, claim.end, "data", claim.priority,
+                claim.source, self.name))
+            engine.log.append(f"data {claim.start:#x}-{claim.end:#x}"
+                              f" <- {claim.source}")
+            engine.note("mark-data", claim.start, claim.end,
+                        source=claim.source, priority=claim.priority,
+                        detail=f"{claim.end - claim.start} bytes "
+                               f"marked data")
+        else:
+            engine.log.append(f"rejected data {claim.start:#x} "
+                              f"({claim.source}): stronger code there")
+            engine.note("reject-data", claim.start, claim.end,
+                        source=claim.source, priority=claim.priority,
+                        detail="stronger code evidence already covers "
+                               "the range")
+
+
+class TraceRule(Rule):
+    """CodeClaim(o) => instructions reachable from o, unless refuted.
+
+    Follows fall-through and direct jumps, collects direct call targets
+    as new ANCHOR claims, defers call continuations as PendingCall
+    facts, and resolves dispatch tables along the way.  A trace that
+    contradicts equal-or-stronger evidence near its seed is rolled back
+    entirely (the error-correction heart of the paper).
+    """
+
+    name = "trace"
+    stratum = 1
+
+    def fire(self, claim: CodeClaim) -> None:
+        engine = self.engine
+        if engine.state.is_code_start(claim.offset):
+            _TRACES.inc(outcome="joined")
+            return
+        result = self.derive(claim.offset, claim.priority, claim.source)
+        if result.aborted:
+            engine.log.append(f"aborted trace from {claim.offset:#x} "
+                              f"({claim.source})")
+            _TRACES.inc(outcome="refuted")
+            if engine.provenance is not None:
+                start, end = result.touched or (claim.offset,
+                                                claim.offset + 1)
+                derail = (result.derailed_at
+                          if result.derailed_at is not None
+                          else claim.offset)
+                engine.note(
+                    "refute-trace", start, end,
+                    source=claim.source, priority=claim.priority,
+                    detail=f"refuted {Priority(claim.priority).name} "
+                           f"trace seeded at {claim.offset:#x} "
+                           f"({claim.source} {claim.weight:.2f}): "
+                           f"derailed at +{derail - claim.offset:#x} "
+                           f"(depth {result.derail_depth}), "
+                           f"{result.derail_hit}",
+                    seed=claim.offset, weight=claim.weight,
+                    derailed_at=derail, depth=result.derail_depth)
+            return
+        _TRACES.inc(outcome="accepted")
+        if result.reclassified:
+            _RECLASSIFIED.inc(result.reclassified,
+                              pass_id=engine.pass_id)
+        if result.accepted:
+            engine.store.bump("state")
+            start, end = result.touched or (claim.offset,
+                                            claim.offset + 1)
+            engine.store.add_region(RegionFact(
+                start, end, "code", claim.priority, claim.source,
+                self.name))
+            if engine.provenance is not None:
+                engine.note(
+                    "accept-trace", start, end,
+                    source=claim.source, priority=claim.priority,
+                    detail=f"trace from {claim.offset:#x} accepted "
+                           f"{len(result.accepted)} instruction(s)"
+                           + (f", overwrote {result.reclassified} byte(s)"
+                              if result.reclassified else ""),
+                    seed=claim.offset, weight=claim.weight,
+                    instructions=len(result.accepted),
+                    reclassified=result.reclassified)
+        # Derived claims: direct call targets found in confirmed code
+        # are anchors themselves.
+        for target in sorted(result.call_targets):
+            if not engine.state.is_code_start(target):
+                engine.push_claim(CodeClaim(
+                    target, Priority.ANCHOR, 1.0,
+                    f"call-target@{claim.offset:#x}", self.name))
+        # Resolved dispatch tables: their bytes are data (when in
+        # text), their targets are code.
+        for table in result.resolved_tables:
+            apply_resolved_table(engine, table)
+        for offset in sorted(result.unresolved_dispatches):
+            engine.store.add_unresolved_dispatch(offset)
+
+    def derive(self, seed: int, priority: Priority,
+               source: str) -> TraceResult:
+        """The traversal itself (the rule body's premise evaluation)."""
+        engine = self.engine
+        result = TraceResult()
+        state = engine.state
+        undo: dict[int, tuple[int, int]] = {}
+        worklist: list[tuple[int, int]] = [(seed, 0)]
+        visited: set[int] = set()
+        # Soft seeds have no corroborating evidence, so for them *any*
+        # contradiction refutes the whole trace; stronger seeds keep
+        # the strict-depth window (genuine code may legitimately abut
+        # older wrong decisions far from the seed).
+        strict_everywhere = priority <= Priority.SOFT
+        strict_depth = engine.config.strict_depth
+
+        def contradiction(depth: int) -> bool:
+            return strict_everywhere or depth <= strict_depth
+
+        while worklist:
+            offset, depth = worklist.pop()
+            if offset in visited:
+                continue
+            visited.add(offset)
+            if state.is_code_start(offset):
+                continue   # joins already-confirmed code
+            instruction = engine.superset.at(offset)
+            if instruction is None or \
+                    not state.can_mark_instruction(offset,
+                                                   instruction.length
+                                                   if instruction else 1,
+                                                   priority):
+                if contradiction(depth):
+                    for o, (label, prio) in undo.items():
+                        state.labels[o] = label
+                        state.priorities[o] = prio
+                    result.aborted = True
+                    result.derailed_at = offset
+                    result.derail_depth = depth
+                    result.derail_hit = describe_conflict(
+                        engine, offset, instruction, priority)
+                    if undo:
+                        result.touched = (min(min(undo), seed),
+                                          max(undo) + 1)
+                    else:
+                        result.touched = (min(seed, offset),
+                                          max(seed, offset) + 1)
+                    return result
+                continue   # prune this path only
+
+            for i in range(offset, min(offset + instruction.length,
+                                       state.size)):
+                if i not in undo:
+                    undo[i] = (state.labels[i], state.priorities[i])
+                    if state.labels[i]:   # non-UNKNOWN: a real overwrite
+                        result.reclassified += 1
+            state.mark_instruction(offset, instruction.length, priority)
+            result.accepted.add(offset)
+
+            if instruction.rip_target is not None \
+                    and 0 <= instruction.rip_target < state.size:
+                result.rip_references.add(instruction.rip_target)
+
+            if instruction.flow is FlowKind.CALL:
+                target = instruction.branch_target
+                if target is not None and 0 <= target < state.size:
+                    result.call_targets.add(target)
+                    # Defer the continuation: traced only once the
+                    # callee is known to return.
+                    result.pending_calls.append((instruction.end,
+                                                 target))
+                    continue
+            elif instruction.flow in (FlowKind.JUMP, FlowKind.CJUMP):
+                target = instruction.branch_target
+                if target is not None:
+                    if 0 <= target < state.size:
+                        worklist.append((target, depth + 1))
+                    else:
+                        result.jump_targets_outside.add(target)
+            elif instruction.flow is FlowKind.IJUMP \
+                    and engine.config.use_table_resolution:
+                table = resolve_indirect_jump(engine.superset,
+                                              engine.image,
+                                              state.is_code_start,
+                                              instruction)
+                if table is not None:
+                    result.resolved_tables.append(table)
+                else:
+                    result.unresolved_dispatches.add(offset)
+            elif instruction.flow is FlowKind.ICALL \
+                    and engine.config.use_table_resolution:
+                table = resolve_indirect_call(engine.superset,
+                                              engine.image,
+                                              state.is_code_start,
+                                              instruction)
+                if table is not None:
+                    result.resolved_tables.append(table)
+                else:
+                    result.unresolved_dispatches.add(offset)
+
+            if instruction.flow is FlowKind.TRAP:
+                continue   # padding trap: execution never proceeds here
+            if instruction.falls_through and instruction.end < state.size:
+                worklist.append((instruction.end, depth + 1))
+
+        if undo:
+            result.touched = (min(min(undo), seed), max(undo) + 1)
+        engine.resolved_tables.extend(result.resolved_tables)
+        for fall, target in result.pending_calls:
+            engine.store.add_pending_call(PendingCall(fall, target))
+        return result
+
+
+def describe_conflict(engine, offset: int, instruction,
+                      priority: Priority) -> str:
+    """Why marking ``offset`` failed, for the audit trail."""
+    if instruction is None:
+        return f"undecodable byte at {offset:#x}"
+    state = engine.state
+    for i in range(offset, min(offset + instruction.length,
+                               state.size)):
+        label = Classification(state.labels[i])
+        if label == Classification.UNKNOWN:
+            continue
+        existing = Priority(state.priorities[i]).name \
+            if state.priorities[i] else "unset"
+        if label == Classification.DATA and \
+                state.priorities[i] >= priority:
+            return (f"contradicts {existing} data at {i:#x}")
+        if i > offset and label == Classification.CODE_START and \
+                state.priorities[i] >= priority:
+            return (f"would straddle {existing} instruction "
+                    f"start at {i:#x}")
+        if i == offset and label == Classification.CODE_INTERIOR \
+                and state.priorities[i] >= priority:
+            return (f"joins {existing} code mid-instruction "
+                    f"at {i:#x}")
+    return f"conflict with equal-or-stronger evidence at {offset:#x}"
+
+
+def apply_resolved_table(engine, table: ResolvedTable) -> None:
+    """Dataflow-resolved table => data bytes + ANCHOR target claims."""
+    if table.in_text and engine.state.can_mark_data(
+            table.address, table.end, Priority.STRUCTURAL):
+        engine.state.mark_data(table.address, table.end,
+                               Priority.STRUCTURAL)
+        engine.store.bump("state")
+        engine.store.add_region(RegionFact(
+            table.address, table.end, "data", Priority.STRUCTURAL,
+            f"{table.kind}-table", "dispatch-resolve"))
+        engine.log.append(f"resolved {table.kind} table "
+                          f"{table.address:#x}-{table.end:#x}")
+    for target in sorted(set(table.targets)):
+        if not engine.state.is_code_start(target):
+            engine.push_claim(CodeClaim(target, Priority.ANCHOR, 1.0,
+                                        f"{table.kind}-table-target",
+                                        "dispatch-resolve"))
+
+
+class DispatchRetryRule(Rule):
+    """Unresolved dispatch + new confirmed code => retry resolution.
+
+    Worklist order can visit a dispatch before its defining
+    instructions, leaving the backward dataflow without context; once
+    surrounding code is confirmed, resolution usually succeeds.
+    Semi-naive: skipped outright unless the classification state or the
+    dispatch set changed since the last barren attempt.
+    """
+
+    name = "dispatch-retry"
+    stratum = 1
+
+    def __init__(self, engine) -> None:
+        super().__init__(engine)
+        self._barren_at: tuple[int, int] | None = None
+
+    def fire(self) -> bool:
+        engine = self.engine
+        if not engine.config.use_table_resolution:
+            return False
+        store = engine.store
+        key = (store.versions["state"], store.versions["dispatches"])
+        if key == self._barren_at:
+            return False
+        progressed = False
+        for offset in sorted(store.unresolved_dispatches):
+            instruction = engine.superset.at(offset)
+            if instruction is None or \
+                    not engine.state.is_code_start(offset):
+                continue
+            if instruction.flow is FlowKind.IJUMP:
+                table = resolve_indirect_jump(engine.superset,
+                                              engine.image,
+                                              engine.state.is_code_start,
+                                              instruction)
+            else:
+                table = resolve_indirect_call(engine.superset,
+                                              engine.image,
+                                              engine.state.is_code_start,
+                                              instruction)
+            if table is not None:
+                store.unresolved_dispatches.discard(offset)
+                store.bump("dispatches")
+                engine.resolved_tables.append(table)
+                store.bump("resolved")
+                apply_resolved_table(engine, table)
+                progressed = True
+        if not progressed:
+            self._barren_at = key
+        return progressed
+
+
+class CallContinuationRule(Rule):
+    """PendingCall(fall, t) + t returns => CodeClaim(fall).
+
+    A call's fall-through is only traced once its (fully traced)
+    callee is known to return, so data placed after noreturn calls is
+    never swallowed as code.  Continuations of provably-noreturn
+    callees stay pending; if nothing ever proves them returning, their
+    bytes are left to gap completion (i.e. data).  Semi-naive: skipped
+    unless the state, the pending set, or the resolved-table set
+    changed since the last barren attempt.
+    """
+
+    name = "call-continuation"
+    stratum = 1
+
+    def __init__(self, engine) -> None:
+        super().__init__(engine)
+        self._barren_at: tuple[int, int, int] | None = None
+
+    def fire(self) -> bool:
+        engine = self.engine
+        store = engine.store
+        if not store.pending_calls:
+            return False
+        key = (store.versions["state"], store.versions["pending_calls"],
+               store.versions["resolved"])
+        if key == self._barren_at:
+            return False
+        targets = {fact.target for fact in store.pending_calls}
+        resolved_jumps = {table.dispatch: table.targets
+                          for table in engine.resolved_tables
+                          if table.kind == "jump" and table.dispatch >= 0}
+        # The verdict only changes when the target set or the resolved
+        # dispatch map changes; resolution rounds are frequent, so cache.
+        cache_key = (frozenset(targets), len(resolved_jumps))
+        if engine._returning_cache_key == cache_key:
+            returning = engine._returning_cache
+        else:
+            returning = compute_returning(
+                engine.superset, targets, resolved_jumps=resolved_jumps,
+                resolve_dispatch=engine.speculative_dispatch_targets)
+            engine._returning_cache_key = cache_key
+            engine._returning_cache = returning
+        engine.noreturn_entries = {t for t, ok in returning.items()
+                                   if not ok}
+        still_pending = []
+        pushed = False
+        for fact in store.pending_calls:
+            if not engine.state.is_code_start(fact.target):
+                # Callee not traced yet: no verdict is possible, and
+                # releasing now would lose the continuation forever.
+                still_pending.append(fact)
+                continue
+            if not returning.get(fact.target, True):
+                still_pending.append(fact)
+                continue
+            if not engine.state.is_code_start(fact.fall):
+                engine.push_claim(CodeClaim(
+                    fact.fall, Priority.ANCHOR, 1.0,
+                    f"call-fallthrough@{fact.target:#x}", self.name))
+                pushed = True
+        if len(still_pending) != len(store.pending_calls):
+            store.bump("pending_calls")
+        store.pending_calls = still_pending
+        engine.noreturn_fall_sites = {fact.fall for fact in still_pending}
+        if not pushed:
+            self._barren_at = (store.versions["state"],
+                               store.versions["pending_calls"],
+                               store.versions["resolved"])
+        return pushed
+
+
+# ----------------------------------------------------------------------
+# Stratum 2: gap completion
+# ----------------------------------------------------------------------
+
+class GapRule(Rule):
+    """Unknown gap + surviving scored candidate => SOFT CodeClaim.
+
+    Each round scores all gap candidates and accepts them best-first
+    (a confident gap decision can create call-target anchors that
+    settle weaker gaps before their own soft scores are consulted),
+    at most one acceptance per gap per round.
+    """
+
+    name = "gap"
+    stratum = 2
+
+    def run_rounds(self) -> None:
+        engine = self.engine
+        from ...obs.trace import current_tracer
+        tracer = current_tracer()
+        for round_index in range(engine.config.gap_rounds):
+            gaps = engine.state.unknown_gaps()
+            if not gaps:
+                break
+            engine.pass_id = f"gaps-{round_index + 1}"
+            round_span = (tracer.start(engine.pass_id, gaps=len(gaps))
+                          if tracer is not None else None)
+            candidates = []
+            for gap_id, (start, end) in enumerate(gaps):
+                for score, offset in self.candidates(start, end):
+                    candidates.append((score, offset, gap_id))
+            progressed = False
+            settled_gaps: set[int] = set()
+            for score, offset, gap_id in sorted(candidates, reverse=True):
+                if gap_id in settled_gaps:
+                    continue
+                if not engine.state.is_unknown(offset):
+                    settled_gaps.add(gap_id)
+                    continue   # an earlier trace already settled it
+                engine.push_claim(CodeClaim(offset, Priority.SOFT,
+                                            score, "gap-score",
+                                            self.name))
+                engine.drain()
+                if engine.state.is_code_start(offset):
+                    progressed = True
+                    settled_gaps.add(gap_id)
+            if round_span is not None and tracer is not None:
+                tracer.finish(round_span, candidates=len(candidates),
+                              progressed=progressed)
+            if not progressed:
+                # No acceptable code candidate anywhere: everything
+                # left is data.
+                break
+
+    def run_single_pass(self) -> None:
+        """Ablation path: gaps decided once, in address order."""
+        engine = self.engine
+        for start, end in engine.state.unknown_gaps():
+            for score, offset in self.candidates(start, end):
+                if not engine.state.is_unknown(offset):
+                    break
+                engine.push_claim(CodeClaim(offset, Priority.SOFT,
+                                            score, "gap-score",
+                                            self.name))
+                engine.drain()
+                if engine.state.is_code_start(offset):
+                    break
+
+    def candidates(self, start: int, end: int) -> list[tuple[float, int]]:
+        """Code-like candidate starts within a gap, best first."""
+        engine = self.engine
+        if start in engine.noreturn_fall_sites:
+            # The gap is the continuation of a call to a proven-
+            # noreturn function: unreachable by construction, hence
+            # data.  (Any real code in it would be a branch target, and
+            # branch targets are traced as anchors before gaps are
+            # scored.)
+            engine.note("reject-candidate", start, end,
+                        source="noreturn-continuation",
+                        detail=f"gap at {start:#x} is the continuation "
+                               f"of a call to a proven-noreturn function; "
+                               f"unreachable, no candidates scored")
+            _GAP_CANDIDATES.inc(outcome="noreturn-continuation")
+            return []
+        ranked = []
+        vetoed = below = unclean = 0
+        recording = engine.provenance is not None
+        for offset in self.candidate_offsets(start, end):
+            if not engine.superset.is_valid(offset):
+                continue
+            if engine.behavior_scores is not None and \
+                    engine.behavior_scores[offset] <= \
+                    engine.config.behavior_veto:
+                vetoed += 1
+                if recording:
+                    engine.note("reject-candidate", offset, offset + 1,
+                                source="behavior-veto",
+                                detail=f"behavioral score "
+                                       f"{float(engine.behavior_scores[offset]):.2f}"
+                                       f" <= veto floor "
+                                       f"{engine.config.behavior_veto:.2f}",
+                                score=float(engine.behavior_scores[offset]))
+                continue   # behavioral veto: behaves like data
+            score = float(engine.scores[offset])
+            score += 0.5 * prologue_score(engine.superset, offset)
+            if score <= engine.config.code_threshold:
+                below += 1
+                if recording:
+                    engine.note("reject-candidate", offset, offset + 1,
+                                source="gap-score",
+                                detail=f"gap-score {score:.2f} <= "
+                                       f"threshold "
+                                       f"{engine.config.code_threshold:.2f}",
+                                score=score)
+                continue
+            if not self.chain_terminates_cleanly(offset):
+                unclean += 1
+                if recording:
+                    engine.note("reject-candidate", offset, offset + 1,
+                                source="chain-termination",
+                                detail=f"refuted SOFT trace seeded at "
+                                       f"{offset:#x} (gap-score "
+                                       f"{score:.2f}): its decode chain "
+                                       f"does not terminate cleanly (runs "
+                                       f"into padding, data, or a "
+                                       f"mid-instruction join) -- strict "
+                                       f"soft-trace gate",
+                                score=score)
+                continue
+            ranked.append((score, offset))
+        if vetoed:
+            _GAP_CANDIDATES.inc(vetoed, outcome="behavior-veto")
+        if below:
+            _GAP_CANDIDATES.inc(below, outcome="below-threshold")
+        if unclean:
+            _GAP_CANDIDATES.inc(unclean, outcome="unclean-termination")
+        if ranked:
+            _GAP_CANDIDATES.inc(len(ranked), outcome="ranked")
+        return sorted(ranked, reverse=True)
+
+    def chain_terminates_cleanly(self, offset: int) -> bool:
+        """Hard gate for soft gap candidates.
+
+        Real leftover code (jump-table case blocks, indirect-only
+        functions) either ends at a control-flow terminator or flows
+        into confirmed code *at an instruction boundary*.  Data that
+        happens to decode runs into padding traps, undecodable bytes,
+        classified data, or mid-instruction joins instead.
+        """
+        engine = self.engine
+        state = engine.state
+        current = offset
+        for _ in range(engine.config.chain_limit):
+            instruction = engine.superset.at(current)
+            if instruction is None:
+                return False
+            if instruction.flow in (FlowKind.TRAP, FlowKind.HALT):
+                return False     # real code does not fall into padding
+            for i in range(current, min(instruction.end, state.size)):
+                if state.is_data(i) and \
+                        state.priorities[i] > Priority.SOFT:
+                    return False
+                if i > current and state.is_code(i):
+                    # Overlaps confirmed code mid-instruction: the
+                    # "join" would straddle an existing instruction
+                    # start, which real leftover code never does.
+                    return False
+            if not instruction.falls_through:
+                return True
+            nxt = instruction.end
+            if nxt >= state.size:
+                return False
+            if state.is_code_start(nxt):
+                return True
+            if state.is_code(nxt):
+                return False     # joins confirmed code mid-instruction
+            current = nxt
+        return True
+
+    def candidate_offsets(self, start: int, end: int) -> list[int]:
+        engine = self.engine
+        padding = engine.store.padding
+        offsets = set()
+        cursor = start
+        while cursor < end and padding[cursor]:
+            cursor += 1
+        # Every offset in the first bytes after leading padding: gaps
+        # usually begin exactly at a real instruction, but misdecoded
+        # neighbors can shift the boundary by a few bytes.
+        offsets.update(range(start, min(end, start + 2)))
+        offsets.update(range(cursor, min(end, cursor + 12)))
+        alignment = engine.config.alignment
+        aligned = start + (-start % alignment)
+        for candidate in range(aligned, min(end, aligned + 4 * alignment),
+                               alignment):
+            offsets.add(candidate)
+        return sorted(o for o in offsets if start <= o < end)
+
+
+class GapSealRule(Rule):
+    """Unknown gap + no surviving candidate => SOFT data."""
+
+    name = "gap-seal"
+    stratum = 2
+
+    def fire(self) -> None:
+        engine = self.engine
+        for start, end in engine.state.unknown_gaps():
+            engine.state.mark_data(start, end, Priority.SOFT)
+            engine.store.bump("state")
+            engine.store.add_region(RegionFact(
+                start, end, "data", Priority.SOFT, "gap-completion",
+                self.name))
+            engine.note("gap-data", start, end, source="gap-completion",
+                        priority=Priority.SOFT,
+                        detail=f"no surviving code candidate in the "
+                               f"{end - start}-byte gap; classified data")
+
+
+# ----------------------------------------------------------------------
+# Stratum 3: residue realignment
+# ----------------------------------------------------------------------
+
+class RealignRule(Rule):
+    """Tiny soft-data residue that tiles cleanly into code => code.
+
+    A wrong early decision sometimes leaves a short unclaimed residue
+    directly in front of confirmed code (x86 decoding self-synchronizes
+    after a few bytes).  When the residue decodes as a clean
+    instruction run ending exactly at the following confirmed
+    instruction, the correct fix is to accept it as code.
+    """
+
+    name = "realign"
+    stratum = 3
+
+    def fire(self) -> None:
+        engine = self.engine
+        engine.pass_id = "realign"
+        max_size = engine.config.realign_max_size
+        for start, end in engine.state.data_regions():
+            if end - start > max_size:
+                continue
+            if end >= engine.state.size or \
+                    not engine.state.is_code_start(end):
+                continue
+            if engine.store.is_pure_padding(start, end):
+                # A pure padding run in front of a function entry is
+                # data by convention; int3/nop bytes always tile
+                # cleanly, so without this guard they'd be "realigned"
+                # into code.
+                engine.note("skip-realign", start, end,
+                            source="padding-guard",
+                            detail=f"residue {start:#x}-{end:#x} is a pure "
+                                   f"int3/nop/zero padding run kept as "
+                                   f"data (padding-as-code guard); "
+                                   f"padding always tiles cleanly, so "
+                                   f"realignment would misclassify it")
+                continue
+            if any(fall <= start < fall + 32
+                   for fall in engine.noreturn_fall_sites):
+                # Unreachable continuation of a noreturn call.
+                engine.note("skip-realign", start, end,
+                            source="noreturn-continuation",
+                            detail=f"residue {start:#x}-{end:#x} sits in "
+                                   f"the unreachable continuation of a "
+                                   f"proven-noreturn call")
+                continue
+            if any(engine.state.priorities[i] > Priority.SOFT
+                   for i in range(start, end)):
+                engine.note("skip-realign", start, end,
+                            source="priority-guard",
+                            detail=f"residue {start:#x}-{end:#x} carries "
+                                   f"stronger-than-SOFT data evidence; "
+                                   f"realignment only overrides soft "
+                                   f"decisions")
+                continue
+            run = self._clean_tile(start, end)
+            if run is None:
+                continue
+            for offset, length in run:
+                engine.state.mark_instruction(offset, length,
+                                              Priority.SOFT)
+            engine.store.bump("state")
+            engine.store.add_region(RegionFact(
+                start, end, "code", Priority.SOFT, "clean-tile",
+                self.name))
+            engine.log.append(f"realigned residue {start:#x}-{end:#x}")
+            engine.note("realign", start, end, source="clean-tile",
+                        priority=Priority.SOFT,
+                        detail=f"residue {start:#x}-{end:#x} decodes as "
+                               f"{len(run)} instruction(s) tiling exactly "
+                               f"to the confirmed code at {end:#x}; "
+                               f"accepted as code")
+
+    def _clean_tile(self, start: int, end: int
+                    ) -> list[tuple[int, int]] | None:
+        """Instructions exactly tiling [start, end), or None."""
+        engine = self.engine
+        run = []
+        cursor = start
+        while cursor < end:
+            instruction = engine.superset.at(cursor)
+            if instruction is None or instruction.end > end:
+                return None
+            if not instruction.falls_through and instruction.end != end:
+                return None
+            run.append((cursor, instruction.length))
+            cursor = instruction.end
+        return run if cursor == end else None

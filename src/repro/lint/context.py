@@ -48,13 +48,20 @@ class LintContext:
     #: Virtual address of the text section, for converting hint
     #: addresses (absolute) to text offsets.
     text_addr: int = 0
+    #: Optional region facts exported by the correction engine
+    #: (:class:`~repro.core.engine.facts.FactExport`): why each byte
+    #: range holds its classification.  None when linting a bare claim
+    #: (raw JSON, foreign tool); the ``rule-disagreement`` rule then
+    #: stays silent.
+    facts: object | None = None
 
     @classmethod
     def build(cls, result: DisassemblyResult, superset: Superset, *,
               hints: FormatHints | None = None,
-              text_addr: int = 0) -> LintContext:
+              text_addr: int = 0, facts: object | None = None
+              ) -> LintContext:
         return cls(result=result, superset=superset, text=superset.text,
-                   hints=hints, text_addr=text_addr)
+                   hints=hints, text_addr=text_addr, facts=facts)
 
     @cached_property
     def hint_function_starts(self) -> list[int]:

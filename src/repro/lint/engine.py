@@ -77,10 +77,10 @@ class Linter:
         return report
 
     def lint(self, result: DisassemblyResult, superset: Superset, *,
-             hints=None, text_addr: int = 0,
+             hints=None, text_addr: int = 0, facts=None,
              provenance: ProvenanceLog | None = None) -> LintReport:
         return self.run(LintContext.build(result, superset, hints=hints,
-                                          text_addr=text_addr),
+                                          text_addr=text_addr, facts=facts),
                         provenance=provenance)
 
 
@@ -99,7 +99,7 @@ def lint_disassembly(result: DisassemblyResult,
                      text: bytes | Superset, *,
                      config: LintConfig = DEFAULT_LINT_CONFIG,
                      registry: RuleRegistry | None = None,
-                     hints=None, text_addr: int = 0,
+                     hints=None, text_addr: int = 0, facts=None,
                      provenance: ProvenanceLog | None = None
                      ) -> LintReport:
     """Lint one disassembly claim against the oracle-free invariants.
@@ -111,6 +111,9 @@ def lint_disassembly(result: DisassemblyResult,
     locating the text section in the hint address space) lets the
     ``hint-disagreement`` rule cross-check the claim against residual
     ELF/PE metadata; the claim itself is still produced metadata-free.
+    ``facts`` (the producing run's exported
+    :class:`~repro.core.engine.facts.FactExport`, i.e.
+    ``Disassembly.facts``) enables the ``rule-disagreement`` rule.
     ``provenance`` (the audit trail of the run that produced
     ``result``) enriches each diagnostic with the decision chain
     behind its byte range.
@@ -118,5 +121,5 @@ def lint_disassembly(result: DisassemblyResult,
     superset = (text if isinstance(text, Superset)
                 else cached_superset(bytes(text)))
     return Linter(registry=registry, config=config).lint(
-        result, superset, hints=hints, text_addr=text_addr,
+        result, superset, hints=hints, text_addr=text_addr, facts=facts,
         provenance=provenance)

@@ -409,3 +409,46 @@ def check_hint_disagreement(ctx: LintContext,
             "hint-disagreement", severity, offset, offset + 1,
             f"{ctx.hints.format} metadata marks {offset:#x} as a "
             f"function start but it is {what}", suggestion="code")
+
+
+# ----------------------------------------------------------------------
+# Correction-engine cross-checks (only when the fact store is supplied)
+# ----------------------------------------------------------------------
+
+@R.register("rule-disagreement", Severity.INFO,
+            "correction rules of comparable strength disagreed over a "
+            "byte range")
+def check_rule_disagreement(ctx: LintContext,
+                            severity: Severity) -> Iterator[Diagnostic]:
+    """Contested classifications inside the correction fixpoint.
+
+    The fact engine exports one :class:`RegionFact` per mark-code /
+    mark-data projection.  A lower-priority fact overwritten by a
+    higher-priority one is the priority lattice working as designed and
+    stays silent; a fact overwritten by an *equal-or-weaker* one with
+    the opposite label means two rules of comparable strength genuinely
+    disagreed about the bytes -- exactly the regions worth a second
+    look.  Requires the producing run's fact store
+    (``lint_disassembly(..., facts=...)``); silent without it.
+    """
+    if ctx.facts is None:
+        return
+    seen: set[tuple] = set()
+    for fact in ctx.facts:
+        winner = ctx.facts.classifier_of(fact.start, fact.end)
+        if winner is None or winner is fact:
+            continue
+        if winner.label == fact.label or fact.priority < winner.priority:
+            continue
+        lo = max(fact.start, winner.start)
+        hi = min(fact.end, winner.end)
+        key = (lo, hi, fact.rule, winner.rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield Diagnostic(
+            "rule-disagreement", severity, lo, hi,
+            f"rule {fact.rule} marked [{lo:#x}, {hi:#x}) as "
+            f"{fact.label} ({fact.priority.name}) but {winner.rule} "
+            f"finally marked it {winner.label} "
+            f"({winner.priority.name})", suggestion=winner.label)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from .binary.container import Binary, Section
 from .core.disassembler import Disassembly
+from .core.evidence import Priority
 from .isa.decoder import try_decode
 from .isa.instruction import Instruction
 from .isa.opcodes import FlowKind
@@ -42,6 +43,10 @@ _COUNTER_STUB_LENGTH = 7   # 48 ff 05 disp32
 
 class RewriteError(RuntimeError):
     """The binary cannot be rewritten from this disassembly."""
+
+
+def _align16(value: int) -> int:
+    return (value + 15) & ~15
 
 
 @dataclass
@@ -69,6 +74,8 @@ class _Piece:
     instruction: Instruction | None = None
     table_entry_size: int = 0          # for retargeted table pieces
     counter_address: int = 0
+    #: Copy the piece's bytes untouched (speculative-code pinning).
+    verbatim: bool = False
 
 
 class Rewriter:
@@ -90,8 +97,60 @@ class Rewriter:
             if table.in_text:
                 self.tables.setdefault(table.address,
                                        (table.entry_size, table.end))
+        self.pinned = self._speculative_code_ranges()
 
     # ------------------------------------------------------------------
+
+    def _speculative_code_ranges(self) -> list[tuple[int, int]]:
+        """Ranges of SOFT-priority code to be copied byte-for-byte.
+
+        Gap completion and residue realignment accept code
+        *speculatively*: no trace from an anchor ever reached those
+        bytes.  When the speculation is wrong, the bytes are really
+        data -- a string such as ``"warning"`` decodes as short
+        conditional branches (``0x77 'w'``, ``0x72 'r'``) -- and
+        re-encoding those "branches" as near forms corrupts it for
+        whatever reads it through a leaked pointer.  Verbatim emission
+        preserves behavior both ways: misread data survives exactly,
+        and real-but-unreachable code keeps the bytes it had.
+
+        A range is only pinned when no accepted instruction *outside*
+        it branches into it and it contains no identified function
+        entry, so everything the rewriter must retarget stays on the
+        re-encoding path.  Requires the fact engine's region facts;
+        under the legacy worklist engine (no facts) nothing is pinned.
+        """
+        facts = getattr(self.disassembly, "facts", None)
+        if facts is None:
+            return []
+        candidates = [f for f in facts
+                      if f.label == "code"
+                      and f.priority <= Priority.SOFT
+                      and facts.classifier_of(f.start, f.end) is f]
+        if not candidates:
+            return []
+        edges = []
+        for offset in self.result.instructions:
+            instruction = try_decode(self.text, offset)
+            if instruction is not None and \
+                    instruction.branch_target is not None:
+                edges.append((offset, instruction.branch_target))
+        entries = self.result.function_entries
+        ranges = []
+        for fact in candidates:
+            if any(fact.start <= t < fact.end for o, t in edges
+                   if not fact.start <= o < fact.end):
+                continue
+            if any(fact.start <= e < fact.end for e in entries):
+                continue
+            ranges.append((fact.start, fact.end))
+        return sorted(ranges)
+
+    def _is_pinned(self, offset: int) -> bool:
+        import bisect
+        index = bisect.bisect_right(self.pinned, (offset, len(self.text))) - 1
+        return index >= 0 and \
+            self.pinned[index][0] <= offset < self.pinned[index][1]
 
     def rewrite(self) -> RewrittenBinary:
         pieces = self._collect_pieces()
@@ -147,11 +206,13 @@ class Rewriter:
                     raise RewriteError(
                         f"accepted instruction at {offset:#x} "
                         f"does not decode")
+                pinned = self._is_pinned(offset)
                 pieces.append(_Piece(
                     kind="insn", old_offset=offset,
                     old_length=instruction.length,
-                    new_length=self._new_length(instruction),
-                    instruction=instruction))
+                    new_length=(instruction.length if pinned
+                                else self._new_length(instruction)),
+                    instruction=instruction, verbatim=pinned))
                 offset = instruction.end
                 continue
             if offset in data_regions:
@@ -215,10 +276,32 @@ class Rewriter:
         return instruction.length
 
     def _layout(self, pieces: list[_Piece]) -> None:
-        cursor = 0
+        """Pinned-data layout: data never moves, code moves en bloc.
+
+        Programs may *leak* data addresses into observable state (return
+        a pointer to a string, compare pointers numerically); relocating
+        data then changes behavior even when every reference is
+        faithfully retargeted.  So data, padding, and speculative
+        verbatim code keep their exact original offsets, while
+        re-encoded instructions and counter stubs are laid out
+        sequentially in an appendix after the original image.  The
+        holes left behind by moved code are filled with ``0xCC`` at
+        emission (stray control flow into them traps instead of
+        executing stale bytes).
+        """
+        cursor = _align16(len(self.text))
         for piece in pieces:
-            piece.new_offset = cursor
-            cursor += piece.new_length
+            if piece.kind == "data" or piece.verbatim:
+                piece.new_offset = piece.old_offset
+            else:
+                piece.new_offset = cursor
+                cursor += piece.new_length
+        for section in self.binary.sections:
+            if not section.executable and section.addr < cursor and \
+                    section.addr >= len(self.text):
+                raise RewriteError(
+                    f"code appendix (ends {cursor:#x}) would overlap "
+                    f"section {section.name} at {section.addr:#x}")
 
     # ------------------------------------------------------------------
 
@@ -289,24 +372,29 @@ class Rewriter:
                        section.executable)
 
     def _emit(self, pieces: list[_Piece], map_target) -> bytes:
-        out = bytearray()
+        size = max((p.new_offset + p.new_length for p in pieces),
+                   default=0)
+        out = bytearray(b"\xcc" * size)
         for piece in pieces:
             if piece.kind == "counter":
                 disp = piece.counter_address - (piece.new_offset
                                                 + _COUNTER_STUB_LENGTH)
-                out += b"\x48\xff\x05" + (disp & 0xFFFFFFFF).to_bytes(
+                blob = b"\x48\xff\x05" + (disp & 0xFFFFFFFF).to_bytes(
                     4, "little")
             elif piece.kind == "insn":
-                out += self._emit_instruction(piece, map_target)
+                blob = self._emit_instruction(piece, map_target)
             else:
-                out += self._emit_data(piece, map_target)
-            if len(out) != piece.new_offset + piece.new_length:
+                blob = self._emit_data(piece, map_target)
+            if len(blob) != piece.new_length:
                 raise RewriteError(
                     f"layout mismatch at old {piece.old_offset:#x}")
+            out[piece.new_offset:piece.new_offset + len(blob)] = blob
         return bytes(out)
 
     def _emit_instruction(self, piece: _Piece, map_target) -> bytes:
         instruction = piece.instruction
+        if piece.verbatim:
+            return instruction.raw
         target = instruction.branch_target
         if target is not None:
             return self._emit_branch(piece, map_target)

@@ -100,11 +100,15 @@ class ServeClient:
 
     def disassemble(self, blob: bytes, *, config: dict | None = None,
                     timeout_ms: int | None = None,
-                    format: str = "auto") -> dict:
+                    format: str = "auto",
+                    base: str | None = None) -> dict:
         """POST /v1/disassemble; returns the full response body.
 
         ``blob`` may be a native container, an ELF64 file, or a PE32+
         file; ``format`` defaults to magic-byte auto-detection.
+        ``base`` is the ``fingerprint`` of a previous response: a
+        worker still holding that run's fact base re-disassembles
+        incrementally (byte-identical output, a pure latency hint).
         """
         body: dict = {"binary_b64": encode_binary(blob)}
         if config is not None:
@@ -113,6 +117,8 @@ class ServeClient:
             body["timeout_ms"] = timeout_ms
         if format != "auto":
             body["format"] = format
+        if base:
+            body["base"] = base
         return self._checked("POST", "/v1/disassemble", body)
 
     def disassemble_result(self, blob: bytes, *,

@@ -25,7 +25,12 @@ from ..stats.cache import stable_digest
 #: v2: requests may carry a ``format`` field ("auto" / "rprb" /
 #: "elf64" / "pe32+"); real ELF/PE payloads are accepted and
 #: canonicalized to the native container at admission.
-PROTOCOL_VERSION = 2
+#: v3: disassemble requests may carry a ``base`` fingerprint (the
+#: ``fingerprint`` of a previous response); workers holding that run's
+#: fact base re-disassemble incrementally.  Responses carry
+#: ``fingerprint``.  Purely a performance hint: payloads are
+#: byte-identical with or without it.
+PROTOCOL_VERSION = 3
 
 #: Job kinds the scheduler understands.
 KINDS = ("disassemble", "lint")
@@ -48,6 +53,10 @@ class JobRequest:
     blob: bytes                             # serialized .bin container
     config_overrides: dict[str, Any] | None = None
     lint_disable: tuple[str, ...] = ()
+    #: sha256 fingerprint of a previously disassembled container; a
+    #: worker still holding that run's fact base re-disassembles
+    #: incrementally (byte-identical output either way).
+    base: str = ""
     #: Absolute monotonic deadline; the scheduler refuses to start the
     #: job after it (the job is *cancelled*, not merely late).
     deadline: float = float("inf")
@@ -62,14 +71,19 @@ class JobRequest:
     def worker_item(self) -> tuple:
         """The picklable tuple shipped to a worker process.
 
-        Stays a flat 5-tuple when tracing is off; with tracing active
-        the span context travels as an optional sixth element (workers
-        and test stand-ins unpack with ``job_id, *rest``).
+        Stays a flat 5-tuple in the common case; a ``base`` fingerprint
+        travels as an optional sixth element and the span context (when
+        tracing) as a seventh (workers and test stand-ins unpack with
+        ``job_id, *rest``).
         """
         item = (self.id, self.kind, self.blob, self.config_overrides,
                 self.lint_disable)
+        if self.base:
+            item += (self.base,)
         if self.trace_ctx is not None:
-            return item + (self.trace_ctx,)
+            if not self.base:
+                item += ("",)
+            item += (self.trace_ctx,)
         return item
 
 
@@ -156,6 +170,8 @@ class ParsedRequest:
     timeout_ms: int | None = None
     #: Declared container format ("auto" = detect by magic bytes).
     format: str = "auto"
+    #: Fingerprint of a previous response for incremental reuse (v3).
+    base: str = ""
     extras: dict[str, Any] = field(default_factory=dict)
 
 
@@ -184,6 +200,18 @@ def parse_job_body(body: Any, kind: str) -> ParsedRequest:
                 not all(isinstance(r, str) for r in raw):
             raise ProtocolError("'disable' must be a list of rule ids")
         disable = tuple(raw)
+    base = ""
+    if kind == "disassemble":
+        raw_base = body.get("base", "")
+        if not isinstance(raw_base, str):
+            raise ProtocolError("'base' must be a string fingerprint")
+        if raw_base:
+            if len(raw_base) != 64 or \
+                    any(c not in "0123456789abcdef" for c in raw_base):
+                raise ProtocolError(
+                    "'base' must be a 64-character lowercase hex "
+                    "fingerprint from a previous response")
+            base = raw_base
     return ParsedRequest(blob=blob, config_overrides=overrides,
                          lint_disable=disable, timeout_ms=timeout_ms,
-                         format=fmt)
+                         format=fmt, base=base)

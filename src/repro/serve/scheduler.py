@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -81,23 +81,60 @@ class JobFailedError(Exception):
 # Worker side (module level: must be picklable for the process pool)
 # ----------------------------------------------------------------------
 
+#: Worker-process-local snapshots of recent disassemblies, keyed by
+#: ``(sha256(blob), config_fingerprint)``.  A ``base`` fingerprint on a
+#: later request that lands on the same worker re-disassembles
+#: incrementally from the snapshot (a *near hit*: byte-identical
+#: output, most of the superset/scoring phases skipped).  Bounded LRU;
+#: purely a cache, so a miss just runs cold.
+_FACT_BASES: "OrderedDict[tuple[str, str], object]" = OrderedDict()
+_FACT_BASE_LIMIT = 8
+
+
+def _remember_fact_base(key: tuple[str, str], snapshot: object) -> None:
+    _FACT_BASES[key] = snapshot
+    _FACT_BASES.move_to_end(key)
+    while len(_FACT_BASES) > _FACT_BASE_LIMIT:
+        _FACT_BASES.popitem(last=False)
+
+
 def _execute_job(kind: str, blob: bytes, overrides: dict | None,
                  lint_disable: tuple[str, ...],
-                 timings: PhaseTimings) -> str:
+                 timings: PhaseTimings, base: str = "") -> str:
     """Run one job in a worker; returns the response payload JSON."""
+    import hashlib
+
     from ..binary.container import Binary
     from ..eval.parallel import disassembler_for, repro_spec
-    from .protocol import config_from_overrides
+    from .protocol import config_from_overrides, config_fingerprint
 
     binary = Binary.from_bytes(blob)
     spec = repro_spec(config=config_from_overrides(overrides))
     disassembler = disassembler_for(spec)
-    rich = disassembler.disassemble_rich(binary, timings=timings)
+    config_fp = config_fingerprint(overrides)
+    rich = None
+    if kind == "disassemble" and base:
+        from ..core.engine.incremental import _INCREMENTAL
+        snapshot = _FACT_BASES.get((base, config_fp))
+        if snapshot is not None:
+            from ..core.engine.incremental import disassemble_incremental
+            _FACT_BASES.move_to_end((base, config_fp))
+            rich, _ = disassemble_incremental(disassembler, snapshot,
+                                              binary, timings=timings)
+        else:
+            _INCREMENTAL.inc(outcome="cold-miss")
+    if rich is None:
+        rich = disassembler.disassemble_rich(binary, timings=timings)
     if kind == "disassemble":
+        from ..core.engine.incremental import FactBase
+        _remember_fact_base(
+            (hashlib.sha256(blob).hexdigest(), config_fp),
+            FactBase.from_run(rich, disassembler.config))
         return rich.result.to_json()
     from ..lint import LintConfig, lint_disassembly
     report = lint_disassembly(rich.result, rich.superset,
-                              config=LintConfig(disabled=lint_disable))
+                              config=LintConfig(disabled=lint_disable),
+                              facts=rich.facts)
     return report.to_json()
 
 
@@ -105,26 +142,30 @@ def run_batch(items: list[tuple]) -> tuple:
     """Execute one micro-batch of worker items sequentially.
 
     Returns per-job ``(id, ok, payload-or-message, error_kind)`` tuples
-    plus the batch's accumulated phase timings for ``/metrics``.  When
-    any item carries a span context (sixth tuple element), the worker
-    records its spans under a tracer seeded from it and appends their
-    dicts as a third return element for the coordinator to adopt.
+    plus the batch's accumulated phase timings for ``/metrics``.  The
+    optional tail of each item is a ``base`` fingerprint (sixth
+    element) and a span context dict (seventh).  When any item carries
+    a span context, the worker records its spans under a tracer seeded
+    from it and appends their dicts as a third return element for the
+    coordinator to adopt.
     """
     timings = PhaseTimings()
     results = []
     spans: list[dict] = []
     for job_id, kind, blob, overrides, lint_disable, *rest in items:
-        ctx = SpanContext.from_dict(rest[0]) if rest else None
+        base = rest[0] if rest else ""
+        ctx = SpanContext.from_dict(rest[1]) if len(rest) > 1 else None
         tracer = Tracer(parent=ctx) if ctx is not None else None
         previous = set_tracer(tracer) if tracer is not None else None
         try:
             if tracer is not None:
                 with tracer.span("job", id=job_id, kind=kind):
                     payload = _execute_job(kind, blob, overrides,
-                                           tuple(lint_disable), timings)
+                                           tuple(lint_disable), timings,
+                                           base)
             else:
                 payload = _execute_job(kind, blob, overrides,
-                                       tuple(lint_disable), timings)
+                                       tuple(lint_disable), timings, base)
             results.append((job_id, True, payload, ""))
         except Exception as error:   # noqa: BLE001 -- ferried to the caller
             results.append((job_id, False, str(error),

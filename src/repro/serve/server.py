@@ -20,6 +20,7 @@ stop accepting, finish in-flight jobs, flush logs, exit.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import itertools
 import json
 import signal
@@ -402,12 +403,17 @@ class ServeApp:
                                       f"{', '.join(unknown)}",
                              "id": request_id}, {}, False
 
+        # sha256 of the canonical blob, echoed as the response's
+        # ``fingerprint``; a later request quoting it as ``base`` takes
+        # the incremental near-hit path in the worker (v3).
+        fingerprint = hashlib.sha256(blob).hexdigest()
         key = result_key(blob, kind, parsed.config_overrides,
                          extra=",".join(parsed.lint_disable))
         hit = self.cache.get(key)
         if hit is not None:
             return 200, self._job_envelope(request_id, kind, hit,
-                                           cached=True), {}, True
+                                           cached=True,
+                                           fingerprint=fingerprint), {}, True
 
         timeout = (parsed.timeout_ms / 1000.0
                    if parsed.timeout_ms is not None
@@ -415,6 +421,7 @@ class ServeApp:
         job = JobRequest(id=request_id, kind=kind, blob=blob,
                          config_overrides=parsed.config_overrides,
                          lint_disable=parsed.lint_disable,
+                         base=parsed.base,
                          deadline=time.monotonic() + timeout,
                          trace_ctx=(span.context().as_dict()
                                     if span is not None else None))
@@ -435,18 +442,22 @@ class ServeApp:
                          "id": request_id}, {}, False
         self.cache.put(key, payload)
         return 200, self._job_envelope(request_id, kind, payload,
-                                       cached=False), {}, False
+                                       cached=False,
+                                       fingerprint=fingerprint), {}, False
 
     @staticmethod
     def _job_envelope(request_id: str, kind: str, payload: str,
-                      cached: bool) -> dict:
+                      cached: bool, fingerprint: str = "") -> dict:
         # json.loads preserves object key order, and json.dumps with
         # default separators reproduces DisassemblyResult.to_json /
         # LintReport.to_json byte-identically -- the serving
         # determinism bar depends on this round-trip.
         field = "result" if kind == "disassemble" else "report"
-        return {"id": request_id, "cached": cached,
-                field: json.loads(payload)}
+        envelope = {"id": request_id, "cached": cached,
+                    field: json.loads(payload)}
+        if kind == "disassemble" and fingerprint:
+            envelope["fingerprint"] = fingerprint
+        return envelope
 
 
 _REASONS = {

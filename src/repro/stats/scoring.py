@@ -73,25 +73,60 @@ class StatisticalScorer:
         for offset in superset.valid_offsets:
             tokens[offset] = token_of(superset.instructions[offset])
 
-        data_lp_byte = np.array(
-            [self.data_model.log_prob_byte(b) for b in superset.text])
-        data_prefix = np.concatenate(([0.0], np.cumsum(data_lp_byte)))
-
-        ascii_penalty = np.zeros(size)
-        for run in terminated_ascii_runs(superset.text):
-            ascii_penalty[run.start:run.end] = ASCII_PENALTY
+        data_lp_byte = self._data_lp_bytes(superset.text)
+        ascii_penalty = self._ascii_penalty(superset.text)
 
         scores = np.full(size, UNDECODABLE_SCORE)
         for offset in superset.valid_offsets:
-            chain = superset.fallthrough_chain(offset, self.window)
-            context = (START, START)
-            code_lp = 0.0
-            for ins in chain:
-                token = tokens[ins.offset]
-                code_lp += self.code_model.log_prob(token, context)
-                context = (context[1], token)
-            span = chain[-1].end - offset
-            data_lp = data_prefix[offset + span] - data_prefix[offset]
-            scores[offset] = ((code_lp - data_lp) / span
-                              - ascii_penalty[offset])
+            scores[offset] = self._chain_score(superset, offset, tokens,
+                                               data_lp_byte, ascii_penalty)
         return scores
+
+    def rescore(self, superset: Superset, offsets, scores: np.ndarray
+                ) -> None:
+        """Recompute ``scores[o]`` in place for a subset of offsets.
+
+        Incremental re-disassembly calls this for the offsets whose
+        score support (decode window, fall-through chain, ASCII-run
+        membership) touches changed bytes; every value written is
+        bit-identical to what :meth:`score_all` would produce on the
+        same superset, because both run the same per-offset body and
+        the data-model term is summed per chain span (a span of
+        unchanged bytes sums to the identical float either way).
+        """
+        data_lp_byte = self._data_lp_bytes(superset.text)
+        ascii_penalty = self._ascii_penalty(superset.text)
+        for offset in offsets:
+            if superset.is_valid(offset):
+                scores[offset] = self._chain_score(superset, offset, None,
+                                                   data_lp_byte,
+                                                   ascii_penalty)
+            else:
+                scores[offset] = UNDECODABLE_SCORE
+
+    def _chain_score(self, superset: Superset, offset: int,
+                     tokens: list | None, data_lp_byte: np.ndarray,
+                     ascii_penalty: np.ndarray) -> float:
+        """The shared per-offset scoring body (valid offsets only)."""
+        chain = superset.fallthrough_chain(offset, self.window)
+        context = (START, START)
+        code_lp = 0.0
+        for ins in chain:
+            token = tokens[ins.offset] if tokens is not None \
+                else token_of(ins)
+            code_lp += self.code_model.log_prob(token, context)
+            context = (context[1], token)
+        span = chain[-1].end - offset
+        data_lp = data_lp_byte[offset:offset + span].sum()
+        return (code_lp - data_lp) / span - ascii_penalty[offset]
+
+    def _data_lp_bytes(self, text: bytes) -> np.ndarray:
+        return np.array(
+            [self.data_model.log_prob_byte(b) for b in text])
+
+    @staticmethod
+    def _ascii_penalty(text: bytes) -> np.ndarray:
+        penalty = np.zeros(len(text))
+        for run in terminated_ascii_runs(text):
+            penalty[run.start:run.end] = ASCII_PENALTY
+        return penalty

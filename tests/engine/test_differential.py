@@ -1,0 +1,99 @@
+"""Differential suite: fact engine vs the legacy worklist oracle.
+
+The declarative fact/rule engine (the default backend) must reproduce
+the hand-sequenced worklist engine byte-for-byte: identical
+DisassemblyResult JSON, identical correction logs, and identical
+provenance event streams, corpus-wide and across every ablation
+config.  The CI ``engine`` job additionally runs the whole test suite
+under ``REPRO_ENGINE=worklist`` to prove the oracle still passes on
+its own.
+"""
+
+import json
+
+import pytest
+
+import repro.core.engine as eng
+from repro.core import ABLATION_CONFIGS, Disassembler, DisassemblerConfig
+from repro.eval.dataset import evaluation_corpus
+
+
+def _case(name):
+    for case in evaluation_corpus():
+        if case.name == name:
+            return case
+    raise KeyError(name)
+
+
+def _run(monkeypatch, backend, case, config=None):
+    monkeypatch.setattr(eng, "_BACKEND", backend)
+    disassembler = (Disassembler(config=config) if config is not None
+                    else Disassembler())
+    return disassembler.disassemble_rich(case)
+
+
+def _corpus_names():
+    return [case.name for case in evaluation_corpus()]
+
+
+@pytest.mark.usefixtures("models")
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("name", _corpus_names())
+    def test_results_byte_identical(self, monkeypatch, name):
+        case = _case(name)
+        facts = _run(monkeypatch, "facts", case)
+        worklist = _run(monkeypatch, "worklist", case)
+        assert facts.result.to_json() == worklist.result.to_json()
+
+    @pytest.mark.parametrize("name", _corpus_names()[:3])
+    def test_correction_logs_identical(self, monkeypatch, name):
+        """Same decisions in the same order (timing lines excluded)."""
+        case = _case(name)
+        facts = _run(monkeypatch, "facts", case)
+        worklist = _run(monkeypatch, "worklist", case)
+        strip = lambda log: [l for l in log if not l.startswith("phase ")]
+        assert strip(facts.log) == strip(worklist.log)
+
+
+@pytest.mark.usefixtures("models")
+class TestConfigSweepEquivalence:
+    @pytest.mark.parametrize("config_name", sorted(ABLATION_CONFIGS))
+    def test_ablations_identical(self, monkeypatch, config_name):
+        case = _case("msvc-like-s0")
+        config = ABLATION_CONFIGS[config_name]
+        facts = _run(monkeypatch, "facts", case, config)
+        worklist = _run(monkeypatch, "worklist", case, config)
+        assert facts.result.to_json() == worklist.result.to_json()
+
+
+@pytest.mark.usefixtures("models")
+class TestProvenanceEquivalence:
+    def test_decision_events_identical(self, monkeypatch):
+        """Rule firings emit the same provenance the hand-placed hooks
+        did -- event-for-event, attribute-for-attribute."""
+        case = _case("gcc-like-s0")
+        config = DisassemblerConfig(record_provenance=True)
+        facts = _run(monkeypatch, "facts", case, config)
+        worklist = _run(monkeypatch, "worklist", case, config)
+        facts_events = [e.render() for e in facts.provenance.events]
+        oracle_events = [e.render() for e in worklist.provenance.events]
+        assert len(facts_events) > 100
+        assert facts_events == oracle_events
+
+
+@pytest.mark.usefixtures("models")
+class TestBackendSeam:
+    def test_default_backend_is_facts(self):
+        assert eng.engine_backend() in ("facts", "worklist")
+
+    def test_worklist_facts_export_is_empty(self, monkeypatch):
+        """The oracle predates the fact store: it exports no region
+        facts, so fact-consuming satellites (lint) degrade silently."""
+        case = _case("gcc-like-s1")
+        worklist = _run(monkeypatch, "worklist", case)
+        assert worklist.facts is None or len(worklist.facts) == 0
+
+    def test_facts_backend_exports_regions(self, monkeypatch):
+        case = _case("gcc-like-s1")
+        facts = _run(monkeypatch, "facts", case)
+        assert facts.facts is not None and len(facts.facts) > 0

@@ -12,6 +12,7 @@ EXPECTED_IDS = [
     "call-target-non-prologue", "jump-table-target-misaligned",
     "string-as-code", "pointer-run-as-code", "orphan-code",
     "padding-as-code", "padding-as-data", "hint-disagreement",
+    "rule-disagreement",
 ]
 
 

@@ -287,3 +287,63 @@ class TestPaddingAsData:
                          instructions={0: 1}, data=[(1, 11)])
         assert len(diags) == 1
         assert diags[0].severity == Severity.INFO
+
+
+class TestRuleDisagreement:
+    @staticmethod
+    def run(text, facts, **kwargs):
+        from repro.lint import LintConfig, lint_disassembly
+        from repro.superset import Superset
+        report = lint_disassembly(claim(text, **kwargs),
+                                  Superset.build(text),
+                                  config=LintConfig(
+                                      enabled=("rule-disagreement",)),
+                                  facts=facts)
+        return list(report)
+
+    @staticmethod
+    def export(*facts):
+        from repro.core.engine.facts import FactExport
+        return FactExport(sorted(facts, key=lambda f: (f.start, f.end)))
+
+    def test_flags_equal_priority_conflict(self):
+        from repro.core.engine.facts import RegionFact
+        from repro.core.evidence import Priority
+        text = bytes([NOP] * 8)
+        facts = self.export(
+            RegionFact(0, 8, "data", Priority.SOFT, "gap", "gap-seal"),
+            RegionFact(0, 8, "code", Priority.SOFT, "realign", "realign"))
+        diags = self.run(text, facts, instructions={o: 1 for o in range(8)})
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.INFO
+        assert diags[0].suggestion == "code"
+        assert "gap-seal" in diags[0].message
+        assert "realign" in diags[0].message
+
+    def test_anchors_to_the_overlap(self):
+        from repro.core.engine.facts import RegionFact
+        from repro.core.evidence import Priority
+        text = bytes([NOP] * 16)
+        facts = self.export(
+            RegionFact(0, 12, "code", Priority.STRUCTURAL, "trace", "trace"),
+            RegionFact(8, 16, "data", Priority.SOFT, "gap", "gap-seal"))
+        diags = self.run(text, facts,
+                         instructions={o: 1 for o in range(8)},
+                         data=[(8, 16)])
+        assert len(diags) == 1
+        assert (diags[0].start, diags[0].end) == (8, 12)
+
+    def test_silent_on_priority_lattice_override(self):
+        from repro.core.engine.facts import RegionFact
+        from repro.core.evidence import Priority
+        text = bytes([NOP] * 8)
+        facts = self.export(
+            RegionFact(0, 8, "data", Priority.SOFT, "gap", "gap-seal"),
+            RegionFact(0, 8, "code", Priority.ANCHOR, "entry", "trace"))
+        assert not self.run(text, facts,
+                            instructions={o: 1 for o in range(8)})
+
+    def test_silent_without_facts(self):
+        text = bytes([NOP] * 8)
+        assert not self.run(text, None,
+                            instructions={o: 1 for o in range(8)})

@@ -114,3 +114,38 @@ class TestParseJobBody:
     def test_lint_disable_must_be_string_list(self):
         with pytest.raises(ProtocolError, match="'disable'"):
             parse_job_body(self.body(disable="orphan-code"), "lint")
+
+
+class TestBaseFingerprint:
+    def body(self, **extra):
+        return {"binary_b64": base64.b64encode(b"blob").decode(), **extra}
+
+    def test_worker_item_appends_base_when_set(self):
+        job = JobRequest(id="j1", kind="disassemble", blob=b"abc",
+                         base="f" * 64)
+        assert job.worker_item() == (
+            "j1", "disassemble", b"abc", None, (), "f" * 64)
+
+    def test_worker_item_pads_base_before_trace_ctx(self):
+        # The span context is always the seventh element, so workers
+        # can unpack positionally.
+        ctx = {"trace_id": "t", "span_id": "s"}
+        job = JobRequest(id="j1", kind="disassemble", blob=b"abc",
+                         trace_ctx=ctx)
+        assert job.worker_item() == (
+            "j1", "disassemble", b"abc", None, (), "", ctx)
+
+    def test_valid_base_parsed_for_disassemble(self):
+        parsed = parse_job_body(self.body(base="a" * 64), "disassemble")
+        assert parsed.base == "a" * 64
+
+    def test_base_defaults_to_empty(self):
+        assert parse_job_body(self.body(), "disassemble").base == ""
+
+    def test_base_ignored_for_lint(self):
+        assert parse_job_body(self.body(base="a" * 64), "lint").base == ""
+
+    @pytest.mark.parametrize("bad", ["short", "A" * 64, "g" * 64, 7])
+    def test_malformed_base_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="base"):
+            parse_job_body(self.body(base=bad), "disassemble")

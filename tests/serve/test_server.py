@@ -337,3 +337,51 @@ class TestFormatIngestion:
         client = serve_harness().client()
         body = client.lint(emit_elf(msvc_case.binary))
         assert "diagnostics" in body["report"]
+
+
+class TestIncrementalNearHit:
+    def _patched(self, blob):
+        import dataclasses
+        from repro.binary.container import Binary
+        binary = Binary.from_bytes(blob)
+        text = bytearray(binary.text.data)
+        text[len(text) // 2] ^= 0xFF
+        new_text = dataclasses.replace(binary.text, data=bytes(text))
+        sections = tuple(new_text if s is binary.text else s
+                         for s in binary.sections)
+        return dataclasses.replace(binary, sections=sections).to_bytes()
+
+    def test_response_carries_fingerprint(self, serve_harness, msvc_blob):
+        import hashlib
+        client = serve_harness().client()
+        body = client.disassemble(msvc_blob)
+        assert body["fingerprint"] == hashlib.sha256(msvc_blob).hexdigest()
+        # Cache hits echo it too (the client needs it for the next base).
+        again = client.disassemble(msvc_blob)
+        assert again["cached"] is True
+        assert again["fingerprint"] == body["fingerprint"]
+
+    def test_base_near_hit_is_byte_identical_to_cold(self, serve_harness,
+                                                     gcc_blob):
+        import json
+        from repro.binary.container import Binary
+        client = serve_harness().client()
+        first = client.disassemble(gcc_blob)
+        patched = self._patched(gcc_blob)
+        near = client.disassemble(patched, base=first["fingerprint"])
+        assert near["cached"] is False
+        assert near["fingerprint"] != first["fingerprint"]
+        offline = Disassembler().disassemble_rich(Binary.from_bytes(patched))
+        assert json.dumps(near["result"]) == offline.result.to_json()
+
+    def test_unknown_base_still_answers_cold(self, serve_harness,
+                                             gcc_blob):
+        client = serve_harness().client()
+        body = client.disassemble(gcc_blob, base="ab" * 32)
+        assert "result" in body
+
+    def test_malformed_base_is_rejected(self, serve_harness, gcc_blob):
+        client = serve_harness().client()
+        with pytest.raises(ServeError) as excinfo:
+            client.disassemble(gcc_blob, base="not-a-fingerprint")
+        assert excinfo.value.status == 400

@@ -74,7 +74,7 @@ class TestLint:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         lines = capsys.readouterr().out.splitlines()
-        assert len(lines) == 17
+        assert len(lines) == 18
         assert any(line.startswith("orphan-code") for line in lines)
 
     def test_missing_binary_is_usage_error(self, capsys):

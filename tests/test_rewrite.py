@@ -32,11 +32,19 @@ class TestStructure:
         for start in rich.result.instruction_starts:
             assert start in rewritten.address_map
 
-    def test_mapping_is_monotonic(self, rewritten_msvc):
+    def test_mapping_is_monotonic_within_appendix(self, rewritten_msvc,
+                                                  msvc_case):
+        # Pinned-data layout: moved code keeps its order inside the
+        # appendix, and anything mapped below the original image size
+        # is a pinned (verbatim) piece that did not move at all.
         _, rewritten = rewritten_msvc
+        boundary = len(msvc_case.text)
         items = sorted(rewritten.address_map.items())
-        new_offsets = [new for _, new in items]
-        assert new_offsets == sorted(new_offsets)
+        moved = [new for _, new in items if new >= boundary]
+        assert moved == sorted(moved)
+        for old, new in items:
+            if new < boundary:
+                assert new == old
 
     def test_counters_per_function_entry(self, rewritten_msvc):
         rich, rewritten = rewritten_msvc
@@ -49,15 +57,29 @@ class TestStructure:
                               rewritten.binary.entry + 3]
         assert stub == b"\x48\xff\x05"
 
-    def test_uninstrumented_rewrite_preserves_size_shape(
+    def test_uninstrumented_rewrite_pins_data_in_place(
             self, disassembler, msvc_case):
         rich = disassembler.disassemble_rich(msvc_case)
         rewritten = rewrite_binary(rich, msvc_case.binary,
                                    instrument_entries=False)
         assert not rewritten.counters
-        # Only branch re-encoding changes sizes: within a few percent.
-        assert abs(len(rewritten.text) - len(msvc_case.text)) \
-            < len(msvc_case.text) * 0.05
+        # Pinned-data layout: the section is the original image (with
+        # code holes) plus a code appendix -- bigger, but bounded.
+        assert len(msvc_case.text) < len(rewritten.text) \
+            <= 2 * len(msvc_case.text) + 16
+        # Every non-table data byte stays at its original offset
+        # (jump/pointer table entries are retargeted, so skip those).
+        tables = [(t.start, t.end) for t in rich.tables]
+        tables += [(t.address, t.end) for t in rich.resolved_tables
+                   if t.in_text]
+        checked = 0
+        for start, end in rich.result.data_regions:
+            if any(s < end and start < e for s, e in tables):
+                continue
+            assert rewritten.text[start:end] \
+                == msvc_case.text[start:end], hex(start)
+            checked += 1
+        assert checked >= 5
 
 
 class TestBehavioralEquivalence:
@@ -118,6 +140,44 @@ class TestBehavioralEquivalence:
                     hex(entry)
             checked += 1
         assert checked >= 5
+
+
+class TestLeakedAddresses:
+    def test_leaked_data_address_preserved(self, disassembler):
+        """Regression (msvc-like seed 49): the program returns a
+        *pointer* to an in-text string (``lea rax, [rip+...]`` at 0x66
+        targeting 0x46c), so relocating data changes the observable
+        return value (1155 instead of 1132) even though every reference
+        is correctly retargeted.  The pinned-data layout keeps data at
+        its original offsets, preserving leaked addresses numerically.
+        """
+        case = generate_binary(BinarySpec(name="eq",
+                                          style=STYLES["msvc-like"],
+                                          function_count=8, seed=49))
+        rich = disassembler.disassemble_rich(case)
+        rewritten = rewrite_binary(rich, case.binary)
+        original = Emulator(case).run(0, max_steps=30_000)
+        copy = Emulator(rewritten.binary).run(rewritten.binary.entry,
+                                              max_steps=45_000)
+        assert original.stop_reason == "exit"
+        assert original.return_value == 1132
+        assert copy.stop_reason == "exit"
+        assert copy.return_value == original.return_value
+
+    def test_speculative_code_is_emitted_verbatim(self, disassembler):
+        """The same binary misreads the string ``"warning"`` at 0x1021
+        as short jcc instructions (SOFT-priority realign region); branch
+        re-encoding would corrupt it.  Pinned speculative regions keep
+        their exact bytes and offsets.
+        """
+        case = generate_binary(BinarySpec(name="eq",
+                                          style=STYLES["msvc-like"],
+                                          function_count=8, seed=49))
+        rich = disassembler.disassemble_rich(case)
+        rewritten = rewrite_binary(rich, case.binary)
+        start = case.text.find(b"warning\x00")
+        assert start != -1
+        assert rewritten.text[start:start + 8] == b"warning\x00"
 
 
 class TestSelfHosting:
