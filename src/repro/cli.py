@@ -28,16 +28,43 @@ from .synth.styles import STYLES, style_by_name
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     out = Path(args.output)
-    spec = BinarySpec(name=out.name, style=style_by_name(args.style),
-                      function_count=args.functions, seed=args.seed)
-    case = generate_binary(spec)
-    bin_path, gt_path = case.save(out.parent if out.parent != Path("")
-                                  else Path("."), fmt=args.format)
-    stats = case.truth
-    print(f"wrote {bin_path} ({stats.size} text bytes, "
-          f"{len(stats.functions)} functions, "
-          f"{stats.data_bytes} embedded data bytes)")
-    print(f"wrote {gt_path} (ground truth)")
+    directory = out.parent if out.parent != Path("") else Path(".")
+    if args.seed_range is not None:
+        from .fleet.manifest import parse_seed_range
+        try:
+            seeds = list(parse_seed_range(args.seed_range))
+        except ValueError as error:
+            print(f"generate: {error}", file=sys.stderr)
+            return 2
+    else:
+        seeds = [args.seed]
+    for seed in seeds:
+        name = out.name if len(seeds) == 1 else f"{out.name}-s{seed:06d}"
+        spec = BinarySpec(name=name, style=style_by_name(args.style),
+                          function_count=args.functions, seed=seed)
+        case = generate_binary(spec)
+        bin_path, gt_path = case.save(directory, fmt=args.format)
+        if len(seeds) == 1:
+            stats = case.truth
+            print(f"wrote {bin_path} ({stats.size} text bytes, "
+                  f"{len(stats.functions)} functions, "
+                  f"{stats.data_bytes} embedded data bytes)")
+            print(f"wrote {gt_path} (ground truth)")
+    if len(seeds) > 1:
+        print(f"wrote {len(seeds)} binaries ({args.style}, "
+              f"{args.functions} functions, seeds "
+              f"{seeds[0]}..{seeds[-1]}) under {directory}")
+    if args.manifest:
+        from .fleet.manifest import FleetItem, Manifest
+        manifest = Manifest(
+            FleetItem(kind="synth", style=args.style,
+                      function_count=args.functions, seed=seed)
+            for seed in seeds)
+        manifest.save(args.manifest)
+        print(f"wrote {args.manifest} (fleet manifest, "
+              f"{len(manifest)} items; feed it to "
+              f"`repro evalfleet plan --manifest` or "
+              f"`repro evalfleet run`)")
     return 0
 
 
@@ -345,6 +372,13 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=sorted(STYLES))
     generate.add_argument("--functions", type=int, default=40)
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--seed-range", metavar="A:B", default=None,
+                          help="generate one binary per seed in "
+                               "[A, B) as OUTPUT-sNNNNNN "
+                               "(overrides --seed)")
+    generate.add_argument("--manifest", metavar="OUT.json", default=None,
+                          help="also write a fleet manifest covering "
+                               "the generated spec(s)")
     generate.add_argument("--format", choices=("rprb", "elf"),
                           default="rprb",
                           help="container to write: the native .bin "
@@ -471,6 +505,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--bench-json", metavar="PATH", default=None,
                              help="write wall-clock timings as JSON")
     experiments.set_defaults(func=_cmd_experiments)
+
+    from .fleet.commands import add_evalfleet_parser
+    add_evalfleet_parser(sub)
     return parser
 
 

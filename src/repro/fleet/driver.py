@@ -1,0 +1,298 @@
+"""The fleet driver: sharded, fault-tolerant, resumable fan-out.
+
+A fleet run materializes a manifest into per-binary reports through a
+worker pool (``repro.eval.parallel`` process workers in-process, or
+client threads against a running ``repro serve`` instance), writing
+each completed *shard* of reports to disk as an atomic checkpoint.
+Three failure domains are handled explicitly:
+
+* **A failed binary** (malformed file, analysis crash) is quarantined
+  inside its report by :func:`~repro.fleet.analysis.analyze_item` --
+  the shard completes, the failure shows up in the trend.
+* **A crashed worker** (OOM-killed child, broken pool) is detected at
+  result-collection time; the affected items are re-run serially in
+  the coordinator, so the fleet still completes.
+* **A killed run** (kill -9, preempted CI job) loses at most the
+  shards in flight: a rerun over the same run directory loads every
+  completed checkpoint, recomputes only the rest, and -- because
+  aggregation is order- and schedule-independent -- produces a trend
+  byte-identical to an uninterrupted run.
+
+The run directory pins its manifest: resuming against a different
+manifest is an error, not a silent mix of two corpora.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..eval.parallel import effective_jobs
+from .aggregate import aggregate, publish_metrics, write_trend
+from .analysis import analyze_item
+from .manifest import Manifest
+
+#: Schema tag embedded in every shard checkpoint.
+SHARD_SCHEMA = "repro-fleet-shard-v1"
+
+#: Default items per checkpoint shard.
+DEFAULT_SHARD_SIZE = 25
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """How one fleet run executes (never *what* it evaluates)."""
+
+    jobs: int | None = None          # None/1 serial, 0 = one per CPU
+    via: str = "inprocess"           # "inprocess" | "serve"
+    server: str = ""                 # host:port when via="serve"
+    shard_size: int = DEFAULT_SHARD_SIZE
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.via not in ("inprocess", "serve"):
+            raise ValueError(f"unknown via mode {self.via!r}")
+        if self.via == "serve" and not self.server:
+            raise ValueError("--via serve needs a --server host:port")
+
+
+def _shard_path(rundir: Path, index: int) -> Path:
+    return rundir / "shards" / f"shard-{index:05d}.json"
+
+
+def _write_atomic(path: Path, payload: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(payload)
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(path: Path, expected_ids: list[str]) -> list | None:
+    """A shard's reports, or None when absent/torn/mismatched."""
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if raw.get("schema") != SHARD_SCHEMA:
+        return None
+    reports = raw.get("reports")
+    if not isinstance(reports, list):
+        return None
+    if [r.get("id") for r in reports] != expected_ids:
+        return None
+    return reports
+
+
+def _write_checkpoint(path: Path, index: int, reports: list) -> None:
+    _write_atomic(path, json.dumps({
+        "schema": SHARD_SCHEMA,
+        "shard": index,
+        "reports": reports,
+    }, sort_keys=True) + "\n")
+
+
+def pin_manifest(rundir: str | Path, manifest: Manifest) -> Path:
+    """Store (or verify) the run directory's manifest."""
+    rundir = Path(rundir)
+    rundir.mkdir(parents=True, exist_ok=True)
+    pinned = rundir / "manifest.json"
+    if pinned.exists():
+        if Manifest.load(pinned).to_json() != manifest.to_json():
+            raise ValueError(
+                f"{pinned} pins a different manifest; use a fresh "
+                f"--rundir for a different corpus")
+    else:
+        manifest.save(pinned)
+    return pinned
+
+
+def _analyze_args(args: tuple) -> dict:
+    item_dict, via, server = args
+    return analyze_item(item_dict, via=via, server=server)
+
+
+def _make_pool(config: FleetConfig, workers: int):
+    if config.via == "serve":
+        # HTTP-bound work: threads share the retrying client.
+        return ThreadPoolExecutor(max_workers=workers)
+    from ..stats.training import default_models
+    default_models()   # warm once; forked workers inherit the cache
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def run_fleet(manifest: Manifest, rundir: str | Path,
+              config: FleetConfig = FleetConfig(),
+              progress=None) -> dict:
+    """Execute (or resume) a fleet run; returns the trend document.
+
+    ``progress`` is an optional ``callable(str)`` fed one line per
+    shard -- the CLI passes ``print``, tests pass nothing.
+    """
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    from ..obs.metrics import REGISTRY
+    rundir = Path(rundir)
+    manifest = manifest.limit(config.limit)
+    if not len(manifest):
+        raise ValueError("empty manifest")
+    pin_manifest(rundir, manifest)
+
+    shards = manifest.shards(config.shard_size)
+    shard_ids = [[item.id for item in shard] for shard in shards]
+    shard_gauge = REGISTRY.gauge(
+        "repro_fleet_shards", "Fleet shard progress, by state")
+    shard_seconds = REGISTRY.histogram(
+        "repro_fleet_shard_seconds",
+        "Wall-clock seconds per computed fleet shard")
+    shard_gauge.set(len(shards), state="total")
+
+    # Load completed checkpoints; collect what still needs computing.
+    reports_by_shard: dict[int, list] = {}
+    pending: list[int] = []
+    for index, ids in enumerate(shard_ids):
+        loaded = _load_checkpoint(_shard_path(rundir, index), ids)
+        if loaded is not None:
+            reports_by_shard[index] = loaded
+        else:
+            pending.append(index)
+    if reports_by_shard:
+        say(f"resume: {len(reports_by_shard)}/{len(shards)} shards "
+            f"already checkpointed")
+    shard_gauge.set(len(reports_by_shard), state="done")
+
+    started = time.perf_counter()
+    if pending:
+        workers = effective_jobs(config.jobs)
+        if workers <= 1:
+            _run_serial(shards, pending, config, rundir, reports_by_shard,
+                        shard_gauge, shard_seconds, say)
+        else:
+            _run_pooled(shards, pending, config, rundir, reports_by_shard,
+                        workers, shard_gauge, shard_seconds, say)
+    elapsed = time.perf_counter() - started
+
+    reports = [report for index in range(len(shards))
+               for report in reports_by_shard[index]]
+    trend = aggregate(reports)
+    write_trend(rundir / "trend.json", trend)
+    publish_metrics(trend)
+    computed = sum(len(shard_ids[i]) for i in pending)
+    say(f"fleet: {trend['binaries']['ok']}/{trend['binaries']['total']} "
+        f"ok, {trend['binaries']['failed']} quarantined "
+        f"({computed} computed in {elapsed:.1f}s, "
+        f"{len(reports) - computed} from checkpoints)")
+    return trend
+
+
+def _finish_shard(index: int, reports: list, rundir: Path,
+                  reports_by_shard: dict, seconds: float,
+                  shard_gauge, shard_seconds, say) -> None:
+    _write_checkpoint(_shard_path(rundir, index), index, reports)
+    reports_by_shard[index] = reports
+    shard_gauge.inc(1, state="done")
+    shard_seconds.observe(seconds)
+    failed = sum(1 for r in reports if r["status"] != "ok")
+    suffix = f" ({failed} quarantined)" if failed else ""
+    say(f"shard {index:05d}: {len(reports)} binaries in "
+        f"{seconds:.1f}s{suffix}")
+
+
+def _run_serial(shards, pending, config, rundir, reports_by_shard,
+                shard_gauge, shard_seconds, say) -> None:
+    for index in pending:
+        shard_started = time.perf_counter()
+        reports = [analyze_item(item.to_dict(), via=config.via,
+                                server=config.server)
+                   for item in shards[index]]
+        _finish_shard(index, reports, rundir, reports_by_shard,
+                      time.perf_counter() - shard_started,
+                      shard_gauge, shard_seconds, say)
+
+
+def _run_pooled(shards, pending, config, rundir, reports_by_shard,
+                workers, shard_gauge, shard_seconds, say) -> None:
+    """Pool fan-out with per-shard checkpointing as shards complete.
+
+    Every pending item is submitted up front so the pool stays busy
+    across shard boundaries; checkpoints are written in shard order as
+    each shard's futures finish.  A broken pool (crashed worker) is
+    absorbed by recomputing the affected items in the coordinator.
+    """
+    pool = _make_pool(config, workers)
+    pool_broken = False
+    try:
+        futures: dict[int, list[tuple[dict, Future]]] = {}
+        for index in pending:
+            futures[index] = [
+                (item.to_dict(),
+                 pool.submit(_analyze_args,
+                             (item.to_dict(), config.via, config.server)))
+                for item in shards[index]]
+        shard_started = time.perf_counter()
+        for index in pending:
+            reports = []
+            for item_dict, future in futures[index]:
+                try:
+                    reports.append(future.result())
+                except Exception as error:  # noqa: BLE001 -- pool crash
+                    if not pool_broken:
+                        pool_broken = True
+                        say(f"worker pool failed ({type(error).__name__}:"
+                            f" {error}); finishing in-process")
+                    reports.append(analyze_item(item_dict, via=config.via,
+                                                server=config.server))
+            _finish_shard(index, reports, rundir, reports_by_shard,
+                          time.perf_counter() - shard_started,
+                          shard_gauge, shard_seconds, say)
+            shard_started = time.perf_counter()
+    finally:
+        # A broken pool can hang on orderly shutdown; don't wait on it.
+        pool.shutdown(wait=not pool_broken, cancel_futures=pool_broken)
+
+
+def detect_shard_size(rundir: str | Path) -> int | None:
+    """The shard size of a run directory's existing checkpoints.
+
+    Recovered as the longest checkpointed shard (every shard but the
+    last is full-size).  ``None`` when nothing is checkpointed yet --
+    ``evalfleet resume`` uses this so a resumed run keeps the
+    interrupted run's sharding without re-passing ``--shard-size``.
+    """
+    shard_dir = Path(rundir) / "shards"
+    sizes = []
+    if shard_dir.is_dir():
+        for path in sorted(shard_dir.glob("shard-*.json")):
+            try:
+                sizes.append(len(json.loads(path.read_text())["reports"]))
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                continue
+    return max(sizes, default=None)
+
+
+def load_run_reports(rundir: str | Path) -> tuple[Manifest, list, int]:
+    """Checkpointed reports of a (possibly unfinished) run directory.
+
+    Returns the pinned manifest, every checkpointed report in manifest
+    order, and the number of shards still missing -- ``repro evalfleet
+    report`` uses this to summarize a run in flight.  The shard size
+    is recovered from the first checkpoint on disk.
+    """
+    rundir = Path(rundir)
+    manifest = Manifest.load(rundir / "manifest.json")
+    shard_size = detect_shard_size(rundir) or DEFAULT_SHARD_SIZE
+    reports: list = []
+    missing = 0
+    for index, shard in enumerate(manifest.shards(shard_size)):
+        loaded = _load_checkpoint(_shard_path(rundir, index),
+                                  [item.id for item in shard])
+        if loaded is None:
+            missing += 1
+        else:
+            reports.extend(loaded)
+    return manifest, reports, missing

@@ -12,7 +12,7 @@ DESIGN.md ("Serving layer") for the architecture and README
 from .access_log import AccessLog
 from .cache import ResultCache, result_key
 from .client import (BackpressureError, DeadlineError, ServeClient,
-                     ServeError)
+                     ServeError, TransportError)
 from .metrics import LatencySummary, ServeMetrics
 from .protocol import (PROTOCOL_VERSION, JobRequest, ProtocolError,
                        config_fingerprint, config_from_overrides,
@@ -42,6 +42,7 @@ __all__ = [
     "ServeClient",
     "ServeConfig",
     "ServeError",
+    "TransportError",
     "ServeMetrics",
     "config_fingerprint",
     "config_from_overrides",

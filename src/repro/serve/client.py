@@ -1,11 +1,25 @@
 """A small blocking client for the serving API.
 
-Used by the test suite, the CI smoke job, and the closed-loop load
+Used by the test suite, the CI smoke job, the fleet driver
+(``repro evalfleet run --via serve``), and the closed-loop load
 generator (``benchmarks/bench_serve.py``).  One HTTP connection per
 request keeps it trivially thread-safe: a load generator can share one
 :class:`ServeClient` across worker threads.
 
->>> client = ServeClient(port=8080)                    # doctest: +SKIP
+The client is hardened for unattended fleet use:
+
+* **Bounded retry** -- connection-level failures (refused, reset,
+  timed out) and HTTP 429 backpressure are retried up to ``retries``
+  times with exponential backoff plus jitter; a 429's ``Retry-After``
+  header is honored as the floor of the pause.
+* **Per-request deadline** -- ``deadline`` caps the wall-clock of one
+  logical request *including* all retries and pauses, distinct from
+  ``connect_timeout`` (TCP connect) and ``timeout`` (socket reads).
+* **Typed errors** -- callers never see raw socket exceptions:
+  transport failures surface as :class:`TransportError` (a
+  :class:`ServeError` with ``status == 0``).
+
+>>> client = ServeClient(port=8080, retries=4)         # doctest: +SKIP
 >>> body = client.disassemble(binary.to_bytes())       # doctest: +SKIP
 >>> body["result"]["function_entries"]                 # doctest: +SKIP
 """
@@ -14,6 +28,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 from typing import Any
@@ -45,26 +60,79 @@ class DeadlineError(ServeError):
     """HTTP 504: the job's deadline expired."""
 
 
+class TransportError(ServeError):
+    """The server could not be reached (or answered garbage).
+
+    Raised in place of raw ``socket`` / ``http.client`` exceptions once
+    the retry budget or the per-request deadline is exhausted.  Carries
+    ``status == 0`` and the last underlying exception as ``cause``.
+    """
+
+    def __init__(self, message: str,
+                 cause: Exception | None = None) -> None:
+        Exception.__init__(self, message)
+        self.status = 0
+        self.body = None
+        self.cause = cause
+
+
+#: Exceptions the transport layer may raise for one round trip.
+_TRANSPORT_FAILURES = (ConnectionError, socket.timeout, socket.gaierror,
+                      http.client.HTTPException, OSError)
+
+
 class ServeClient:
-    """Blocking JSON client for one ``repro serve`` instance."""
+    """Blocking JSON client for one ``repro serve`` instance.
+
+    ``timeout`` bounds socket reads; ``connect_timeout`` (default: the
+    read timeout) bounds only the TCP connect; ``deadline`` (default:
+    unbounded) caps one logical request end to end, retries included.
+    ``retries`` is the number of *additional* attempts after the first
+    (0 keeps the historical single-shot behavior); pauses grow as
+    ``backoff * 2**attempt`` capped at ``max_backoff``, jittered to
+    avoid thundering herds.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout: float = 120.0) -> None:
+                 timeout: float = 120.0, *,
+                 connect_timeout: float | None = None,
+                 deadline: float | None = None,
+                 retries: int = 0, backoff: float = 0.5,
+                 max_backoff: float = 10.0) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = connect_timeout \
+            if connect_timeout is not None else timeout
+        self.deadline = deadline
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
     def request(self, method: str, path: str,
-                body: dict | None = None
+                body: dict | None = None, *,
+                read_timeout: float | None = None
                 ) -> tuple[int, dict[str, str], Any]:
-        """One raw round trip: (status, headers, decoded body)."""
-        connection = http.client.HTTPConnection(self.host, self.port,
-                                                timeout=self.timeout)
+        """One raw round trip: (status, headers, decoded body).
+
+        This is the single-shot layer: it raises raw socket /
+        ``http.client`` exceptions and never retries.  Use the API
+        methods (or :meth:`_checked`) for the hardened path.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.connect_timeout)
         try:
+            connection.connect()
+            if connection.sock is not None:
+                connection.sock.settimeout(
+                    read_timeout if read_timeout is not None
+                    else self.timeout)
             payload = json.dumps(body).encode("utf-8") \
                 if body is not None else None
             connection.request(method, path, body=payload,
@@ -82,17 +150,66 @@ class ServeClient:
         finally:
             connection.close()
 
+    def _remaining(self, deadline_at: float | None) -> float | None:
+        if deadline_at is None:
+            return None
+        return deadline_at - time.monotonic()
+
+    def _pause(self, attempt: int, deadline_at: float | None,
+               failure: ServeError, floor: float = 0.0) -> None:
+        """Sleep before attempt ``attempt + 1``, or raise ``failure``.
+
+        Raises when the retry budget is spent or when the pause would
+        cross the per-request deadline -- exhausting quietly would turn
+        a hard deadline into a soft one.
+        """
+        if attempt >= self.retries:
+            raise failure
+        delay = min(self.backoff * (2 ** attempt), self.max_backoff)
+        delay *= 0.5 + random.random() * 0.5   # full jitter, halved floor
+        delay = max(delay, floor)
+        remaining = self._remaining(deadline_at)
+        if remaining is not None and delay >= remaining:
+            raise failure
+        time.sleep(delay)
+
     def _checked(self, method: str, path: str,
                  body: dict | None = None) -> Any:
-        status, headers, decoded = self.request(method, path, body)
-        if 200 <= status < 300:
-            return decoded
-        if status == 429:
-            retry_after = float(headers.get("retry-after", "1"))
-            raise BackpressureError(status, decoded, retry_after)
-        if status == 504:
-            raise DeadlineError(status, decoded)
-        raise ServeError(status, decoded)
+        deadline_at = time.monotonic() + self.deadline \
+            if self.deadline is not None else None
+        attempt = 0
+        while True:
+            read_timeout = self.timeout
+            remaining = self._remaining(deadline_at)
+            if remaining is not None:
+                if remaining <= 0:
+                    raise TransportError(
+                        f"{method} {path}: deadline of "
+                        f"{self.deadline:.1f}s exhausted after "
+                        f"{attempt} attempt(s)")
+                read_timeout = min(read_timeout, remaining)
+            try:
+                status, headers, decoded = self.request(
+                    method, path, body, read_timeout=read_timeout)
+            except _TRANSPORT_FAILURES as error:
+                self._pause(attempt, deadline_at, TransportError(
+                    f"{method} {path}: {self.host}:{self.port} "
+                    f"unreachable after {attempt + 1} attempt(s): "
+                    f"{type(error).__name__}: {error}", cause=error))
+                attempt += 1
+                continue
+            if 200 <= status < 300:
+                return decoded
+            if status == 429:
+                retry_after = float(headers.get("retry-after", "1"))
+                self._pause(attempt, deadline_at,
+                            BackpressureError(status, decoded, retry_after),
+                            floor=retry_after)
+                attempt += 1
+                continue
+            if status == 504:
+                raise DeadlineError(status, decoded)
+            raise ServeError(status, decoded)
 
     # ------------------------------------------------------------------
     # API surface

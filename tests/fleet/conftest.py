@@ -1,0 +1,29 @@
+"""Fixtures for the fleet tests.
+
+Per-binary analysis is the expensive part (full corrected pipeline per
+item), so the small corpus and its reports are session-scoped and every
+aggregation/determinism test reuses them instead of re-running the
+pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetItem, Manifest, analyze_item
+
+
+@pytest.fixture(scope="session")
+def small_manifest() -> Manifest:
+    """Two styles x two seeds of tiny binaries: 4 items."""
+    return Manifest([
+        FleetItem(kind="synth", style=style, function_count=4, seed=seed)
+        for style in ("msvc-like", "gcc-like")
+        for seed in (0, 1)
+    ])
+
+
+@pytest.fixture(scope="session")
+def small_reports(small_manifest, models) -> list[dict]:
+    """The 4 reports of ``small_manifest``, computed once per session."""
+    return [analyze_item(item.to_dict()) for item in small_manifest]

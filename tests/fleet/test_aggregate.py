@@ -1,0 +1,164 @@
+"""Aggregation: determinism, taxonomy pooling, gating, metrics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fleet import (ALL_CLASSES, CORRECTED, aggregate,
+                         check_separation, compare_trends, load_trend,
+                         publish_metrics, render_report, trend_json,
+                         write_trend)
+from repro.fleet.aggregate import TREND_SCHEMA
+from repro.fleet.schema import validate_document
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def trend(small_reports):
+    return aggregate(small_reports)
+
+
+def test_trend_shape_validates(trend):
+    summary = validate_document(trend)
+    assert summary == {"kind": "trend", "binaries": 4, "failed": 0}
+    assert trend["schema"] == TREND_SCHEMA
+
+
+def test_aggregation_is_order_independent(small_reports, trend):
+    shuffled = list(small_reports)
+    random.Random(42).shuffle(shuffled)
+    assert trend_json(aggregate(shuffled)) == trend_json(trend)
+
+
+def test_duplicate_reports_rejected(small_reports):
+    with pytest.raises(ValueError, match="duplicate"):
+        aggregate(small_reports + [small_reports[0]])
+
+
+def test_failed_reports_become_failures(small_reports):
+    broken = {"schema": small_reports[0]["schema"], "id": "file/x",
+              "status": "failed", "error": "boom", "style": "file"}
+    trend = aggregate(small_reports + [broken])
+    assert trend["binaries"] == {"total": 5, "ok": 4, "failed": 1}
+    assert trend["failures"] == [{"id": "file/x", "error": "boom"}]
+    validate_document(trend)
+
+
+def test_taxonomy_pools_every_class_for_every_tool(trend):
+    for per_tool in trend["tools"].values():
+        assert set(per_tool["taxonomy"]) == \
+            {cls.value for cls in ALL_CLASSES}
+        for bucket in per_tool["taxonomy"].values():
+            assert 0 <= bucket["errors"] <= bucket["diagnostics"]
+
+
+def test_gt_rates_are_derived_and_rounded(trend):
+    gt = trend["tools"][CORRECTED]["gt"]
+    assert gt["scored_bytes"] == gt["code_bytes"] + gt["data_bytes"]
+    expected = (gt["false_code"] + gt["missed_code"]) / gt["scored_bytes"]
+    assert gt["total_error_rate"] == round(expected, 8)
+    assert 0.0 <= gt["instr_f1"] <= 1.0
+
+
+def test_separation_holds_on_the_small_corpus(trend):
+    assert check_separation(trend) == []
+    for axes in trend["separation"].values():
+        for cell in axes.values():
+            assert cell["holds"] is True
+            assert cell["corrected"] < cell["baseline"]
+
+
+def test_separation_reported_when_broken(trend):
+    import copy
+    broken = copy.deepcopy(trend)
+    cell = broken["separation"]["linear-sweep"]["false-code"]
+    cell["holds"] = False
+    problems = check_separation(broken)
+    assert any("linear-sweep" in p and "false-code" in p
+               for p in problems)
+
+
+def test_compare_trends_self_is_clean(trend):
+    assert compare_trends(trend, trend) == []
+
+
+def test_compare_trends_flags_regression(trend):
+    import copy
+    worse = copy.deepcopy(trend)
+    tool = worse["tools"][CORRECTED]
+    tool["taxonomy"]["false-code"]["diagnostics"] += 40
+    tool["taxonomy"]["false-code"]["errors"] += 40
+    tool["gt"]["false_code"] += 10_000
+    tool["gt"]["false_code_rate"] += 0.05
+    tool["gt"]["total_error_rate"] += 0.05
+    problems = compare_trends(worse, trend)
+    assert any("taxonomy regression [false-code]" in p for p in problems)
+    assert any("ground-truth regression [false-code]" in p
+               for p in problems)
+
+
+def test_compare_trends_flags_failure_rate(trend, small_reports):
+    broken = {"schema": small_reports[0]["schema"], "id": "file/x",
+              "status": "failed", "error": "boom", "style": "file"}
+    worse = aggregate(small_reports + [broken])
+    problems = compare_trends(worse, trend)
+    assert any("failure rate regressed" in p for p in problems)
+
+
+def test_load_trend_accepts_bench_wrapper(tmp_path, trend):
+    direct = write_trend(tmp_path / "trend.json", trend)
+    assert trend_json(load_trend(direct)) == trend_json(trend)
+    wrapped = tmp_path / "BENCH_fleet.json"
+    import json
+    wrapped.write_text(json.dumps({"bench": "fleet", "trend": trend}))
+    assert trend_json(load_trend(wrapped)) == trend_json(trend)
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "nope"}')
+    with pytest.raises(ValueError):
+        load_trend(bad)
+
+
+def test_publish_metrics_exports_fleet_series(trend):
+    registry = MetricsRegistry()
+    publish_metrics(trend, registry)
+    rendered = registry.render_prometheus()
+    assert 'repro_fleet_binaries_total{status="ok"} 4' in rendered
+    assert "repro_fleet_taxonomy_errors_total" in rendered
+    assert "repro_fleet_gt_error_bytes_total" in rendered
+    assert 'repro_fleet_separation_ok{' in rendered
+
+
+class TestOrderInvarianceProperty:
+    """Hypothesis: aggregation is invariant under any reordering --
+    the property that makes shard size, worker count, and
+    resume-after-kill invisible in the trend bytes."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(permutation=st.permutations(range(4)),
+           failures=st.lists(
+               st.tuples(st.text(min_size=1, max_size=8,
+                                 alphabet="abcdef"),
+                         st.text(min_size=1, max_size=12)),
+               max_size=3, unique_by=lambda f: f[0]))
+    @settings(max_examples=25, deadline=None)
+    def test_any_schedule_yields_identical_bytes(self, small_reports,
+                                                 permutation, failures):
+        synthetic = [{"schema": small_reports[0]["schema"],
+                      "id": f"file/{name}", "status": "failed",
+                      "error": error, "style": "file"}
+                     for name, error in failures]
+        canonical = trend_json(aggregate(small_reports + synthetic))
+        shuffled = [small_reports[i] for i in permutation] + synthetic
+        shuffled.reverse()
+        assert trend_json(aggregate(shuffled)) == canonical
+
+
+def test_render_report_is_human_readable(trend):
+    text = render_report(trend)
+    assert "fleet: 4/4 binaries ok" in text
+    assert "false-code" in text
+    assert "separation vs linear-sweep" in text

@@ -1,0 +1,156 @@
+"""The fleet driver: checkpoints, resume, pools, invariance.
+
+The acceptance property under test throughout: the trend document is
+byte-identical no matter how the run was scheduled -- serial or pooled,
+any shard size, interrupted and resumed, or re-aggregated later.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet import FleetConfig, Manifest, run_fleet
+from repro.fleet.driver import (_shard_path, detect_shard_size,
+                                load_run_reports, pin_manifest)
+
+
+@pytest.fixture(scope="module")
+def reference(small_manifest, models, tmp_path_factory):
+    """One serial run to compare every other schedule against."""
+    rundir = tmp_path_factory.mktemp("fleet-ref")
+    run_fleet(small_manifest, rundir, FleetConfig(shard_size=2))
+    return (rundir / "trend.json").read_text()
+
+
+def test_run_writes_trend_and_checkpoints(small_manifest, models,
+                                          tmp_path):
+    trend = run_fleet(small_manifest, tmp_path, FleetConfig(shard_size=3))
+    assert (tmp_path / "trend.json").exists()
+    assert (tmp_path / "manifest.json").exists()
+    shards = sorted((tmp_path / "shards").glob("shard-*.json"))
+    assert len(shards) == 2                     # 3 + 1 items
+    assert trend["binaries"]["ok"] == 4
+
+
+def test_shard_size_does_not_change_the_trend(small_manifest, models,
+                                              tmp_path, reference):
+    run_fleet(small_manifest, tmp_path, FleetConfig(shard_size=1))
+    assert (tmp_path / "trend.json").read_text() == reference
+
+
+def test_thread_pool_does_not_change_the_trend(small_manifest, models,
+                                               tmp_path, reference,
+                                               monkeypatch):
+    # Exercise the pooled collection path without process-fork cost by
+    # running the in-process analysis on a thread pool.
+    import repro.fleet.driver as driver
+    from concurrent.futures import ThreadPoolExecutor
+    monkeypatch.setattr(driver, "_make_pool",
+                        lambda config, workers: ThreadPoolExecutor(workers))
+    run_fleet(small_manifest, tmp_path,
+              FleetConfig(jobs=3, shard_size=2))
+    assert (tmp_path / "trend.json").read_text() == reference
+
+
+def test_resume_skips_checkpointed_shards(small_manifest, models,
+                                          tmp_path, reference):
+    run_fleet(small_manifest, tmp_path, FleetConfig(shard_size=2))
+    # Simulate a kill mid-run: drop the second shard and the trend.
+    _shard_path(tmp_path, 1).unlink()
+    (tmp_path / "trend.json").unlink()
+    # Poison the surviving checkpoint's mtime-invisible content to prove
+    # it is *reused*, not recomputed: inject a recognizable failure.
+    path = _shard_path(tmp_path, 0)
+    raw = json.loads(path.read_text())
+    raw["reports"][0]["status"] = "failed"
+    raw["reports"][0]["error"] = "sentinel: loaded from checkpoint"
+    raw["reports"][0].pop("tools", None)
+    raw["reports"][0].pop("diff", None)
+    path.write_text(json.dumps(raw))
+
+    trend = run_fleet(small_manifest, tmp_path, FleetConfig(shard_size=2))
+    assert trend["binaries"]["failed"] == 1
+    assert "sentinel" in trend["failures"][0]["error"]
+
+
+def test_resume_after_torn_checkpoint(small_manifest, models, tmp_path,
+                                      reference):
+    run_fleet(small_manifest, tmp_path, FleetConfig(shard_size=2))
+    # A kill -9 mid-write leaves a torn file; resume must recompute it.
+    _shard_path(tmp_path, 1).write_text('{"schema": "repro-fleet-shard')
+    (tmp_path / "trend.json").unlink()
+    run_fleet(small_manifest, tmp_path, FleetConfig(shard_size=2))
+    assert (tmp_path / "trend.json").read_text() == reference
+
+
+def test_checkpoint_with_wrong_ids_is_recomputed(small_manifest, models,
+                                                 tmp_path, reference):
+    run_fleet(small_manifest, tmp_path, FleetConfig(shard_size=2))
+    path = _shard_path(tmp_path, 0)
+    raw = json.loads(path.read_text())
+    raw["reports"] = list(reversed(raw["reports"]))   # id order mismatch
+    path.write_text(json.dumps(raw))
+    (tmp_path / "trend.json").unlink()
+    run_fleet(small_manifest, tmp_path, FleetConfig(shard_size=2))
+    assert (tmp_path / "trend.json").read_text() == reference
+
+
+def test_broken_pool_falls_back_to_coordinator(small_manifest, models,
+                                               tmp_path, reference,
+                                               monkeypatch):
+    import repro.fleet.driver as driver
+
+    class _DoomedFuture:
+        def result(self):
+            raise RuntimeError("worker exploded")
+
+    class _DoomedPool:
+        def submit(self, fn, *args):
+            return _DoomedFuture()
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            pass
+
+    monkeypatch.setattr(driver, "_make_pool",
+                        lambda config, workers: _DoomedPool())
+    trend = run_fleet(small_manifest, tmp_path,
+                      FleetConfig(jobs=2, shard_size=2))
+    assert trend["binaries"]["ok"] == 4       # all recomputed in-process
+    assert (tmp_path / "trend.json").read_text() == reference
+
+
+def test_pin_manifest_rejects_a_different_corpus(small_manifest,
+                                                 tmp_path):
+    pin_manifest(tmp_path, small_manifest)
+    other = Manifest(small_manifest.items[:2])
+    with pytest.raises(ValueError, match="different manifest"):
+        pin_manifest(tmp_path, other)
+
+
+def test_empty_manifest_is_an_error(tmp_path):
+    with pytest.raises(ValueError, match="empty"):
+        run_fleet(Manifest([]), tmp_path, FleetConfig())
+
+
+def test_detect_shard_size(small_manifest, models, tmp_path):
+    assert detect_shard_size(tmp_path) is None
+    run_fleet(small_manifest, tmp_path, FleetConfig(shard_size=3))
+    assert detect_shard_size(tmp_path) == 3
+
+
+def test_load_run_reports_partial_view(small_manifest, models, tmp_path):
+    run_fleet(small_manifest, tmp_path, FleetConfig(shard_size=2))
+    _shard_path(tmp_path, 1).unlink()
+    manifest, reports, missing = load_run_reports(tmp_path)
+    assert len(manifest) == 4
+    assert len(reports) == 2
+    assert missing == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FleetConfig(via="carrier-pigeon")
+    with pytest.raises(ValueError):
+        FleetConfig(via="serve")              # server required

@@ -1,0 +1,114 @@
+"""The fleet schema validator: accepts the real thing, rejects mutants."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.fleet import FleetConfig, aggregate, run_fleet
+from repro.fleet.schema import (SchemaError, main, validate_document,
+                                validate_file, validate_report)
+
+
+@pytest.fixture(scope="module")
+def rundir(small_manifest, models, tmp_path_factory):
+    path = tmp_path_factory.mktemp("fleet-schema")
+    run_fleet(small_manifest, path, FleetConfig(shard_size=3))
+    return path
+
+
+def test_real_documents_validate(rundir):
+    assert validate_file(rundir / "manifest.json")["kind"] == "manifest"
+    assert validate_file(rundir / "trend.json")["kind"] == "trend"
+    shard = next((rundir / "shards").glob("shard-*.json"))
+    assert validate_file(shard)["kind"] == "shard"
+
+
+def test_cli_entry_point(rundir, capsys):
+    paths = [str(rundir / "manifest.json"), str(rundir / "trend.json")]
+    assert main(paths) == 0
+    out = capsys.readouterr().out
+    assert "ok -- manifest" in out and "ok -- trend" in out
+    assert main([]) == 2
+    assert main([str(rundir / "does-not-exist.json")]) == 1
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(SchemaError, match="unknown fleet schema"):
+        validate_document({"schema": "repro-fleet-mystery-v9"})
+    with pytest.raises(SchemaError):
+        validate_document([1, 2, 3])
+
+
+def test_manifest_mutants_rejected(rundir):
+    raw = json.loads((rundir / "manifest.json").read_text())
+    dup = copy.deepcopy(raw)
+    dup["items"].append(dup["items"][0])
+    with pytest.raises(SchemaError, match="duplicate"):
+        validate_document(dup)
+    empty = copy.deepcopy(raw)
+    empty["items"] = []
+    with pytest.raises(SchemaError, match="no items"):
+        validate_document(empty)
+    bad_item = copy.deepcopy(raw)
+    bad_item["items"][0] = {"kind": "mystery"}
+    with pytest.raises(SchemaError, match="items\\[0\\]"):
+        validate_document(bad_item)
+
+
+def test_report_mutants_rejected(rundir):
+    shard = json.loads(next((rundir / "shards")
+                            .glob("shard-*.json")).read_text())
+    report = shard["reports"][0]
+    good = copy.deepcopy(report)
+    assert validate_report(good) is good
+
+    missing_tool = copy.deepcopy(report)
+    del missing_tool["tools"]["linear-sweep"]
+    with pytest.raises(SchemaError, match="lacks tool"):
+        validate_report(missing_tool)
+
+    bad_status = copy.deepcopy(report)
+    bad_status["status"] = "maybe"
+    with pytest.raises(SchemaError, match="status"):
+        validate_report(bad_status)
+
+    silent_failure = copy.deepcopy(report)
+    silent_failure["status"] = "failed"
+    silent_failure["error"] = ""
+    with pytest.raises(SchemaError, match="no error message"):
+        validate_report(silent_failure)
+
+
+def test_trend_mutants_rejected(rundir, small_reports, tmp_path):
+    trend = aggregate(small_reports)
+
+    arithmetic = copy.deepcopy(trend)
+    arithmetic["binaries"]["ok"] += 1
+    with pytest.raises(SchemaError, match="!= total"):
+        validate_document(arithmetic)
+
+    missing_class = copy.deepcopy(trend)
+    del missing_class["tools"]["corrected"]["taxonomy"]["gap"]
+    with pytest.raises(SchemaError, match="lacks class"):
+        validate_document(missing_class)
+
+    inverted = copy.deepcopy(trend)
+    bucket = inverted["tools"]["corrected"]["taxonomy"]["false-code"]
+    bucket["errors"] = bucket["diagnostics"] + 1
+    with pytest.raises(SchemaError, match="errors exceed"):
+        validate_document(inverted)
+
+    bool_count = copy.deepcopy(trend)
+    bool_count["binaries"]["ok"] = True
+    with pytest.raises(SchemaError, match="must be int"):
+        validate_document(bool_count)
+
+
+def test_validate_file_rejects_non_json(tmp_path):
+    path = tmp_path / "torn.json"
+    path.write_text('{"schema": ')
+    with pytest.raises(SchemaError, match="not JSON"):
+        validate_file(path)

@@ -1,0 +1,58 @@
+"""The error taxonomy is total over the lint battery -- by construction.
+
+The load-bearing test here is exhaustiveness: every rule id the lint
+registry knows maps to exactly one taxonomy class, so adding a lint
+rule without classifying it fails the suite instead of silently
+dropping its diagnostics from the fleet dashboard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.taxonomy import (ALL_CLASSES, EXPECTED_SEPARATIONS,
+                                  LINT_RULE_TAXONOMY, ErrorClass,
+                                  taxonomy_of)
+from repro.lint.registry import DEFAULT_REGISTRY
+
+
+def test_every_registered_rule_maps_to_exactly_one_class():
+    registered = set(DEFAULT_REGISTRY.ids())
+    unmapped = registered - set(LINT_RULE_TAXONOMY)
+    assert not unmapped, (
+        f"lint rules without a taxonomy class: {sorted(unmapped)} -- "
+        f"add them to repro.fleet.taxonomy.LINT_RULE_TAXONOMY")
+
+
+def test_no_stale_taxonomy_entries():
+    registered = set(DEFAULT_REGISTRY.ids())
+    stale = set(LINT_RULE_TAXONOMY) - registered
+    assert not stale, (
+        f"taxonomy maps rules the registry no longer has: {sorted(stale)}")
+
+
+def test_taxonomy_of_known_and_unknown_rules():
+    some_rule = next(iter(LINT_RULE_TAXONOMY))
+    assert isinstance(taxonomy_of(some_rule), ErrorClass)
+    with pytest.raises(KeyError, match="LINT_RULE_TAXONOMY"):
+        taxonomy_of("rule-that-does-not-exist")
+
+
+def test_class_values_are_the_paper_error_vocabulary():
+    assert {cls.value for cls in ALL_CLASSES} == {
+        "false-code", "missed-code", "boundary", "gap", "table",
+        "provenance-conflict"}
+
+
+def test_parse_round_trips_every_class():
+    for cls in ALL_CLASSES:
+        assert ErrorClass.parse(cls.value) is cls
+    with pytest.raises(ValueError):
+        ErrorClass.parse("not-a-class")
+
+
+def test_expected_separations_reference_real_axes():
+    for baseline, axes in EXPECTED_SEPARATIONS.items():
+        assert baseline in ("linear-sweep", "recursive-descent")
+        for axis in axes:
+            assert axis in ("false-code", "missed-code", "total")

@@ -1,0 +1,199 @@
+"""ServeClient hardening: retries, backoff, 429, deadlines.
+
+Exercises the client against a *flaky stub server* -- a real TCP
+listener scripted to refuse, stall, 429, or garble a configurable
+number of requests before behaving -- so the retry loop is tested over
+genuine sockets, not mocks.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import (BackpressureError, ServeClient,
+                                ServeError, TransportError)
+
+
+class _StubHandler(http.server.BaseHTTPRequestHandler):
+    """Scripted behavior, one entry consumed per request."""
+
+    def _next(self) -> dict:
+        script = self.server.script          # type: ignore[attr-defined]
+        with self.server.lock:               # type: ignore[attr-defined]
+            self.server.hits += 1            # type: ignore[attr-defined]
+            return script.pop(0) if script else {"action": "ok"}
+
+    def _respond(self) -> None:
+        step = self._next()
+        action = step.get("action", "ok")
+        if action == "close":
+            # Slam the connection: the client sees a reset/EOF.
+            self.connection.close()
+            return
+        if action == "stall":
+            time.sleep(step.get("seconds", 5.0))
+        if action == "garbage":
+            self.wfile.write(b"not http at all\r\n")
+            self.connection.close()
+            return
+        status = step.get("status", 200)
+        body = json.dumps(step.get("body", {"ok": True})).encode()
+        self.send_response(status)
+        for name, value in step.get("headers", {}).items():
+            self.send_header(name, value)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _respond
+    do_POST = _respond
+
+    def log_message(self, *args) -> None:   # quiet
+        pass
+
+
+@pytest.fixture()
+def stub():
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0),
+                                             _StubHandler)
+    server.script = []
+    server.hits = 0
+    server.lock = threading.Lock()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _client(server, **kwargs) -> ServeClient:
+    kwargs.setdefault("timeout", 5.0)
+    kwargs.setdefault("backoff", 0.01)
+    return ServeClient(port=server.server_address[1], **kwargs)
+
+
+def test_retries_through_connection_resets(stub):
+    stub.script = [{"action": "close"}, {"action": "close"},
+                   {"action": "ok", "body": {"status": "ok"}}]
+    client = _client(stub, retries=3)
+    assert client.healthz() == {"status": "ok"}
+    assert stub.hits == 3
+
+
+def test_retry_budget_exhausts_to_typed_error(stub):
+    stub.script = [{"action": "close"}] * 5
+    client = _client(stub, retries=2)
+    with pytest.raises(TransportError) as excinfo:
+        client.healthz()
+    assert excinfo.value.status == 0
+    assert "3 attempt(s)" in str(excinfo.value)
+    assert isinstance(excinfo.value.cause, Exception)
+    assert stub.hits == 3       # 1 initial + 2 retries, bounded
+
+
+def test_zero_retries_still_raises_typed_not_socket_error():
+    # Nothing is listening on this port at all.
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    client = ServeClient(port=port, retries=0, backoff=0.01)
+    with pytest.raises(TransportError):
+        client.healthz()
+
+
+def test_transport_error_is_a_serve_error(stub):
+    stub.script = [{"action": "close"}]
+    client = _client(stub, retries=0)
+    with pytest.raises(ServeError):
+        client.healthz()
+
+
+def test_garbled_response_is_retried(stub):
+    stub.script = [{"action": "garbage"},
+                   {"action": "ok", "body": {"status": "ok"}}]
+    client = _client(stub, retries=2)
+    assert client.healthz() == {"status": "ok"}
+    assert stub.hits == 2
+
+
+def test_429_honors_retry_after_then_succeeds(stub):
+    stub.script = [
+        {"status": 429, "headers": {"Retry-After": "0.05"},
+         "body": {"error": "queue full"}},
+        {"action": "ok", "body": {"status": "ok"}},
+    ]
+    client = _client(stub, retries=2)
+    started = time.monotonic()
+    assert client.healthz() == {"status": "ok"}
+    assert time.monotonic() - started >= 0.05   # waited at least Retry-After
+    assert stub.hits == 2
+
+
+def test_429_exhausted_raises_backpressure_with_retry_after(stub):
+    stub.script = [{"status": 429, "headers": {"Retry-After": "0.01"},
+                    "body": {"error": "queue full"}}] * 3
+    client = _client(stub, retries=1)
+    with pytest.raises(BackpressureError) as excinfo:
+        client.healthz()
+    assert excinfo.value.retry_after == pytest.approx(0.01)
+    assert stub.hits == 2
+
+
+def test_deadline_cuts_off_a_stalled_server(stub):
+    stub.script = [{"action": "stall", "seconds": 30.0}]
+    client = _client(stub, retries=5, deadline=0.3)
+    started = time.monotonic()
+    with pytest.raises(TransportError):
+        client.healthz()
+    assert time.monotonic() - started < 5.0   # well under the stall
+
+
+def test_deadline_stops_retry_loop_early(stub):
+    stub.script = [{"action": "close"}] * 50
+    client = _client(stub, retries=50, backoff=0.2, deadline=0.3)
+    with pytest.raises(TransportError):
+        client.healthz()
+    assert stub.hits < 50       # deadline, not the retry count, stopped it
+
+
+def test_connect_timeout_is_distinct_from_read_timeout(stub):
+    client = _client(stub, timeout=60.0, connect_timeout=0.25)
+    assert client.connect_timeout == 0.25
+    assert client.timeout == 60.0
+    # And defaulting: no connect_timeout means "same as read timeout".
+    assert ServeClient(timeout=7.0).connect_timeout == 7.0
+
+
+def test_short_read_timeout_fails_fast_despite_long_connect(stub):
+    # Connect succeeds instantly, then the server stalls the response:
+    # the *read* timeout (0.2s) must cut it off, not the 30s connect.
+    stub.script = [{"action": "stall", "seconds": 30.0}]
+    client = _client(stub, timeout=0.2, connect_timeout=30.0, retries=0)
+    started = time.monotonic()
+    with pytest.raises(TransportError):
+        client.healthz()
+    assert time.monotonic() - started < 5.0
+
+
+def test_non_retryable_status_raises_immediately(stub):
+    stub.script = [{"status": 400, "body": {"error": "bad request"}}]
+    client = _client(stub, retries=3)
+    with pytest.raises(ServeError) as excinfo:
+        client.healthz()
+    assert excinfo.value.status == 400
+    assert stub.hits == 1       # no retry on a client error
+
+
+def test_rejects_negative_retries():
+    with pytest.raises(ValueError):
+        ServeClient(retries=-1)
