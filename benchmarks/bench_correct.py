@@ -41,7 +41,7 @@ from repro.core import (Disassembler, FactBase,              # noqa: E402
                         disassemble_incremental)
 from repro.core.engine import engine_backend                 # noqa: E402
 from repro.eval.dataset import evaluation_corpus             # noqa: E402
-from repro.perf import bench_payload, write_bench_json       # noqa: E402
+from repro.perf import bench_envelope, write_bench_json       # noqa: E402
 
 DEFAULT_JSON = REPO_ROOT / "benchmarks" / "results" / "BENCH_correct.json"
 
@@ -125,18 +125,22 @@ def main(argv: list[str] | None = None) -> int:
     print(f"speedup: {speedup:.2f}x (gate: >= {args.threshold:.1f}x)")
 
     if args.json:
-        write_bench_json(args.json, bench_payload(
-            kind="correct-incremental",
-            engine_backend=engine_backend(),
-            corpus={"binaries": len(snapshots), "bytes": total_bytes,
-                    "functions": args.functions, "seeds": [0]},
-            repeats=args.repeats,
-            seconds=best,
-            ms_per_binary={name: round(v / len(snapshots) * 1000, 2)
-                           for name, v in best.items()},
-            mean_reused_fraction=round(sum(reused) / len(reused), 4),
-            speedup=round(speedup, 2),
-            results_identical=True,
+        write_bench_json(args.json, bench_envelope(
+            "correct",
+            config={"binaries": len(snapshots), "bytes": total_bytes,
+                    "functions": args.functions, "seeds": [0],
+                    "repeats": args.repeats,
+                    "engine_backend": engine_backend()},
+            metrics={
+                "seconds": best,
+                "ms_per_binary": {
+                    name: round(v / len(snapshots) * 1000, 2)
+                    for name, v in best.items()},
+                "mean_reused_fraction": round(
+                    sum(reused) / len(reused), 4),
+                "speedup": round(speedup, 2),
+                "results_identical": 1,
+            },
         ))
         print(f"wrote {args.json}")
 

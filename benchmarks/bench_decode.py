@@ -39,7 +39,7 @@ if str(SRC) not in sys.path:
 from repro.eval.dataset import evaluation_corpus         # noqa: E402
 from repro.isa.decoder import (decoder_backend,          # noqa: E402
                                try_decode, try_decode_interp)
-from repro.perf import bench_payload, write_bench_json   # noqa: E402
+from repro.perf import bench_envelope, write_bench_json   # noqa: E402
 from repro.superset import superset as superset_mod      # noqa: E402
 from repro.superset.superset import Superset             # noqa: E402
 
@@ -121,20 +121,23 @@ def main(argv: list[str] | None = None) -> int:
     print(f"speedup: {speedup:.2f}x (gate: >= {args.threshold:.1f}x)")
 
     if args.json:
-        write_bench_json(args.json, bench_payload(
-            kind="decode-throughput",
-            corpus={"sections": len(texts), "bytes": total_bytes,
-                    "functions": args.functions, "seeds": [0]},
-            repeats=args.repeats,
-            seconds=best,
-            bytes_per_second={name: round(value)
-                              for name, value in throughput.items()},
-            microseconds_per_offset={
-                name: round(seconds / total_bytes * 1e6, 3)
-                for name, seconds in best.items()},
-            speedup=round(speedup, 2),
-            threshold=args.threshold,
-            superset_identical=True,
+        write_bench_json(args.json, bench_envelope(
+            "decode",
+            config={"sections": len(texts), "bytes": total_bytes,
+                    "functions": args.functions, "seeds": [0],
+                    "repeats": args.repeats,
+                    "threshold": args.threshold},
+            metrics={
+                "seconds": best,
+                "bytes_per_second": {
+                    name: round(value)
+                    for name, value in throughput.items()},
+                "microseconds_per_offset": {
+                    name: round(seconds / total_bytes * 1e6, 3)
+                    for name, seconds in best.items()},
+                "speedup": round(speedup, 2),
+                "superset_identical": 1,
+            },
         ))
         print(f"wrote {args.json}")
 

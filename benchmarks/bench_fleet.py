@@ -39,7 +39,7 @@ if str(SRC) not in sys.path:
 
 from repro.fleet import (FleetConfig, check_separation, plan_grid,  # noqa: E402
                          run_fleet, trend_json)
-from repro.perf import bench_payload, write_bench_json  # noqa: E402
+from repro.perf import bench_envelope, write_bench_json  # noqa: E402
 from repro.serve.client import ServeClient              # noqa: E402
 from repro.synth.styles import STYLES                   # noqa: E402
 
@@ -149,16 +149,19 @@ def main(argv: list[str] | None = None) -> int:
           f"paper-predicted separation holds")
 
     if args.json:
-        write_bench_json(args.json, bench_payload(
-            kind="fleet",
-            usable_cores=cores,
-            binaries=len(manifest),
-            functions=args.functions,
-            jobs=args.jobs,
-            throughput={label: round(len(manifest) / elapsed, 3)
-                        for label, elapsed in passes.items()},
-            seconds={label: round(elapsed, 2)
-                     for label, elapsed in passes.items()},
+        write_bench_json(args.json, bench_envelope(
+            "fleet",
+            config={"usable_cores": cores, "binaries": len(manifest),
+                    "functions": args.functions, "jobs": args.jobs},
+            metrics={
+                "throughput": {
+                    label: round(len(manifest) / elapsed, 3)
+                    for label, elapsed in passes.items()},
+                "seconds": {label: round(elapsed, 2)
+                            for label, elapsed in passes.items()},
+            },
+            # Top-level on purpose: load_trend() reads BENCH_fleet.json
+            # as a baseline by looking for an embedded "trend" key.
             trend=trends["serial"],
         ))
         print(f"wrote {args.json}")

@@ -38,7 +38,7 @@ if str(SRC) not in sys.path:
 
 from repro.binary.container import Binary               # noqa: E402
 from repro.formats import emit_elf, load_any, parse_elf  # noqa: E402
-from repro.perf import bench_payload, write_bench_json  # noqa: E402
+from repro.perf import bench_envelope, write_bench_json  # noqa: E402
 from repro.synth.corpus import BinarySpec, generate_binary  # noqa: E402
 from repro.synth.styles import STYLES, style_by_name    # noqa: E402
 
@@ -119,13 +119,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"elf ingestion costs {ratio:.1f}x the native container path")
 
     if args.json:
-        payload = bench_payload(
-            benchmark="formats",
-            binaries=args.binaries,
-            functions=args.functions,
-            repeat=args.repeat,
-            results=results,
-            elf_over_rprb_ratio=round(ratio, 2),
+        payload = bench_envelope(
+            "formats",
+            config={"binaries": args.binaries,
+                    "functions": args.functions,
+                    "repeat": args.repeat},
+            metrics={
+                "results": results,
+                "elf_over_rprb_ratio": round(ratio, 2),
+            },
         )
         written = write_bench_json(args.json, payload)
         print(f"wrote {written}")

@@ -40,7 +40,7 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.perf import bench_payload, write_bench_json  # noqa: E402
+from repro.perf import bench_envelope, write_bench_json  # noqa: E402
 from repro.serve.client import ServeClient              # noqa: E402
 from repro.synth.corpus import BinarySpec, generate_binary  # noqa: E402
 from repro.synth.styles import STYLES, style_by_name    # noqa: E402
@@ -178,16 +178,17 @@ def main(argv: list[str] | None = None) -> int:
     print(f"server drained cleanly (exit {exit_code})")
 
     if args.json:
-        write_bench_json(args.json, bench_payload(
-            kind="serve-load",
-            usable_cores=cores,
-            workers=args.workers,
-            concurrency=args.concurrency,
-            binaries=args.binaries,
-            cold_rps=round(rps, 2),
-            cold=cold_summary,
-            hot=hot_summary,
-            hit_speedup=round(speedup, 2),
+        write_bench_json(args.json, bench_envelope(
+            "serve",
+            config={"usable_cores": cores, "workers": args.workers,
+                    "concurrency": args.concurrency,
+                    "binaries": args.binaries},
+            metrics={
+                "cold_rps": round(rps, 2),
+                "cold": cold_summary,
+                "hot": hot_summary,
+                "hit_speedup": round(speedup, 2),
+            },
         ))
         print(f"wrote {args.json}")
     return 0

@@ -234,6 +234,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout=args.timeout_s,
         access_log_path=args.access_log,
         trace_path=args.trace,
+        profile_path=args.sample_profile,
     )
     return run_server(config)
 
@@ -358,6 +359,13 @@ def _add_trace_flag(command: argparse.ArgumentParser) -> None:
                               "(also honors REPRO_TRACE)")
 
 
+def _add_profile_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--sample-profile", metavar="PATH", default=None,
+                         help="run the sampling profiler and write a "
+                              "repro-profile-v1 JSON document (also "
+                              "honors REPRO_PROFILE)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -396,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.add_argument("--profile", action="store_true",
                         help="print per-phase wall-clock timings")
     _add_trace_flag(disasm)
+    _add_profile_flag(disasm)
     disasm.set_defaults(func=_cmd_disasm)
 
     lint = sub.add_parser(
@@ -464,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", metavar="PATH", default=None,
                        help="stream request-lifecycle spans to a JSONL "
                             "file (also honors REPRO_TRACE)")
+    _add_profile_flag(serve)
     serve.set_defaults(func=_cmd_serve)
 
     explain = sub.add_parser(
@@ -508,6 +518,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     from .fleet.commands import add_evalfleet_parser
     add_evalfleet_parser(sub)
+    from .obs.commands import add_obs_parser
+    add_obs_parser(sub)
     return parser
 
 
@@ -526,11 +538,30 @@ def _trace_context(args: argparse.Namespace):
     return activate(path) if path else nullcontext()
 
 
+def _profile_context(args: argparse.Namespace):
+    """Sampling-profiler activation for one command invocation.
+
+    ``--sample-profile PATH`` or a non-empty ``REPRO_PROFILE`` runs the
+    sampler for the command and writes the profile document on exit.
+    ``repro serve`` (profiler tied to server shutdown) and
+    ``repro evalfleet`` (profile written into the run directory) manage
+    their own lifecycles, so they are excluded here.
+    """
+    if getattr(args, "command", None) in ("serve", "evalfleet", "obs"):
+        return nullcontext()
+    from .obs.profile import profile_path_from_env, profiling
+    path = (getattr(args, "sample_profile", None)
+            or profile_path_from_env())
+    if not path:
+        return nullcontext()
+    return profiling(path, command=getattr(args, "command", "?"))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        with _trace_context(args):
+        with _trace_context(args), _profile_context(args):
             return args.func(args)
     except BrokenPipeError:
         # Output piped into a pager that exited early (e.g. `| head`).

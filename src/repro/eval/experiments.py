@@ -29,7 +29,7 @@ from ..baselines import (heuristic_descent, linear_sweep,
 from ..binary.loader import TestCase
 from ..core.config import ABLATION_CONFIGS, DisassemblerConfig
 from ..core.disassembler import Disassembler
-from ..perf import bench_payload, write_bench_json
+from ..perf import bench_envelope, write_bench_json
 from ..synth.corpus import BinarySpec, density_style, generate_binary
 from ..synth.styles import MSVC_LIKE, STYLES
 from .dataset import EVAL_SEEDS, characteristics, evaluation_corpus
@@ -453,12 +453,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{name} completed in {elapsed:.1f}s]\n")
 
     if args.bench_json:
-        payload = bench_payload(
-            kind="experiment-timings",
-            jobs=args.jobs,
-            experiments={name: round(seconds, 3)
-                         for name, seconds in elapsed_by_experiment.items()},
-            total_s=round(sum(elapsed_by_experiment.values()), 3),
+        payload = bench_envelope(
+            "experiments",
+            config={"jobs": args.jobs if args.jobs is not None else 1},
+            metrics={
+                "experiments": {
+                    name: round(seconds, 3)
+                    for name, seconds in elapsed_by_experiment.items()},
+                "total_s": round(
+                    sum(elapsed_by_experiment.values()), 3),
+            },
         )
         path = write_bench_json(args.bench_json, payload)
         print(f"wrote {path}")

@@ -14,6 +14,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
+from pathlib import Path
 
 from ..synth.styles import STYLES
 from .aggregate import (aggregate, check_separation, compare_trends,
@@ -22,6 +24,28 @@ from .aggregate import (aggregate, check_separation, compare_trends,
 from .driver import DEFAULT_SHARD_SIZE, FleetConfig, run_fleet
 from .manifest import (Manifest, ingest_directory, parse_seed_range,
                        plan_grid)
+
+
+@contextmanager
+def _profile_run(args: argparse.Namespace):
+    """Sampling-profiler scope for a fleet run.
+
+    ``--sample-profile`` (or ``REPRO_PROFILE``) samples the coordinator
+    for the duration of the run and writes the ``repro-profile-v1``
+    document -- by default into the run directory, next to the trend
+    and checkpoints, where ``repro obs record`` picks it up.  Yields
+    the output path, or None when profiling is off.
+    """
+    from ..obs.profile import profile_path_from_env, profiling
+    raw = getattr(args, "sample_profile", None)
+    if raw is None:
+        raw = profile_path_from_env()
+    if raw is None:
+        yield None
+        return
+    path = raw or str(Path(args.rundir) / "profile.json")
+    with profiling(path, command="evalfleet", jobs=args.jobs or 1):
+        yield path
 
 
 def _parse_functions(text: str) -> list[int]:
@@ -70,7 +94,10 @@ def _execute(manifest: Manifest, args: argparse.Namespace) -> int:
                          server=args.server,
                          shard_size=args.shard_size,
                          limit=getattr(args, "limit", None))
-    trend = run_fleet(manifest, args.rundir, config, progress=print)
+    with _profile_run(args) as profile_sink:
+        trend = run_fleet(manifest, args.rundir, config, progress=print)
+    if profile_sink is not None:
+        print(f"wrote {profile_sink} (sampling profile)")
     if args.trend:
         write_trend(args.trend, trend)
         print(f"wrote {args.trend}")
@@ -201,6 +228,12 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--check-separation", action="store_true",
                         help="fail unless corrected separates from "
                              "every baseline where the paper predicts")
+    parser.add_argument("--sample-profile", metavar="PATH", nargs="?",
+                        const="", default=None,
+                        help="sample the coordinator and write a "
+                             "repro-profile-v1 document (default: "
+                             "RUNDIR/profile.json; also honors "
+                             "REPRO_PROFILE)")
 
 
 def add_evalfleet_parser(sub) -> None:

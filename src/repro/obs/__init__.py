@@ -20,14 +20,31 @@ previous per-layer ad-hoc instrumentation:
   classification flip, which pass, which evidence, which prior state.
   Surfaced as ``repro explain BINARY ADDR`` and consumed by the
   linter to enrich diagnostics with the causal chain.
+* :mod:`repro.obs.profile` -- a low-overhead sampling profiler with
+  phase self-time attribution and collapsed-stack (flamegraph) export
+  (``repro-profile-v1``); activated by ``--sample-profile`` or the
+  ``REPRO_PROFILE`` environment variable.
+* :mod:`repro.obs.store` / :mod:`repro.obs.ingest` -- the append-only
+  run-record store (sqlite, JSONL-interchangeable) that gives every
+  measurement artifact -- fleet trends, benchmark envelopes, metrics
+  snapshots, access-log summaries, trace rollups, profiles -- a
+  longitudinal home keyed by ``(git_rev, run_id, kind)``.
+* :mod:`repro.obs.report` / :mod:`repro.obs.slo` -- cross-revision
+  regression trending (``repro obs diff`` / ``obs report``) and the
+  declarative SLO gate (``repro obs gate``) that replaces per-benchmark
+  threshold comparisons in CI.
 
-Everything is stdlib-only and strictly observational: with tracing and
-provenance disabled (the default), published tables, serve responses
-and benchmark output are byte-identical to an uninstrumented run.
+Everything is stdlib-only and strictly observational: with tracing,
+profiling and provenance disabled (the default), published tables,
+serve responses and benchmark output are byte-identical to an
+uninstrumented run.
 """
 
 from .metrics import REGISTRY, MetricsRegistry
+from .profile import (PROFILE_ENV, SamplingProfiler, profiling,
+                      profiler_active, samples_taken)
 from .provenance import DecisionEvent, ProvenanceLog
+from .store import RunRecord, RunStore, StoreError
 from .trace import (TRACE_ENV, Span, SpanContext, Tracer, activate,
                     current_tracer, phase_span, set_tracer,
                     tracing_active)
@@ -35,15 +52,23 @@ from .trace import (TRACE_ENV, Span, SpanContext, Tracer, activate,
 __all__ = [
     "DecisionEvent",
     "MetricsRegistry",
+    "PROFILE_ENV",
     "ProvenanceLog",
     "REGISTRY",
+    "RunRecord",
+    "RunStore",
+    "SamplingProfiler",
     "Span",
     "SpanContext",
+    "StoreError",
     "TRACE_ENV",
     "Tracer",
     "activate",
     "current_tracer",
     "phase_span",
+    "profiler_active",
+    "profiling",
+    "samples_taken",
     "set_tracer",
     "tracing_active",
 ]

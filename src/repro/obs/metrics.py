@@ -44,11 +44,18 @@ def _format_labels(key: tuple[tuple[str, str], ...],
 
 
 def _format_value(value: float) -> str:
+    # Prometheus text format spells the specials exactly this way;
+    # Python's repr ('nan', '-inf') would not parse at scrape time.
+    value = float(value)
+    if value != value:
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
-    if float(value).is_integer():
+    if value == float("-inf"):
+        return "-Inf"
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 class Counter:

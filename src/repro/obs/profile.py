@@ -1,0 +1,238 @@
+"""Continuous phase profiling: a low-overhead sampling profiler.
+
+A :class:`SamplingProfiler` wakes every ``interval`` seconds on a
+daemon thread, snapshots every other thread's stack via
+``sys._current_frames()``, and aggregates two views:
+
+* **collapsed stacks** (``pkg.mod:func;pkg.mod:func;... count``), the
+  flamegraph interchange format -- render with any collapsed-stack
+  tool, or dump via ``repro obs flame``;
+* **phase self-time**: samples attributed to the *innermost* pipeline
+  phase active on the sampled thread, as maintained by
+  :func:`enter_phase` / :func:`exit_phase`, which
+  :func:`repro.obs.trace.phase_span` calls around every phase.
+
+Because attribution is by sampling, the cost is bounded by the sample
+rate, not the workload: the default 5 ms interval costs well under the
+2% overhead ceiling asserted by ``benchmarks/bench_obs.py``, and when
+no profiler is installed every hook is a single module-global read --
+a disabled run takes exactly zero samples (also bench-asserted).
+
+The exported document (schema ``repro-profile-v1``) feeds the
+run-record store, so a hot-path shift shows up in ``repro obs diff``
+as a ``phase.*.self_fraction`` delta next to the accuracy metrics.
+Activation: ``--sample-profile PATH`` on ``repro disasm`` /
+``repro serve`` / ``repro evalfleet run``, or the ``REPRO_PROFILE``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+#: Environment variable holding the profile-output path; setting it
+#: activates sampling in the CLI entry points that support it.
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Schema tag stamped on every exported profile document.
+PROFILE_SCHEMA = "repro-profile-v1"
+
+#: Default sampling interval in seconds (200 Hz would be overkill for
+#: multi-second pipeline phases; 5 ms resolves anything that matters).
+DEFAULT_INTERVAL = 0.005
+
+#: Deepest collapsed stack retained (frames below are truncated).
+_MAX_DEPTH = 48
+
+#: thread id -> stack of active phase names (innermost last).  Only
+#: mutated while a profiler is installed; reads/writes are plain dict
+#: and list ops, atomic under the GIL.
+_PHASE_STACKS: dict[int, list[str]] = {}
+
+#: The installed profiler, or None.  Every hook checks this one global.
+_ACTIVE: SamplingProfiler | None = None
+
+#: Process-wide count of samples ever taken; ``bench_obs.py`` asserts
+#: this stays flat across profiling-off runs.
+_SAMPLES_TAKEN = 0
+
+
+def samples_taken() -> int:
+    return _SAMPLES_TAKEN
+
+
+def profiler_active() -> bool:
+    return _ACTIVE is not None
+
+
+def enter_phase(name: str) -> bool:
+    """Push a phase for the calling thread; True if it must be popped.
+
+    Called by :func:`repro.obs.trace.phase_span`.  The return value is
+    captured by the caller so an enter/exit pair stays balanced even
+    if the profiler is torn down mid-phase.
+    """
+    if _ACTIVE is None:
+        return False
+    _PHASE_STACKS.setdefault(threading.get_ident(), []).append(name)
+    return True
+
+
+def exit_phase() -> None:
+    stack = _PHASE_STACKS.get(threading.get_ident())
+    if stack:
+        stack.pop()
+
+
+class SamplingProfiler:
+    """Samples all threads' stacks on a timer; aggregates in-process."""
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        self.interval = interval
+        self.samples = 0
+        self.stacks: dict[str, int] = {}
+        self.phases: dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _collapse(frame) -> str:
+        parts: list[str] = []
+        while frame is not None and len(parts) < _MAX_DEPTH:
+            code = frame.f_code
+            module = frame.f_globals.get("__name__", "?")
+            parts.append(f"{module}:{code.co_name}")
+            frame = frame.f_back
+        return ";".join(reversed(parts))
+
+    def _sample_once(self) -> None:
+        global _SAMPLES_TAKEN
+        me = threading.get_ident()
+        frames = sys._current_frames()
+        with self._lock:
+            for thread_id, frame in frames.items():
+                if thread_id == me:
+                    continue
+                stack = self._collapse(frame)
+                self.stacks[stack] = self.stacks.get(stack, 0) + 1
+                phases = _PHASE_STACKS.get(thread_id)
+                phase = phases[-1] if phases else "(no phase)"
+                self.phases[phase] = self.phases.get(phase, 0) + 1
+                self.samples += 1
+                _SAMPLES_TAKEN += 1
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample_once()
+
+    def start(self) -> SamplingProfiler:
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-sampler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_doc(self, **meta) -> dict:
+        """The ``repro-profile-v1`` document (JSON-serializable)."""
+        with self._lock:
+            doc = {
+                "schema": PROFILE_SCHEMA,
+                "interval_ms": round(self.interval * 1000, 3),
+                "samples": self.samples,
+                "phases": dict(sorted(self.phases.items())),
+                "stacks": dict(sorted(self.stacks.items())),
+            }
+        doc.update(meta)
+        return doc
+
+    def collapsed_lines(self) -> list[str]:
+        """``stack count`` lines for flamegraph tooling."""
+        with self._lock:
+            return [f"{stack} {count}"
+                    for stack, count in sorted(self.stacks.items())]
+
+    def write(self, path: str | Path, **meta) -> Path:
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_doc(**meta), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation
+# ----------------------------------------------------------------------
+
+def start_profiler(interval: float = DEFAULT_INTERVAL) -> SamplingProfiler:
+    """Install and start the process-wide sampler."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a sampling profiler is already active")
+    profiler = SamplingProfiler(interval)
+    _ACTIVE = profiler
+    profiler.start()
+    return profiler
+
+
+def stop_profiler() -> SamplingProfiler | None:
+    """Stop and uninstall the process-wide sampler; returns it."""
+    global _ACTIVE
+    profiler = _ACTIVE
+    _ACTIVE = None          # hooks go quiet before the thread stops
+    _PHASE_STACKS.clear()
+    if profiler is not None:
+        profiler.stop()
+    return profiler
+
+
+def current_profiler() -> SamplingProfiler | None:
+    return _ACTIVE
+
+
+@contextmanager
+def profiling(path: str | Path | None = None,
+              interval: float = DEFAULT_INTERVAL, **meta):
+    """Sample for the duration of the block; write ``path`` on exit."""
+    profiler = start_profiler(interval)
+    try:
+        yield profiler
+    finally:
+        stop_profiler()
+        if path is not None:
+            profiler.write(path, **meta)
+
+
+def profile_path_from_env() -> str | None:
+    """The ``REPRO_PROFILE`` output path, or None when unset/empty."""
+    return os.environ.get(PROFILE_ENV) or None
+
+
+def collapsed_from_doc(doc: dict) -> list[str]:
+    """``stack count`` lines from an exported profile document."""
+    return [f"{stack} {count}"
+            for stack, count in sorted(doc.get("stacks", {}).items())]

@@ -1,0 +1,281 @@
+"""Cross-revision regression trending: ``obs diff`` / ``obs report``.
+
+Given two revisions in a :class:`~repro.obs.store.RunStore`, the differ
+aligns the newest record of every shared kind, compares metric by
+metric, and classifies each delta:
+
+* **regressed / improved** -- the metric moved outside its *noise
+  band* in (respectively against or along) its better-direction;
+* **unchanged** -- inside the band;
+* **added / removed** -- present on only one side (never a failure:
+  new instrumentation must not break the gate);
+* **changed** -- moved outside the band for a metric with no known
+  direction (reported, never failed).
+
+Direction is inferred from the metric name (``*f1*`` up, ``*_ms``
+down, ...) with explicit overrides available in the noise-band spec, a
+TOML/JSON list of ``{pattern, rel_tol, abs_tol, direction}`` entries
+matched by ``fnmatch`` against ``kind:metric``.  The first matching
+entry wins, so specs read top-down like .gitignore.
+
+The output document (schema ``repro-obs-diff-v1``) is deterministic
+for a given store content, and renders as markdown for humans or JSON
+for machines; ``repro obs report`` is the same diff against the
+previous revision in the store, packaged as a regression report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from .store import RunStore, StoreError
+
+#: Schema tag of the diff/report document.
+DIFF_SCHEMA = "repro-obs-diff-v1"
+
+#: Name patterns whose growth is good (higher-is-better).
+_UP_PATTERNS = ("*f1*", "*precision*", "*recall*", "*speedup*",
+                "*throughput*", "*_per_s*", "*reused*", "*.holds",
+                "*binaries.ok")
+
+#: Name patterns whose growth is bad (lower-is-better).
+_DOWN_PATTERNS = ("*_ms", "*_s", "*seconds*", "*_rate", "*error*",
+                  "*fail*", "*.errors", "*overhead*", "*self_fraction")
+
+
+@dataclass(frozen=True)
+class NoiseBand:
+    """Tolerance (and optional direction override) for matching metrics.
+
+    ``pattern`` matches ``kind:metric`` (fnmatch).  A delta within
+    ``max(abs_tol, |base| * rel_tol)`` of the base value is noise.
+    ``direction`` is ``"up"`` (higher better), ``"down"`` or
+    ``"none"``; None defers to name inference.
+    """
+
+    pattern: str
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+    direction: str | None = None
+
+
+#: Default bands: timings and latencies are noisy on shared hardware,
+#: sampling fractions doubly so; exact counts get a zero band.
+DEFAULT_NOISE = (
+    NoiseBand("*:*_ms", rel_tol=0.25, abs_tol=1.0),
+    NoiseBand("*:*seconds*", rel_tol=0.25, abs_tol=0.05),
+    NoiseBand("*:*_s", rel_tol=0.25, abs_tol=0.05),
+    NoiseBand("*:*_per_s", rel_tol=0.25, abs_tol=1.0),
+    NoiseBand("*:*throughput*", rel_tol=0.25),
+    NoiseBand("*:*speedup*", rel_tol=0.20),
+    NoiseBand("*:*overhead*", rel_tol=0.50, abs_tol=0.5),
+    NoiseBand("profile:*self_fraction", abs_tol=0.10),
+    NoiseBand("*:*", rel_tol=0.02),
+)
+
+
+def direction_of(kind: str, metric: str,
+                 bands: tuple[NoiseBand, ...]) -> str:
+    """``"up"``, ``"down"`` or ``"none"`` for one metric name."""
+    scoped = f"{kind}:{metric}"
+    for band in bands:
+        if band.direction is not None and \
+                fnmatchcase(scoped, band.pattern):
+            return band.direction
+    for pattern in _UP_PATTERNS:
+        if fnmatchcase(metric, pattern):
+            return "up"
+    for pattern in _DOWN_PATTERNS:
+        if fnmatchcase(metric, pattern):
+            return "down"
+    return "none"
+
+
+def band_of(kind: str, metric: str,
+            bands: tuple[NoiseBand, ...]) -> NoiseBand:
+    scoped = f"{kind}:{metric}"
+    for band in bands:
+        if fnmatchcase(scoped, band.pattern):
+            return band
+    return NoiseBand("*:*")
+
+
+def load_noise_spec(path: str | Path) -> tuple[NoiseBand, ...]:
+    """Noise bands from a TOML (``[[noise]]`` tables) or JSON file.
+
+    User entries take precedence over :data:`DEFAULT_NOISE`, which
+    stays appended as the fallback tail.
+    """
+    path = Path(path)
+    if path.suffix == ".toml":
+        import tomllib
+        entries = tomllib.loads(path.read_text()).get("noise", [])
+    else:
+        raw = json.loads(path.read_text())
+        entries = raw.get("noise", raw) if isinstance(raw, dict) else raw
+    bands = []
+    for entry in entries:
+        if "pattern" not in entry:
+            raise StoreError(f"{path}: noise entry without a pattern: "
+                             f"{entry!r}")
+        bands.append(NoiseBand(
+            pattern=entry["pattern"],
+            rel_tol=float(entry.get("rel_tol", 0.0)),
+            abs_tol=float(entry.get("abs_tol", 0.0)),
+            direction=entry.get("direction")))
+    return tuple(bands) + DEFAULT_NOISE
+
+
+def _classify(kind: str, metric: str, base: float, current: float,
+              bands: tuple[NoiseBand, ...]) -> str:
+    band = band_of(kind, metric, bands)
+    allowance = max(band.abs_tol, abs(base) * band.rel_tol)
+    delta = current - base
+    if abs(delta) <= allowance:
+        return "unchanged"
+    direction = direction_of(kind, metric, bands)
+    if direction == "none":
+        return "changed"
+    worse = delta < 0 if direction == "up" else delta > 0
+    return "regressed" if worse else "improved"
+
+
+def diff_revisions(store: RunStore, base_rev: str, current_rev: str, *,
+                   noise: tuple[NoiseBand, ...] = DEFAULT_NOISE,
+                   kinds: list[str] | None = None) -> dict:
+    """Compare the newest record of every shared kind across revisions."""
+    for rev in (base_rev, current_rev):
+        if not store.query(git_rev=rev):
+            known = ", ".join(store.revisions()) or "none"
+            raise StoreError(f"revision {rev!r} has no records "
+                             f"(known: {known})")
+    base_kinds = set(store.kinds(base_rev))
+    current_kinds = set(store.kinds(current_rev))
+    chosen = sorted((base_kinds | current_kinds)
+                    & set(kinds or (base_kinds | current_kinds)))
+
+    per_kind: dict[str, dict] = {}
+    summary = {"regressed": 0, "improved": 0, "changed": 0,
+               "unchanged": 0, "added": 0, "removed": 0}
+    for kind in chosen:
+        if kind not in base_kinds or kind not in current_kinds:
+            side = "base" if kind in base_kinds else "current"
+            per_kind[kind] = {"only_in": side, "metrics": {}}
+            continue
+        base = store.latest(kind, base_rev)
+        current = store.latest(kind, current_rev)
+        assert base is not None and current is not None
+        cells: dict[str, dict] = {}
+        for metric in sorted(set(base.metrics) | set(current.metrics)):
+            if metric not in current.metrics:
+                cells[metric] = {"base": base.metrics[metric],
+                                 "status": "removed"}
+            elif metric not in base.metrics:
+                cells[metric] = {"current": current.metrics[metric],
+                                 "status": "added"}
+            else:
+                b, c = base.metrics[metric], current.metrics[metric]
+                status = _classify(kind, metric, b, c, noise)
+                cell = {"base": b, "current": c,
+                        "delta": round(c - b, 8), "status": status}
+                if b:
+                    cell["rel_delta"] = round((c - b) / abs(b), 6)
+                cells[metric] = cell
+            summary[cells[metric]["status"]] += 1
+        per_kind[kind] = {
+            "base_run": base.run_id, "current_run": current.run_id,
+            "metrics": cells,
+        }
+
+    return {
+        "schema": DIFF_SCHEMA,
+        "base_rev": base_rev,
+        "current_rev": current_rev,
+        "kinds": per_kind,
+        "summary": summary,
+    }
+
+
+def regressions(diff: dict) -> list[str]:
+    """One human-readable line per regressed metric in a diff doc."""
+    problems = []
+    for kind, entry in sorted(diff["kinds"].items()):
+        for metric, cell in sorted(entry.get("metrics", {}).items()):
+            if cell["status"] == "regressed":
+                problems.append(
+                    f"{kind}:{metric}: {cell['base']} -> "
+                    f"{cell['current']} ({cell['delta']:+g})")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+_STATUS_MARK = {"regressed": "✗", "improved": "✓", "changed": "~",
+                "added": "+", "removed": "-"}
+
+
+def render_markdown(diff: dict, *, include_unchanged: bool = False) -> str:
+    """A markdown regression report for one diff document."""
+    summary = diff["summary"]
+    lines = [f"# Regression report: `{diff['base_rev']}` → "
+             f"`{diff['current_rev']}`", ""]
+    lines.append(f"**{summary['regressed']} regressed**, "
+                 f"{summary['improved']} improved, "
+                 f"{summary['changed']} changed, "
+                 f"{summary['added']} added, "
+                 f"{summary['removed']} removed, "
+                 f"{summary['unchanged']} within noise.")
+    for kind, entry in sorted(diff["kinds"].items()):
+        if "only_in" in entry:
+            lines += ["", f"## {kind}",
+                      f"*only recorded at the "
+                      f"{'base' if entry['only_in'] == 'base' else 'current'}"
+                      f" revision*"]
+            continue
+        cells = {metric: cell
+                 for metric, cell in entry["metrics"].items()
+                 if include_unchanged or cell["status"] != "unchanged"}
+        if not cells:
+            continue
+        lines += ["", f"## {kind}", "",
+                  "| metric | base | current | delta | status |",
+                  "|---|---:|---:|---:|---|"]
+        for metric, cell in sorted(cells.items()):
+            base = cell.get("base", "")
+            current = cell.get("current", "")
+            delta = (f"{cell['delta']:+g}" if "delta" in cell else "")
+            if "rel_delta" in cell:
+                delta += f" ({cell['rel_delta']:+.1%})"
+            mark = _STATUS_MARK.get(cell["status"], "")
+            lines.append(f"| `{metric}` | {base:g} | {current:g} "
+                         f"| {delta} | {mark} {cell['status']} |"
+                         if isinstance(base, (int, float))
+                         and isinstance(current, (int, float))
+                         else f"| `{metric}` | {base} | {current} "
+                              f"| {delta} | {mark} {cell['status']} |")
+    skipped = summary["unchanged"]
+    if skipped and not include_unchanged:
+        lines += ["", f"*{skipped} unchanged metric(s) elided; "
+                      f"re-run with `--all` to list them.*"]
+    return "\n".join(lines) + "\n"
+
+
+def report_revision(store: RunStore, rev: str, *,
+                    baseline: str | None = None,
+                    noise: tuple[NoiseBand, ...] = DEFAULT_NOISE) -> dict:
+    """``obs report``: diff ``rev`` against ``baseline`` or its
+    predecessor in the store; a first revision reports against itself
+    (all-unchanged), so bootstrap runs still produce a document."""
+    revisions = store.revisions()
+    if rev not in revisions:
+        raise StoreError(f"revision {rev!r} has no records "
+                         f"(known: {', '.join(revisions) or 'none'})")
+    if baseline is None:
+        index = revisions.index(rev)
+        baseline = revisions[index - 1] if index else rev
+    return diff_revisions(store, baseline, rev, noise=noise)

@@ -1,0 +1,197 @@
+"""Declarative SLO specs and the single CI gate: ``repro obs gate``.
+
+An SLO spec is a TOML (``[[slo]]`` tables) or JSON file of objective
+entries, each binding one store metric to a floor or ceiling::
+
+    [[slo]]
+    name = "fleet-corrected-f1"
+    kind = "fleet-trend"
+    metric = "corrected.instr_f1"
+    min = 0.99
+    window = 3          # evaluate the newest 3 recorded runs
+    burn_budget = 0.34  # <= this fraction of the window may violate
+
+Evaluation is *windowed burn-rate*: the engine pulls the newest
+``window`` records of the entry's kind from the run-record store (one
+per recorded run, across revisions), computes the fraction that
+violate the floor/ceiling, and passes while that fraction stays within
+``burn_budget``.  ``window = 1`` (the default) degenerates to "the
+latest run must pass" -- a plain threshold gate -- while wider windows
+tolerate one noisy CI run without letting a real regression burn
+quietly.
+
+Verdicts are ``ok`` / ``violated`` / ``no-data``; missing data fails
+the gate unless the entry opts out with ``allow_missing = true``,
+because a gate that silently passes when artifacts stop arriving is
+not a gate.  ``repro obs gate`` renders the verdict table and exits
+non-zero on any failure, which is what lets one invocation replace the
+per-benchmark threshold comparisons that previously lived in separate
+CI steps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .store import RunStore, StoreError
+
+#: Schema tag of the gate verdict document.
+VERDICT_SCHEMA = "repro-obs-verdict-v1"
+
+
+class SpecError(StoreError):
+    """An SLO spec entry is malformed."""
+
+
+@dataclass(frozen=True)
+class SloEntry:
+    """One objective: a floor/ceiling on one metric of one kind."""
+
+    name: str
+    kind: str
+    metric: str
+    min: float | None = None
+    max: float | None = None
+    window: int = 1
+    burn_budget: float = 0.0
+    allow_missing: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.min is None and self.max is None:
+            raise SpecError(f"slo {self.name!r}: needs a min or a max")
+        if self.window < 1:
+            raise SpecError(f"slo {self.name!r}: window must be >= 1")
+        if not 0.0 <= self.burn_budget < 1.0:
+            raise SpecError(f"slo {self.name!r}: burn_budget must be "
+                            f"in [0, 1)")
+
+    def violates(self, value: float) -> bool:
+        if self.min is not None and value < self.min:
+            return True
+        return self.max is not None and value > self.max
+
+    def bound(self) -> str:
+        parts = []
+        if self.min is not None:
+            parts.append(f">= {self.min:g}")
+        if self.max is not None:
+            parts.append(f"<= {self.max:g}")
+        return " and ".join(parts)
+
+
+def load_slo_spec(path: str | Path) -> list[SloEntry]:
+    """Parse a TOML or JSON SLO spec into entries (order preserved)."""
+    path = Path(path)
+    if path.suffix == ".toml":
+        import tomllib
+        try:
+            raw = tomllib.loads(path.read_text())
+        except tomllib.TOMLDecodeError as error:
+            raise SpecError(f"{path}: {error}") from None
+        entries = raw.get("slo", [])
+    else:
+        raw = json.loads(path.read_text())
+        entries = raw.get("slo", raw) if isinstance(raw, dict) else raw
+    if not entries:
+        raise SpecError(f"{path}: spec defines no [[slo]] entries")
+    spec = []
+    names = set()
+    for entry in entries:
+        unknown = set(entry) - {"name", "kind", "metric", "min", "max",
+                                "window", "burn_budget", "allow_missing",
+                                "description"}
+        if unknown:
+            raise SpecError(f"{path}: slo {entry.get('name', '?')!r}: "
+                            f"unknown field(s) {sorted(unknown)}")
+        try:
+            slo = SloEntry(
+                name=entry["name"], kind=entry["kind"],
+                metric=entry["metric"],
+                min=entry.get("min"), max=entry.get("max"),
+                window=int(entry.get("window", 1)),
+                burn_budget=float(entry.get("burn_budget", 0.0)),
+                allow_missing=bool(entry.get("allow_missing", False)),
+                description=entry.get("description", ""))
+        except KeyError as error:
+            raise SpecError(f"{path}: slo entry missing required field "
+                            f"{error.args[0]!r}") from None
+        if slo.name in names:
+            raise SpecError(f"{path}: duplicate slo name {slo.name!r}")
+        names.add(slo.name)
+        spec.append(slo)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+
+def evaluate_entry(store: RunStore, slo: SloEntry) -> dict:
+    """One verdict cell: pull the window, compute the burn fraction."""
+    window = store.window(slo.kind, slo.window)
+    samples = [(record.git_rev, record.run_id,
+                record.metrics.get(slo.metric))
+               for record in window]
+    observed = [(rev, run, value) for rev, run, value in samples
+                if value is not None]
+    cell = {
+        "name": slo.name,
+        "kind": slo.kind,
+        "metric": slo.metric,
+        "bound": slo.bound(),
+        "window": slo.window,
+        "burn_budget": slo.burn_budget,
+        "observed": len(observed),
+    }
+    if not observed:
+        cell["verdict"] = "ok" if slo.allow_missing else "no-data"
+        return cell
+    violations = [(rev, run, value) for rev, run, value in observed
+                  if slo.violates(value)]
+    burn = len(violations) / len(observed)
+    cell["latest"] = observed[-1][2]
+    cell["burn"] = round(burn, 6)
+    cell["verdict"] = "ok" if burn <= slo.burn_budget else "violated"
+    if violations:
+        cell["violations"] = [
+            {"git_rev": rev, "run_id": run, "value": value}
+            for rev, run, value in violations]
+    return cell
+
+
+def evaluate(store: RunStore, spec: list[SloEntry]) -> dict:
+    """Every entry's verdict plus the overall gate decision."""
+    cells = [evaluate_entry(store, slo) for slo in spec]
+    failing = [cell for cell in cells
+               if cell["verdict"] in ("violated", "no-data")]
+    return {
+        "schema": VERDICT_SCHEMA,
+        "slos": cells,
+        "passed": not failing,
+        "failing": [cell["name"] for cell in failing],
+    }
+
+
+def render_verdicts(verdict: dict) -> str:
+    """The human-readable gate table."""
+    lines = []
+    width = max((len(cell["name"]) for cell in verdict["slos"]),
+                default=4)
+    for cell in verdict["slos"]:
+        mark = {"ok": "ok", "violated": "VIOLATED",
+                "no-data": "NO DATA"}[cell["verdict"]]
+        latest = (f"latest {cell['latest']:g}" if "latest" in cell
+                  else "no samples")
+        burn = (f", burn {cell['burn']:.0%}/{cell['burn_budget']:.0%}"
+                if cell.get("burn") else "")
+        lines.append(f"{cell['name']:<{width}}  "
+                     f"{cell['kind']}:{cell['metric']} "
+                     f"{cell['bound']}  [{latest}{burn}]  {mark}")
+    status = "PASS" if verdict["passed"] else "FAIL"
+    lines.append(f"gate: {status} "
+                 f"({len(verdict['slos']) - len(verdict['failing'])}"
+                 f"/{len(verdict['slos'])} objectives ok)")
+    return "\n".join(lines)

@@ -1,0 +1,284 @@
+"""The longitudinal run-record store (``repro.obs.store``).
+
+One append-only sqlite3 database holding every structured artifact the
+system emits -- fleet trend documents, ``bench_*.py --json`` envelopes,
+metrics-registry snapshots, serve access-log summaries, trace-span
+rollups, and sampling-profiler dumps -- reduced to flat, numeric
+*run records* keyed by ``(git_rev, run_id, kind)``:
+
+* **git_rev** ties a record to the code that produced it, which is what
+  makes cross-revision trending (``repro obs diff REV1 REV2``) and SLO
+  burn-rate windows (:mod:`repro.obs.slo`) possible.
+* **run_id** separates repeated measurements of one revision (CI
+  reruns, local experiments) without overwriting history.
+* **kind** names the artifact family, so a fleet trend and a decode
+  benchmark of the same run never collide.
+
+Timestamps are supplied by the caller (CI passes the commit timestamp),
+never read from the clock inside this module, so a store rebuilt from
+the same artifacts is byte-identical -- records are diffable the same
+way trend documents are.  The sqlite file is the queryable form; every
+record also round-trips through one-line JSON (schema
+``repro-obs-record-v1``) via :meth:`RunStore.export_jsonl` /
+:meth:`RunStore.import_jsonl`, so stores can be merged, committed, or
+shipped between machines as plain text.
+
+Artifact flattening lives in :mod:`repro.obs.ingest`; the store itself
+never inspects payload semantics beyond the record envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Schema tag stamped on every exported record line.
+RECORD_SCHEMA = "repro-obs-record-v1"
+
+
+class StoreError(ValueError):
+    """A run-record operation violated the store's invariants."""
+
+
+def _canonical(value: dict) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One flattened measurement artifact of one run of one revision."""
+
+    git_rev: str
+    run_id: str
+    kind: str
+    timestamp: str              # externally supplied (ISO-8601 or epoch)
+    metrics: dict = field(default_factory=dict)   # name -> float
+    meta: dict = field(default_factory=dict)      # small provenance ctx
+
+    def __post_init__(self) -> None:
+        for part, value in (("git_rev", self.git_rev),
+                            ("run_id", self.run_id),
+                            ("kind", self.kind)):
+            if not value or not isinstance(value, str):
+                raise StoreError(f"record {part} must be a non-empty "
+                                 f"string, got {value!r}")
+        for name, value in self.metrics.items():
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise StoreError(f"metric {name!r} must be numeric, "
+                                 f"got {type(value).__name__}")
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.git_rev, self.run_id, self.kind)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RECORD_SCHEMA,
+            "git_rev": self.git_rev,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+            "metrics": dict(sorted(self.metrics.items())),
+            "meta": self.meta,
+        }
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> RunRecord:
+        if not isinstance(raw, dict):
+            raise StoreError(f"record must be an object, "
+                             f"got {type(raw).__name__}")
+        if raw.get("schema") != RECORD_SCHEMA:
+            raise StoreError(f"unknown record schema "
+                             f"{raw.get('schema')!r} "
+                             f"(expected {RECORD_SCHEMA!r})")
+        try:
+            return cls(git_rev=raw["git_rev"], run_id=raw["run_id"],
+                       kind=raw["kind"],
+                       timestamp=str(raw.get("timestamp", "")),
+                       metrics=dict(raw.get("metrics", {})),
+                       meta=dict(raw.get("meta", {})))
+        except KeyError as error:
+            raise StoreError(f"record missing required field "
+                             f"{error.args[0]!r}") from None
+
+
+class RunStore:
+    """Append-only sqlite3 store of :class:`RunRecord` rows.
+
+    ``path`` may be ``":memory:"`` (tests).  Re-adding a byte-identical
+    record is an idempotent no-op -- resumed CI jobs re-record safely --
+    but re-keying different content is an error: history is never
+    silently rewritten.
+    """
+
+    _TABLE = """
+        CREATE TABLE IF NOT EXISTS records (
+            git_rev   TEXT NOT NULL,
+            run_id    TEXT NOT NULL,
+            kind      TEXT NOT NULL,
+            timestamp TEXT NOT NULL,
+            metrics   TEXT NOT NULL,
+            meta      TEXT NOT NULL,
+            PRIMARY KEY (git_rev, run_id, kind)
+        )
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = path
+        if path != ":memory:":
+            parent = Path(path).parent
+            if parent != Path(""):
+                parent.mkdir(parents=True, exist_ok=True)
+        self._db = sqlite3.connect(str(path))
+        self._db.execute(self._TABLE)
+        self._db.commit()
+
+    # ------------------------------------------------------------------
+    # Append
+    # ------------------------------------------------------------------
+
+    def add(self, record: RunRecord) -> bool:
+        """Append one record; returns False for an idempotent re-add."""
+        existing = self.get(*record.key)
+        if existing is not None:
+            if existing.to_dict() == record.to_dict():
+                return False
+            raise StoreError(
+                f"record {record.key} already exists with different "
+                f"content; the store is append-only (pick a new run_id)")
+        self._db.execute(
+            "INSERT INTO records VALUES (?, ?, ?, ?, ?, ?)",
+            (record.git_rev, record.run_id, record.kind,
+             record.timestamp, _canonical(record.metrics),
+             _canonical(record.meta)))
+        self._db.commit()
+        return True
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _row_to_record(row: tuple) -> RunRecord:
+        git_rev, run_id, kind, timestamp, metrics, meta = row
+        return RunRecord(git_rev=git_rev, run_id=run_id, kind=kind,
+                         timestamp=timestamp,
+                         metrics=json.loads(metrics),
+                         meta=json.loads(meta))
+
+    def get(self, git_rev: str, run_id: str, kind: str) -> RunRecord | None:
+        rows = self._db.execute(
+            "SELECT * FROM records WHERE git_rev=? AND run_id=? "
+            "AND kind=?", (git_rev, run_id, kind)).fetchall()
+        return self._row_to_record(rows[0]) if rows else None
+
+    def query(self, *, git_rev: str | None = None,
+              run_id: str | None = None,
+              kind: str | None = None) -> list[RunRecord]:
+        """Matching records in deterministic (timestamp, key) order."""
+        clauses, params = [], []
+        for column, value in (("git_rev", git_rev), ("run_id", run_id),
+                              ("kind", kind)):
+            if value is not None:
+                clauses.append(f"{column}=?")
+                params.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._db.execute(
+            f"SELECT * FROM records{where} "             # noqa: S608
+            f"ORDER BY timestamp, git_rev, run_id, kind", params)
+        return [self._row_to_record(row) for row in rows]
+
+    def revisions(self) -> list[str]:
+        """Distinct revisions, oldest first (by earliest timestamp)."""
+        rows = self._db.execute(
+            "SELECT git_rev, MIN(timestamp) FROM records "
+            "GROUP BY git_rev ORDER BY MIN(timestamp), git_rev")
+        return [row[0] for row in rows]
+
+    def kinds(self, git_rev: str | None = None) -> list[str]:
+        if git_rev is None:
+            rows = self._db.execute(
+                "SELECT DISTINCT kind FROM records ORDER BY kind")
+        else:
+            rows = self._db.execute(
+                "SELECT DISTINCT kind FROM records WHERE git_rev=? "
+                "ORDER BY kind", (git_rev,))
+        return [row[0] for row in rows]
+
+    def latest(self, kind: str,
+               git_rev: str | None = None) -> RunRecord | None:
+        """The newest record of a kind (optionally of one revision)."""
+        records = self.query(git_rev=git_rev, kind=kind)
+        return records[-1] if records else None
+
+    def window(self, kind: str, limit: int) -> list[RunRecord]:
+        """The ``limit`` newest records of a kind, oldest first.
+
+        This is the SLO engine's burn-rate window: one entry per
+        recorded run, across revisions.
+        """
+        records = self.query(kind=kind)
+        return records[-limit:] if limit > 0 else []
+
+    def __len__(self) -> int:
+        return self._db.execute(
+            "SELECT COUNT(*) FROM records").fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # JSONL interchange
+    # ------------------------------------------------------------------
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write every record as one-JSON-per-line; returns the count."""
+        records = self.query()
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as sink:
+            for record in records:
+                sink.write(record.to_json_line() + "\n")
+        return len(records)
+
+    def import_jsonl(self, path: str | Path) -> int:
+        """Append records from a JSONL export; returns how many were new.
+
+        Records already present (byte-identical) are skipped; a keyed
+        conflict with different content raises :class:`StoreError`,
+        naming the offending line.
+        """
+        added = 0
+        with open(path, encoding="utf-8") as source:
+            for number, line in enumerate(source, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise StoreError(
+                        f"{path}:{number}: not JSON: {error}") from None
+                try:
+                    added += bool(self.add(RunRecord.from_dict(raw)))
+                except StoreError as error:
+                    raise StoreError(f"{path}:{number}: {error}") \
+                        from None
+        return added
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> RunStore:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -38,6 +38,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from . import profile as _profile
+
 #: Environment variable holding the trace-output path; setting it
 #: activates tracing in the CLI and the serving layer.
 TRACE_ENV = "REPRO_TRACE"
@@ -340,20 +342,29 @@ def phase_span(name: str, timings=None, *, tracer: Tracer | None = None,
     :meth:`repro.perf.PhaseTimings.phase`.  ``timings`` is duck-typed
     (anything with ``add(name, seconds)``) so this module needs no
     import of :mod:`repro.perf`.
+
+    This is also where the sampling profiler learns which phase is
+    active (:func:`repro.obs.profile.enter_phase`); with no profiler
+    installed that hook is a single module-global read.
     """
-    tracer = tracer if tracer is not None else current_tracer()
-    if tracer is None:
-        started = time.perf_counter()
-        try:
-            yield None
-        finally:
-            if timings is not None:
-                timings.add(name, time.perf_counter() - started)
-        return
-    span = None
+    tagged = _profile.enter_phase(name)
     try:
-        with tracer.span(name, **attrs) as span:
-            yield span
+        tracer = tracer if tracer is not None else current_tracer()
+        if tracer is None:
+            started = time.perf_counter()
+            try:
+                yield None
+            finally:
+                if timings is not None:
+                    timings.add(name, time.perf_counter() - started)
+            return
+        span = None
+        try:
+            with tracer.span(name, **attrs) as span:
+                yield span
+        finally:
+            if timings is not None and span is not None:
+                timings.add(name, span.duration)
     finally:
-        if timings is not None and span is not None:
-            timings.add(name, span.duration)
+        if tagged:
+            _profile.exit_phase()

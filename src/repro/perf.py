@@ -102,11 +102,20 @@ class PhaseTimings:
         return "\n".join(lines)
 
 
+#: Schema tag shared by every ``BENCH_*.json`` artifact.
+BENCH_SCHEMA = "repro-bench-v1"
+
+
 def bench_payload(**extra) -> dict:
-    """Common envelope for BENCH_*.json dumps (environment + payload)."""
+    """Environment stamp for BENCH_*.json dumps (legacy free-form).
+
+    Prefer :func:`bench_envelope`, which adds the structured
+    ``tool`` / ``config`` / ``metrics`` split the run-record store
+    ingests without per-script adapters.
+    """
     from .isa.decoder import decoder_backend  # lazy: perf is low-level
     payload = {
-        "schema": "repro-bench-v1",
+        "schema": BENCH_SCHEMA,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
@@ -114,6 +123,55 @@ def bench_payload(**extra) -> dict:
     }
     payload.update(extra)
     return payload
+
+
+def bench_envelope(tool: str, config: dict | None = None,
+                   metrics: dict | None = None, **extra) -> dict:
+    """The unified ``repro-bench-v1`` envelope every bench script emits.
+
+    * ``tool`` names the benchmark (``decode``, ``correct``, ``fleet``,
+      ...); ``repro obs record`` keys the record kind ``bench-<tool>``
+      off it.
+    * ``config`` holds the knobs that shaped the run (corpus size,
+      repeats, jobs) -- context, never trended.
+    * ``metrics`` holds the measured numbers (arbitrarily nested;
+      numeric leaves), the only part regression trending looks at.
+
+    ``extra`` lands at the top level for artifact-specific payloads
+    that other consumers address directly (e.g. ``trend=...``, which
+    ``repro.fleet.aggregate.load_trend`` expects beside ``metrics``).
+    """
+    envelope = bench_payload(tool=tool, config=dict(config or {}),
+                             metrics=dict(metrics or {}))
+    envelope.update(extra)
+    return envelope
+
+
+def validate_bench_envelope(doc: dict) -> list[str]:
+    """Schema check for a unified envelope; returns problem strings."""
+    problems = []
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, "
+                        f"expected {BENCH_SCHEMA!r}")
+    if not doc.get("tool") or not isinstance(doc.get("tool"), str):
+        problems.append("missing or non-string 'tool'")
+    for field in ("config", "metrics"):
+        if not isinstance(doc.get(field), dict):
+            problems.append(f"missing or non-dict {field!r}")
+
+    def check_numeric(value, name: str) -> None:
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                check_numeric(sub, f"{name}.{key}")
+        elif not isinstance(value, (int, float)) \
+                or isinstance(value, bool):
+            problems.append(f"metrics leaf {name} is "
+                            f"{type(value).__name__}, not numeric")
+
+    if isinstance(doc.get("metrics"), dict):
+        for key, value in doc["metrics"].items():
+            check_numeric(value, key)
+    return problems
 
 
 def write_bench_json(path: str | Path, payload: dict) -> Path:

@@ -68,6 +68,10 @@ class ServeConfig:
     #: Span JSONL sink; None falls back to the ``REPRO_TRACE`` env var,
     #: and tracing stays off when neither is set.
     trace_path: str | None = None
+    #: Sampling-profile JSON sink; None falls back to ``REPRO_PROFILE``,
+    #: and sampling stays off when neither is set.  The document is
+    #: written when the server drains or closes.
+    profile_path: str | None = None
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(workers=self.workers,
@@ -100,6 +104,10 @@ class ServeApp:
                             or trace_path_from_env())
         self.tracer = Tracer() if self._trace_path else None
         self._previous_tracer: Tracer | None = None
+        from ..obs.profile import profile_path_from_env
+        self._profile_path = (self.config.profile_path
+                              or profile_path_from_env())
+        self._profiler = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -117,6 +125,9 @@ class ServeApp:
             # Install process-wide so the scheduler's dispatch loop and
             # inline workers see it via current_tracer().
             self._previous_tracer = set_tracer(self.tracer)
+        if self._profile_path and self._profiler is None:
+            from ..obs.profile import start_profiler
+            self._profiler = start_profiler()
         await self.scheduler.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
@@ -165,11 +176,20 @@ class ServeApp:
         self._stopped.set()
 
     def _close_tracer(self) -> None:
+        self._close_profiler()
         if self.tracer is None:
             return
         set_tracer(self._previous_tracer)
         if self._trace_path:
             self.tracer.flush_jsonl(self._trace_path)
+
+    def _close_profiler(self) -> None:
+        if self._profiler is None:
+            return
+        from ..obs.profile import stop_profiler
+        stop_profiler()
+        self._profiler.write(self._profile_path, command="serve")
+        self._profiler = None
 
     async def aclose(self) -> None:
         """Non-graceful teardown for tests."""

@@ -119,6 +119,54 @@ class TestPrometheusExposition:
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
 
+
+class TestExpositionEdgeCases:
+    """Corners of the text format a scraper is entitled to rely on."""
+
+    @pytest.mark.parametrize("raw, escaped", [
+        ('back\\slash', r'v="back\\slash"'),
+        ('quo"te', r'v="quo\"te"'),
+        ('new\nline', r'v="new\nline"'),
+        ('all\\three\n"', r'v="all\\three\n\""'),
+    ])
+    def test_each_escapable_label_character(self, raw, escaped):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(v=raw)
+        assert escaped in registry.render_prometheus()
+
+    def test_nan_renders_as_prometheus_nan(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(float("nan"))
+        assert registry.render_prometheus() == "# TYPE g gauge\ng NaN\n"
+
+    def test_infinities_render_with_sign_and_capital_inf(self):
+        registry = MetricsRegistry()
+        registry.gauge("up").set(float("inf"))
+        registry.gauge("down").set(float("-inf"))
+        text = registry.render_prometheus()
+        assert "up +Inf\n" in text
+        assert "down -Inf\n" in text
+
+    def test_empty_registry_render_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.render_prometheus() == ""
+        registry.reset()
+        assert registry.render_prometheus() == ""
+
+    def test_plus_inf_bucket_always_equals_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        for value in (0.01, 0.5, 2.0, 1e9, float("inf")):
+            hist.observe(value)
+        samples = {(name, extra): value
+                   for name, _, value, extra in hist.samples()}
+        inf_bucket = samples[("h_seconds_bucket", (("le", "+Inf"),))]
+        count = samples[("h_seconds_count", ())]
+        assert inf_bucket == count == 5
+        # And the finite buckets stay cumulative below it.
+        assert samples[("h_seconds_bucket", (("le", "0.1"),))] == 1
+        assert samples[("h_seconds_bucket", (("le", "1"),))] == 2
+
     def test_snapshot_is_plain_data(self):
         registry = MetricsRegistry()
         registry.counter("c_total", "help").inc(outcome="hit")

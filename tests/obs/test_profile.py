@@ -1,0 +1,182 @@
+"""Tests for the sampling profiler (repro.obs.profile)."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import profile as profile_mod
+from repro.obs.profile import (PROFILE_SCHEMA, SamplingProfiler,
+                               collapsed_from_doc, current_profiler,
+                               enter_phase, exit_phase,
+                               profile_path_from_env, profiler_active,
+                               profiling, samples_taken,
+                               start_profiler, stop_profiler)
+from repro.obs.trace import phase_span
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_profiler():
+    """Tests must never leave the process-wide sampler installed."""
+    yield
+    stop_profiler()
+
+
+def busy(seconds=0.05):
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(500))
+
+
+def sample_until(profiler, minimum=3, budget=2.0):
+    deadline = time.perf_counter() + budget
+    while profiler.samples < minimum and time.perf_counter() < deadline:
+        busy(0.02)
+
+
+class TestSampler:
+    def test_samples_a_busy_thread(self):
+        profiler = start_profiler(interval=0.001)
+        sample_until(profiler)
+        stop_profiler()
+        assert profiler.samples >= 3
+        assert profiler.stacks
+        # This module is on the sampled stack of the main thread.
+        assert any("test_profile" in stack
+                   for stack in profiler.stacks)
+
+    def test_collapsed_stacks_are_root_first_semicolon_joined(self):
+        profiler = start_profiler(interval=0.001)
+        sample_until(profiler)
+        stop_profiler()
+        for line in profiler.collapsed_lines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            frames = stack.split(";")
+            assert all(":" in frame for frame in frames)
+            # Root-first: the interpreter entry is shallow, the busy
+            # loop deep, so our helper never precedes the runner.
+            assert "busy" not in frames[0]
+
+    def test_counts_accumulate_in_samples_taken(self):
+        before = samples_taken()
+        profiler = start_profiler(interval=0.001)
+        sample_until(profiler)
+        stop_profiler()
+        assert samples_taken() - before == profiler.samples
+
+    def test_exported_doc_shape(self, tmp_path):
+        profiler = start_profiler(interval=0.001)
+        sample_until(profiler)
+        stop_profiler()
+        path = profiler.write(tmp_path / "profile.json",
+                              command="test")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["interval_ms"] == 1.0
+        assert doc["samples"] == sum(doc["stacks"].values())
+        assert doc["command"] == "test"
+        assert collapsed_from_doc(doc) == profiler.collapsed_lines()
+
+
+class TestDisabledCost:
+    def test_disabled_process_takes_zero_samples(self):
+        before = samples_taken()
+        busy(0.05)
+        assert samples_taken() == before
+
+    def test_hooks_are_inert_without_a_profiler(self):
+        assert not profiler_active()
+        assert enter_phase("superset") is False
+        assert profile_mod._PHASE_STACKS == {}
+        exit_phase()        # must not raise on an empty stack
+
+    def test_phase_span_opens_no_phase_when_disabled(self):
+        with phase_span("superset"):
+            assert profile_mod._PHASE_STACKS == {}
+
+
+class TestPhaseAttribution:
+    def test_samples_attribute_to_the_innermost_phase(self):
+        profiler = start_profiler(interval=0.001)
+        with phase_span("superset"):
+            sample_until(profiler)
+        stop_profiler()
+        assert profiler.phases.get("superset", 0) >= 1
+
+    def test_nested_phases_attribute_to_the_inner_one(self):
+        start_profiler(interval=0.001)
+        try:
+            with phase_span("outer"):
+                assert enter_phase("inner") is True
+                try:
+                    me = profile_mod._PHASE_STACKS[
+                        __import__("threading").get_ident()]
+                    assert me == ["outer", "inner"]
+                finally:
+                    exit_phase()
+        finally:
+            stop_profiler()
+
+    def test_unphased_samples_land_in_no_phase(self):
+        profiler = start_profiler(interval=0.001)
+        sample_until(profiler)
+        stop_profiler()
+        assert set(profiler.phases) <= {"(no phase)"}
+
+    def test_teardown_mid_phase_stays_balanced(self):
+        start_profiler(interval=0.001)
+        with phase_span("superset"):
+            stop_profiler()      # clears the stacks under our feet
+        assert profile_mod._PHASE_STACKS == {}
+
+
+class TestActivation:
+    def test_double_start_is_an_error(self):
+        start_profiler(interval=0.001)
+        with pytest.raises(RuntimeError, match="already active"):
+            start_profiler()
+
+    def test_stop_is_idempotent_and_returns_the_profiler(self):
+        profiler = start_profiler(interval=0.001)
+        assert stop_profiler() is profiler
+        assert stop_profiler() is None
+        assert current_profiler() is None
+
+    def test_profiling_context_writes_on_exit(self, tmp_path):
+        sink = tmp_path / "out" / "profile.json"
+        with profiling(sink, interval=0.001, command="ctx") as profiler:
+            assert current_profiler() is profiler
+            busy(0.02)
+        assert not profiler_active()
+        doc = json.loads(sink.read_text())
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["command"] == "ctx"
+
+    def test_profiling_context_without_path_writes_nothing(self,
+                                                           tmp_path):
+        with profiling(None, interval=0.001):
+            pass
+        assert list(tmp_path.iterdir()) == []
+
+    def test_env_activation_path(self, monkeypatch):
+        monkeypatch.delenv(profile_mod.PROFILE_ENV, raising=False)
+        assert profile_path_from_env() is None
+        monkeypatch.setenv(profile_mod.PROFILE_ENV, "")
+        assert profile_path_from_env() is None
+        monkeypatch.setenv(profile_mod.PROFILE_ENV, "p.json")
+        assert profile_path_from_env() == "p.json"
+
+
+class TestSamplingProfilerUnit:
+    def test_instance_start_twice_is_an_error(self):
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_without_start_is_a_no_op(self):
+        SamplingProfiler().stop()

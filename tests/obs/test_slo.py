@@ -1,0 +1,159 @@
+"""Tests for SLO specs and the burn-rate gate (repro.obs.slo)."""
+
+import pytest
+
+from repro.obs.slo import (SloEntry, SpecError, VERDICT_SCHEMA,
+                           evaluate, evaluate_entry, load_slo_spec,
+                           render_verdicts)
+from repro.obs.store import RunRecord, RunStore
+
+
+def store_with(values, kind="fleet-trend", metric="corrected.instr_f1"):
+    """One record per value, timestamps in list order (oldest first)."""
+    store = RunStore()
+    for index, value in enumerate(values):
+        store.add(RunRecord(
+            git_rev=f"rev{index}", run_id="r0", kind=kind,
+            timestamp=f"2026-01-{index + 1:02d}",
+            metrics={metric: value}))
+    return store
+
+
+class TestSloEntry:
+    def test_needs_a_bound(self):
+        with pytest.raises(SpecError, match="min or a max"):
+            SloEntry(name="x", kind="k", metric="m")
+
+    def test_rejects_bad_window_and_budget(self):
+        with pytest.raises(SpecError, match="window"):
+            SloEntry(name="x", kind="k", metric="m", min=0, window=0)
+        with pytest.raises(SpecError, match="burn_budget"):
+            SloEntry(name="x", kind="k", metric="m", min=0,
+                     burn_budget=1.0)
+
+    def test_violates_floor_and_ceiling(self):
+        both = SloEntry(name="x", kind="k", metric="m",
+                        min=0.5, max=2.0)
+        assert both.violates(0.4) and both.violates(2.1)
+        assert not both.violates(0.5) and not both.violates(2.0)
+        assert both.bound() == ">= 0.5 and <= 2"
+
+
+class TestLoadSpec:
+    def test_toml_tables(self, tmp_path):
+        spec = tmp_path / "slo.toml"
+        spec.write_text(
+            '[[slo]]\nname = "f1"\nkind = "fleet-trend"\n'
+            'metric = "corrected.instr_f1"\nmin = 0.99\nwindow = 3\n'
+            'burn_budget = 0.34\n\n'
+            '[[slo]]\nname = "latency"\nkind = "serve-access"\n'
+            'metric = "all.p99_ms"\nmax = 500.0\n'
+            'allow_missing = true\n')
+        entries = load_slo_spec(spec)
+        assert [entry.name for entry in entries] == ["f1", "latency"]
+        assert entries[0].window == 3
+        assert entries[1].allow_missing is True
+
+    def test_json_form(self, tmp_path):
+        spec = tmp_path / "slo.json"
+        spec.write_text('{"slo": [{"name": "f1", "kind": "k", '
+                        '"metric": "m", "min": 0.9}]}')
+        assert load_slo_spec(spec)[0].min == 0.9
+
+    def test_unknown_field_is_an_error(self, tmp_path):
+        spec = tmp_path / "slo.toml"
+        spec.write_text('[[slo]]\nname = "x"\nkind = "k"\n'
+                        'metric = "m"\nmin = 0\nthreshold = 5\n')
+        with pytest.raises(SpecError, match="unknown field"):
+            load_slo_spec(spec)
+
+    def test_duplicate_name_is_an_error(self, tmp_path):
+        spec = tmp_path / "slo.json"
+        entry = '{"name": "x", "kind": "k", "metric": "m", "min": 0}'
+        spec.write_text(f'[{entry}, {entry}]')
+        with pytest.raises(SpecError, match="duplicate"):
+            load_slo_spec(spec)
+
+    def test_empty_spec_is_an_error(self, tmp_path):
+        spec = tmp_path / "slo.toml"
+        spec.write_text("# nothing here\n")
+        with pytest.raises(SpecError, match="no .* entries"):
+            load_slo_spec(spec)
+
+
+class TestEvaluation:
+    def floor(self, **kwargs):
+        defaults = dict(name="f1", kind="fleet-trend",
+                        metric="corrected.instr_f1", min=0.99)
+        defaults.update(kwargs)
+        return SloEntry(**defaults)
+
+    def test_latest_run_passes_plain_threshold(self):
+        store = store_with([0.995])
+        cell = evaluate_entry(store, self.floor())
+        assert cell["verdict"] == "ok"
+        assert cell["latest"] == 0.995
+
+    def test_latest_run_violates_plain_threshold(self):
+        store = store_with([0.995, 0.90])
+        cell = evaluate_entry(store, self.floor())
+        assert cell["verdict"] == "violated"
+        assert cell["violations"] == [
+            {"git_rev": "rev1", "run_id": "r0", "value": 0.90}]
+
+    def test_burn_budget_tolerates_one_noisy_run(self):
+        # One violation in a window of three, budget 0.34: still ok.
+        store = store_with([0.90, 0.995, 0.995])
+        cell = evaluate_entry(store, self.floor(window=3,
+                                                burn_budget=0.34))
+        assert cell["verdict"] == "ok"
+        assert cell["burn"] == pytest.approx(1 / 3, abs=1e-4)
+
+    def test_sustained_burn_violates(self):
+        store = store_with([0.90, 0.90, 0.995])
+        cell = evaluate_entry(store, self.floor(window=3,
+                                                burn_budget=0.34))
+        assert cell["verdict"] == "violated"
+
+    def test_window_sees_only_the_newest_runs(self):
+        # The old violations fall outside a window of two.
+        store = store_with([0.5, 0.5, 0.995, 0.995])
+        cell = evaluate_entry(store, self.floor(window=2))
+        assert cell["verdict"] == "ok"
+
+    def test_missing_data_fails_by_default(self):
+        cell = evaluate_entry(RunStore(), self.floor())
+        assert cell["verdict"] == "no-data"
+
+    def test_allow_missing_opts_out(self):
+        cell = evaluate_entry(RunStore(),
+                              self.floor(allow_missing=True))
+        assert cell["verdict"] == "ok"
+
+    def test_metric_absent_from_records_counts_as_missing(self):
+        store = store_with([1.0], metric="some.other.metric")
+        assert evaluate_entry(store, self.floor())["verdict"] == \
+            "no-data"
+
+
+class TestGateDocument:
+    def test_verdict_document_and_failing_names(self):
+        store = store_with([0.90])
+        spec = [SloEntry(name="f1", kind="fleet-trend",
+                         metric="corrected.instr_f1", min=0.99),
+                SloEntry(name="absent", kind="bench-decode",
+                         metric="speedup", min=1.0,
+                         allow_missing=True)]
+        verdict = evaluate(store, spec)
+        assert verdict["schema"] == VERDICT_SCHEMA
+        assert verdict["passed"] is False
+        assert verdict["failing"] == ["f1"]
+
+    def test_render_marks_pass_and_fail(self):
+        store = store_with([0.995])
+        spec = [SloEntry(name="f1", kind="fleet-trend",
+                         metric="corrected.instr_f1", min=0.99)]
+        text = render_verdicts(evaluate(store, spec))
+        assert "gate: PASS (1/1 objectives ok)" in text
+        failing = render_verdicts(evaluate(store_with([0.5]), spec))
+        assert "VIOLATED" in failing and "gate: FAIL" in failing

@@ -1,0 +1,176 @@
+"""Tests for the longitudinal run-record store (repro.obs.store)."""
+
+import json
+
+import pytest
+
+from repro.obs.store import (RECORD_SCHEMA, RunRecord, RunStore,
+                             StoreError)
+
+
+def record(rev="aaaa", run="r0", kind="bench-decode", ts="2026-01-01",
+           metrics=None, meta=None):
+    return RunRecord(git_rev=rev, run_id=run, kind=kind, timestamp=ts,
+                     metrics=metrics or {"speedup": 8.0},
+                     meta=meta or {})
+
+
+class TestRunRecord:
+    def test_round_trips_through_dict(self):
+        original = record(metrics={"a": 1, "b": 2.5},
+                          meta={"source": "x.json"})
+        clone = RunRecord.from_dict(original.to_dict())
+        assert clone == original
+
+    def test_json_line_is_sorted_and_tagged(self):
+        doc = json.loads(record().to_json_line())
+        assert doc["schema"] == RECORD_SCHEMA
+        assert list(doc) == sorted(doc)
+
+    def test_empty_key_parts_are_rejected(self):
+        with pytest.raises(StoreError, match="git_rev"):
+            record(rev="")
+        with pytest.raises(StoreError, match="kind"):
+            record(kind="")
+
+    def test_non_numeric_metric_is_rejected(self):
+        with pytest.raises(StoreError, match="numeric"):
+            record(metrics={"speedup": "fast"})
+        with pytest.raises(StoreError, match="numeric"):
+            record(metrics={"ok": True})
+
+    def test_from_dict_rejects_wrong_schema(self):
+        raw = record().to_dict()
+        raw["schema"] = "something-else"
+        with pytest.raises(StoreError, match="unknown record schema"):
+            RunRecord.from_dict(raw)
+
+    def test_from_dict_rejects_missing_field(self):
+        raw = record().to_dict()
+        del raw["run_id"]
+        with pytest.raises(StoreError, match="run_id"):
+            RunRecord.from_dict(raw)
+
+
+class TestAppendOnly:
+    def test_add_then_get(self):
+        with RunStore() as store:
+            assert store.add(record()) is True
+            got = store.get("aaaa", "r0", "bench-decode")
+            assert got is not None
+            assert got.metrics == {"speedup": 8.0}
+
+    def test_identical_readd_is_idempotent(self):
+        with RunStore() as store:
+            assert store.add(record()) is True
+            assert store.add(record()) is False
+            assert len(store) == 1
+
+    def test_rekeying_different_content_is_an_error(self):
+        with RunStore() as store:
+            store.add(record(metrics={"speedup": 8.0}))
+            with pytest.raises(StoreError, match="append-only"):
+                store.add(record(metrics={"speedup": 1.0}))
+
+    def test_same_kind_different_run_ids_coexist(self):
+        with RunStore() as store:
+            store.add(record(run="r0", metrics={"speedup": 8.0}))
+            store.add(record(run="r1", metrics={"speedup": 7.0}))
+            assert len(store) == 2
+
+
+class TestQueries:
+    def seeded(self):
+        store = RunStore()
+        store.add(record(rev="aaaa", kind="bench-decode",
+                         ts="2026-01-01T00:00:00"))
+        store.add(record(rev="aaaa", kind="fleet-trend",
+                         ts="2026-01-01T00:00:01",
+                         metrics={"f1": 0.99}))
+        store.add(record(rev="bbbb", kind="bench-decode",
+                         ts="2026-01-02T00:00:00",
+                         metrics={"speedup": 9.0}))
+        return store
+
+    def test_query_filters_compose(self):
+        store = self.seeded()
+        assert len(store.query()) == 3
+        assert len(store.query(git_rev="aaaa")) == 2
+        only = store.query(git_rev="aaaa", kind="bench-decode")
+        assert [r.kind for r in only] == ["bench-decode"]
+
+    def test_query_order_is_timestamp_then_key(self):
+        store = self.seeded()
+        assert [r.timestamp for r in store.query()] == sorted(
+            r.timestamp for r in store.query())
+
+    def test_revisions_oldest_first(self):
+        assert self.seeded().revisions() == ["aaaa", "bbbb"]
+
+    def test_kinds_overall_and_per_revision(self):
+        store = self.seeded()
+        assert store.kinds() == ["bench-decode", "fleet-trend"]
+        assert store.kinds("bbbb") == ["bench-decode"]
+
+    def test_latest_picks_the_newest(self):
+        latest = self.seeded().latest("bench-decode")
+        assert latest is not None and latest.git_rev == "bbbb"
+        scoped = self.seeded().latest("bench-decode", "aaaa")
+        assert scoped is not None and scoped.metrics["speedup"] == 8.0
+
+    def test_window_is_newest_n_oldest_first(self):
+        store = self.seeded()
+        window = store.window("bench-decode", 1)
+        assert [r.git_rev for r in window] == ["bbbb"]
+        window = store.window("bench-decode", 5)
+        assert [r.git_rev for r in window] == ["aaaa", "bbbb"]
+        assert store.window("bench-decode", 0) == []
+
+
+class TestPersistenceAndInterchange:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "obs.sqlite"
+        with RunStore(path) as store:
+            store.add(record())
+        with RunStore(path) as store:
+            assert len(store) == 1
+            assert store.get("aaaa", "r0", "bench-decode") is not None
+
+    def test_jsonl_round_trip_rebuilds_identically(self, tmp_path):
+        export = tmp_path / "records.jsonl"
+        with RunStore() as store:
+            store.add(record(rev="aaaa", ts="2026-01-01"))
+            store.add(record(rev="bbbb", ts="2026-01-02",
+                             metrics={"speedup": 9.0}))
+            assert store.export_jsonl(export) == 2
+            original = [r.to_dict() for r in store.query()]
+        with RunStore() as rebuilt:
+            assert rebuilt.import_jsonl(export) == 2
+            assert [r.to_dict() for r in rebuilt.query()] == original
+            # Re-import is a no-op, not an error.
+            assert rebuilt.import_jsonl(export) == 0
+
+    def test_import_conflict_names_the_line(self, tmp_path):
+        export = tmp_path / "records.jsonl"
+        with RunStore() as store:
+            store.add(record())
+            store.export_jsonl(export)
+        with RunStore() as other:
+            other.add(record(metrics={"speedup": 1.0}))
+            with pytest.raises(StoreError, match=r":1: .*append-only"):
+                other.import_jsonl(export)
+
+    def test_import_rejects_non_json_lines(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        with RunStore() as store, \
+                pytest.raises(StoreError, match="not JSON"):
+            store.import_jsonl(bad)
+
+    def test_export_is_deterministic_bytes(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        with RunStore() as store:
+            store.add(record(metrics={"z": 1, "a": 2}))
+            store.export_jsonl(a)
+            store.export_jsonl(b)
+        assert a.read_bytes() == b.read_bytes()

@@ -112,6 +112,30 @@ class TestEndToEnd:
                    for r in records if "endpoint" in r)
 
 
+class TestContentTypes:
+    """Wire-protocol content-type promises, asserted header-for-header."""
+
+    @pytest.fixture
+    def client(self, serve_harness, monkeypatch):
+        monkeypatch.setattr(sched_mod, "run_batch", fake_echo_batch)
+        return serve_harness().client()
+
+    def test_json_endpoints_answer_application_json(self, client):
+        for path in ("/healthz", "/metrics"):
+            _, headers, _ = client.request("GET", path)
+            assert headers["content-type"] == "application/json", path
+
+    def test_prometheus_exposition_content_type(self, client):
+        # The exposition-format version header is part of the scrape
+        # contract: Prometheus keys its parser off it.
+        status, headers, body = client.request(
+            "GET", "/metrics?format=prometheus")
+        assert status == 200
+        assert headers["content-type"] \
+            == "text/plain; version=0.0.4; charset=utf-8"
+        assert isinstance(body, str)
+
+
 class TestHttpErrors:
     @pytest.fixture
     def client(self, serve_harness, monkeypatch):
